@@ -1,0 +1,34 @@
+//! # beehive-apps — the evaluation applications
+//!
+//! Synthetic reconstructions of the paper's three web services (§5.1),
+//! compiled to BeeHive bytecode with framework-realistic structure:
+//!
+//! * **thumbnail** — a Spring image-thumbnail service; compute-intensive
+//!   micro-benchmark (2 GB Lambda instances).
+//! * **pybbs** — an enterprise forum (24 692 classes). We reproduce its
+//!   *comment* request: a ~20-deep generated interceptor chain,
+//!   `MethodInterceptor` stubs with 31 implementations (§2.2), the native
+//!   invocation mix of Table 2 (226 643 pure on-heap, 34 749 hidden-state,
+//!   248 network, 415 stateless per request), 80+ database rounds (§3.3),
+//!   and synchronized shared counters (7 sync points, Table 5).
+//! * **blog** — SpringBlog (18 493 classes); the *archive* request fetches
+//!   many records, making it I/O-intensive.
+//!
+//! Each application is built at a chosen [`Fidelity`]: `Full` reproduces the
+//! exact per-request native counts (used for Tables 2 and 5 and the GC
+//! study); `Scaled(k)` divides bulk native loops and allocation churn by `k`
+//! while preserving the request's total CPU demand — latency and throughput
+//! experiments over hundreds of thousands of requests stay fast without
+//! changing the request's resource profile. The CPU budget is enforced by a
+//! calibration run at build time that sizes the padding work.
+
+#![warn(missing_docs)]
+
+pub mod framework;
+pub mod natives;
+pub mod spec;
+
+mod build;
+
+pub use build::App;
+pub use spec::{AppKind, AppSpec, Fidelity};

@@ -1,0 +1,99 @@
+//! The JDK native methods the applications use, in the paper's taxonomy
+//! (§3.2, Table 2).
+
+use beehive_sim::Duration;
+use beehive_vm::natives::{NativeCategory, NativeEffect};
+use beehive_vm::program::ProgramBuilder;
+use beehive_vm::NativeId;
+
+/// Handles to the registered native methods.
+#[derive(Clone, Copy, Debug)]
+pub struct NativeSet {
+    /// `System.arraycopy` — pure on-heap bulk copy.
+    pub arraycopy: NativeId,
+    /// `String.hashCode`-style pure on-heap helper.
+    pub string_hash: NativeId,
+    /// `MethodAccessor.invoke0` — reflection with hidden native state.
+    pub invoke0: NativeId,
+    /// `socketWrite0` — network I/O on a connection.
+    pub socket_write: NativeId,
+    /// `Thread.currentThread` — stateless.
+    pub current_thread: NativeId,
+    /// `System.nanoTime` — stateless.
+    pub nano_time: NativeId,
+    /// `FileInputStream.read0` — non-offloadable local file access.
+    pub file_read: NativeId,
+}
+
+impl NativeSet {
+    /// Register the set into a program under construction.
+    pub fn register(pb: &mut ProgramBuilder) -> NativeSet {
+        NativeSet {
+            arraycopy: pb.native(
+                "System.arraycopy",
+                NativeCategory::PureOnHeap,
+                Duration::from_nanos(55),
+                NativeEffect::ArrayCopy,
+            ),
+            string_hash: pb.native(
+                "String.hashCode",
+                NativeCategory::PureOnHeap,
+                Duration::from_nanos(30),
+                NativeEffect::Nop,
+            ),
+            invoke0: pb.native(
+                "MethodAccessor.invoke0",
+                NativeCategory::HiddenState,
+                Duration::from_nanos(180),
+                NativeEffect::ReflectInvoke,
+            ),
+            socket_write: pb.native(
+                "socketWrite0",
+                NativeCategory::Network,
+                Duration::from_nanos(400),
+                NativeEffect::SocketIo,
+            ),
+            current_thread: pb.native(
+                "Thread.currentThread",
+                NativeCategory::Stateless,
+                Duration::from_nanos(15),
+                NativeEffect::PushToken(1),
+            ),
+            nano_time: pb.native(
+                "System.nanoTime",
+                NativeCategory::Stateless,
+                Duration::from_nanos(25),
+                NativeEffect::PushToken(7),
+            ),
+            file_read: pb.native(
+                "FileInputStream.read0",
+                NativeCategory::NonOffloadable,
+                Duration::from_micros(3),
+                NativeEffect::FileAccess,
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registers_all_categories() {
+        let mut pb = ProgramBuilder::new();
+        let n = NativeSet::register(&mut pb);
+        let p = pb.finish();
+        assert_eq!(p.native(n.arraycopy).category, NativeCategory::PureOnHeap);
+        assert_eq!(p.native(n.invoke0).category, NativeCategory::HiddenState);
+        assert_eq!(p.native(n.socket_write).category, NativeCategory::Network);
+        assert_eq!(
+            p.native(n.current_thread).category,
+            NativeCategory::Stateless
+        );
+        assert_eq!(
+            p.native(n.file_read).category,
+            NativeCategory::NonOffloadable
+        );
+    }
+}

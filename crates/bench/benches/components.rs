@@ -1,0 +1,223 @@
+//! Component benchmarks: the building blocks behind every figure.
+//!
+//! | Bench | Feeds |
+//! |---|---|
+//! | `request/server/*` | Fig 2, Fig 8 (vanilla curves) |
+//! | `request/offload/*` | Fig 8, Table 4, Table 5 |
+//! | `closure/instantiate` | §5.6 shadow breakdown, Table 5 (shadow rows) |
+//! | `gc/collect` | §5.6 GC study |
+//! | `sync/handoff` | Table 5 (sync fallbacks), Fig 6 mechanics |
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use beehive_apps::{App, AppKind, Fidelity};
+use beehive_core::config::BeeHiveConfig;
+use beehive_core::{FunctionRuntime, OffloadSession, ServerRuntime, ServerSession, SessionStep};
+use beehive_db::Database;
+use beehive_proxy::Proxy;
+use beehive_vm::heap::Space;
+use beehive_vm::{ClassId, CostModel, Value};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn fresh_server(app: &App) -> ServerRuntime {
+    let mut server = ServerRuntime::new(
+        Arc::clone(&app.program),
+        BeeHiveConfig::default(),
+        Proxy::new(Database::new()),
+        CostModel::default(),
+    );
+    app.install(&mut server);
+    server
+}
+
+fn drive_server(server: &mut ServerRuntime, session: &mut ServerSession) -> Value {
+    loop {
+        match session.next(server) {
+            SessionStep::Need(_) => {}
+            SessionStep::ServerGc => {
+                let pause = server.vm.collect(&mut [session.execution_mut()], &mut []).pause;
+                session.gc_done(pause);
+            }
+            SessionStep::SyncFromPeer { peer, monitor } => {
+                let _ = (peer, monitor);
+                unreachable!("no peers in component benches")
+            }
+            SessionStep::AwaitLock { .. } => {
+                unreachable!("no concurrent lock hand-offs in this driver")
+            }
+            SessionStep::Finished(v) => return v,
+        }
+    }
+}
+
+fn drive_offload(
+    server: &mut ServerRuntime,
+    session: &mut OffloadSession,
+    funcs: &mut HashMap<u32, FunctionRuntime>,
+) -> Value {
+    loop {
+        let id = session.function_id;
+        let mut f = funcs.remove(&id).unwrap();
+        let step = session.next(server, &mut f);
+        funcs.insert(id, f);
+        match step {
+            SessionStep::Need(_) => {}
+            SessionStep::SyncFromPeer { peer, monitor } => {
+                let p = funcs.get_mut(&peer).unwrap();
+                let objs = server.pull_dirty_from(p).0;
+                if let Some(c) = monitor {
+                    server.revoke_peer_monitor(p, c);
+                }
+                session.deliver_peer_objects(objs);
+            }
+            SessionStep::ServerGc => unreachable!(),
+            SessionStep::AwaitLock { .. } => {
+                unreachable!("no concurrent lock hand-offs in this driver")
+            }
+            SessionStep::Finished(v) => return v,
+        }
+    }
+}
+
+fn bench_server_request(c: &mut Criterion) {
+    let mut g = c.benchmark_group("request/server");
+    for kind in AppKind::all() {
+        let app = App::build(kind, Fidelity::Scaled(2048));
+        let mut server = fresh_server(&app);
+        let mut arg = 0i64;
+        g.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                arg = (arg + 1) % 997;
+                let mut s = ServerSession::start(&mut server, app.root, vec![Value::I64(arg)]);
+                drive_server(&mut server, &mut s)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_offload_request(c: &mut Criterion) {
+    let mut g = c.benchmark_group("request/offload");
+    for kind in AppKind::all() {
+        let app = App::build(kind, Fidelity::Scaled(2048));
+        let mut server = fresh_server(&app);
+        let mut funcs = HashMap::new();
+        funcs.insert(0, FunctionRuntime::new(0, &app.program, CostModel::default()));
+        // Warm the instance (closure + refinement) once.
+        let net = server.config.net;
+        let mut warm = OffloadSession::start(
+            &mut server,
+            funcs.get_mut(&0).unwrap(),
+            app.root,
+            vec![Value::I64(1)],
+            false,
+            net,
+            false,
+        );
+        drive_offload(&mut server, &mut warm, &mut funcs);
+        let mut arg = 0i64;
+        g.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                arg = (arg + 1) % 997;
+                let mut s = {
+                    let f = funcs.get_mut(&0).unwrap();
+                    OffloadSession::start(&mut server, f, app.root, vec![Value::I64(arg)], false, net, false)
+                };
+                drive_offload(&mut server, &mut s, &mut funcs)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_closure_instantiation(c: &mut Criterion) {
+    let app = App::build(AppKind::Pybbs, Fidelity::Scaled(2048));
+    let mut server = fresh_server(&app);
+    // Refine the plan first so the closure is the steady-state one.
+    let mut funcs = HashMap::new();
+    funcs.insert(0, FunctionRuntime::new(0, &app.program, CostModel::default()));
+    let net = server.config.net;
+    let mut warm = OffloadSession::start(
+        &mut server,
+        funcs.get_mut(&0).unwrap(),
+        app.root,
+        vec![Value::I64(1)],
+        true,
+        net,
+        false,
+    );
+    drive_offload(&mut server, &mut warm, &mut funcs);
+
+    let mut next_id = 10u32;
+    c.bench_function("closure/instantiate", |b| {
+        b.iter(|| {
+            let mut f = FunctionRuntime::new(next_id, &app.program, CostModel::default());
+            next_id += 1;
+            let stats = server.instantiate_closure(&mut f, app.root);
+            server.remove_mapping(f.id);
+            stats.bytes
+        })
+    });
+}
+
+fn bench_gc(c: &mut Criterion) {
+    let app = App::build(AppKind::Pybbs, Fidelity::Scaled(2048));
+    let program = Arc::clone(&app.program);
+    let churn_class = (0..program.class_count() as u32)
+        .map(ClassId)
+        .find(|&cl| program.class(cl).name == "RequestScopedBean")
+        .unwrap();
+    let mut vm = beehive_vm::VmInstance::function(&program, CostModel::default());
+    c.bench_function("gc/collect", |b| {
+        b.iter(|| {
+            // Fill ~2 MB of young objects, then collect with no roots.
+            for _ in 0..20_000 {
+                if vm
+                    .heap
+                    .alloc_object(churn_class, 9, Space::Alloc)
+                    .is_none()
+                {
+                    break;
+                }
+            }
+            vm.collect(&mut [], &mut []).pause
+        })
+    });
+}
+
+fn bench_sync_handoff(c: &mut Criterion) {
+    // A request whose only expensive step is the monitor sync: measure the
+    // hand-off machinery (pull dirty, refresh, ownership transfer).
+    let app = App::build(AppKind::Thumbnail, Fidelity::Scaled(8192));
+    let mut server = fresh_server(&app);
+    let mut funcs = HashMap::new();
+    let net = server.config.net;
+    for id in 0..2u32 {
+        funcs.insert(id, FunctionRuntime::new(id, &app.program, CostModel::default()));
+        let mut warm = {
+            let f = funcs.get_mut(&id).unwrap();
+            OffloadSession::start(&mut server, f, app.root, vec![Value::I64(1)], false, net, false)
+        };
+        drive_offload(&mut server, &mut warm, &mut funcs);
+    }
+    let mut which = 0u32;
+    c.bench_function("sync/handoff", |b| {
+        b.iter(|| {
+            which ^= 1; // alternate instances so the lock always moves
+            let mut s = {
+                let f = funcs.get_mut(&which).unwrap();
+                OffloadSession::start(&mut server, f, app.root, vec![Value::I64(2)], false, net, false)
+            };
+            drive_offload(&mut server, &mut s, &mut funcs)
+        })
+    });
+}
+
+criterion_group! {
+    name = components;
+    config = Criterion::default().sample_size(20);
+    targets = bench_server_request, bench_offload_request,
+              bench_closure_instantiation, bench_gc, bench_sync_handoff
+}
+criterion_main!(components);

@@ -1,0 +1,1 @@
+//! repro harness lib (bench targets live in benches/)

@@ -1,0 +1,183 @@
+//! `repro` — regenerate every table and figure of the BeeHive paper.
+//!
+//! ```text
+//! repro [--quick] [--seed N] [all|fig2|table1|table2|fig7|table3|fig8|fig9|
+//!                             table4|fig10|table5|gcstats|shadow|ablations|combination]
+//! ```
+//!
+//! Without a subcommand, everything runs in paper order. `--quick` shortens
+//! horizons (the same mode the test suite and Criterion benches use); the
+//! default horizons match the paper's (e.g. 180 s burst windows).
+
+use beehive_apps::AppKind;
+use beehive_scaling::table1;
+use beehive_workload::experiment::{
+    ablation::ablation,
+    combination::combination,
+    breakdown::{gc_stats, shadow_breakdown},
+    fig2::fig2,
+    fig7::fig7,
+    fig8::fig8,
+    fig9::fig9,
+    slo::{fig10, table4},
+    table2::table2,
+    table5::table5,
+    Profile,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut profile = Profile::full();
+    let mut cmds: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => profile.quick = true,
+            "--seed" => {
+                profile.seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "repro [--quick] [--seed N] [all|fig2|table1|table2|fig7|table3|fig8|fig9|table4|fig10|table5|gcstats|shadow|ablations|combination]"
+                );
+                return;
+            }
+            other => cmds.push(other.to_string()),
+        }
+    }
+    if cmds.is_empty() {
+        cmds.push("all".into());
+    }
+
+    let all = cmds.iter().any(|c| c == "all");
+    let want = |name: &str| all || cmds.iter().any(|c| c == name);
+    let apps = AppKind::all();
+
+    if want("table1") {
+        banner("Table 1 — scaling solutions compared");
+        println!(
+            "{:<14} {:<18} {:<14} {:<16} {:<12} {}",
+            "Solution", "Min running time", "Billing", "Preparation", "Config", "Auto-scaling"
+        );
+        for row in table1() {
+            println!(
+                "{:<14} {:<18} {:<14} {:<16} {:<12} {}",
+                row.name,
+                row.min_running_time,
+                row.billing_granularity,
+                row.preparation_time,
+                row.config_granularity,
+                if row.auto_scaling { "yes" } else { "no" }
+            );
+        }
+    }
+
+    if want("fig2") {
+        banner("Figure 2");
+        println!("{}", fig2(profile));
+    }
+
+    if want("table2") {
+        banner("Table 2");
+        println!("{}", table2());
+    }
+
+    if want("fig7") || want("table3") {
+        banner("Figure 7 + Table 3");
+        let mut table3: Vec<(AppKind, Vec<(String, f64)>)> = Vec::new();
+        for kind in apps {
+            let rep = fig7(kind, profile);
+            println!("{rep}");
+            table3.push((
+                kind,
+                rep.rows
+                    .iter()
+                    .map(|r| (r.strategy.label().to_string(), r.scaling_cost))
+                    .collect(),
+            ));
+        }
+        println!("Table 3 — financial cost ($) for scaling in Figure 7");
+        if let Some((_, first)) = table3.first() {
+            print!("{:<22}", "Scaling solutions");
+            for (k, _) in &table3 {
+                print!("{:>12}", k.name());
+            }
+            println!();
+            for (i, (label, _)) in first.iter().enumerate() {
+                print!("{:<22}", label);
+                for (_, costs) in &table3 {
+                    print!("{:>12.4}", costs[i].1);
+                }
+                println!();
+            }
+        }
+    }
+
+    if want("fig8") {
+        banner("Figure 8");
+        for kind in apps {
+            println!("{}", fig8(kind, profile));
+        }
+    }
+
+    if want("fig9") {
+        banner("Figure 9");
+        println!("{}", fig9(AppKind::Pybbs, profile));
+        if !profile.quick {
+            for kind in [AppKind::Blog, AppKind::Thumbnail] {
+                println!("{}", fig9(kind, profile));
+            }
+        }
+    }
+
+    if want("table4") {
+        banner("Table 4");
+        println!("{}", table4(&apps, profile));
+    }
+
+    if want("fig10") {
+        banner("Figure 10");
+        println!("{}", fig10(profile));
+    }
+
+    if want("table5") {
+        banner("Table 5");
+        println!("{}", table5(&apps, profile));
+    }
+
+    if want("gcstats") {
+        banner("§5.6 — memory consumption and GC");
+        println!("{}", gc_stats(&apps, profile));
+    }
+
+    if want("shadow") {
+        banner("§5.6 — shadow execution");
+        for kind in apps {
+            println!("{}", shadow_breakdown(kind, profile));
+        }
+    }
+
+    if want("ablations") {
+        banner("Ablations");
+        println!("{}", ablation(AppKind::Pybbs, profile));
+    }
+
+    if want("combination") {
+        banner("§5.7 — combination mode");
+        println!("{}", combination(AppKind::Pybbs, profile));
+    }
+}
+
+fn banner(title: &str) {
+    println!("\n{}", "=".repeat(74));
+    println!("{title}");
+    println!("{}", "=".repeat(74));
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2)
+}

@@ -1,0 +1,130 @@
+//! BeeHive configuration: network profile, fallback costs, feature toggles
+//! for the ablations.
+
+use beehive_sim::Duration;
+
+/// One-way latencies and bandwidth between the three endpoints.
+#[derive(Clone, Copy, Debug)]
+pub struct NetProfile {
+    /// One-way latency function ↔ server.
+    pub function_server: Duration,
+    /// One-way latency function ↔ database proxy.
+    pub function_db: Duration,
+    /// One-way latency server ↔ database proxy.
+    pub server_db: Duration,
+    /// Bulk-transfer bandwidth in bytes per second (closures, classes,
+    /// fetched objects).
+    pub bandwidth_bps: u64,
+    /// Per-invocation platform overhead (controller/invoker path on
+    /// OpenWhisk, the invoke API on Lambda). Zero for non-FaaS paths.
+    pub dispatch_latency: Duration,
+}
+
+impl NetProfile {
+    /// Intra-AZ EC2 profile used for server-side runs (sub-millisecond).
+    pub fn intra_az() -> Self {
+        NetProfile {
+            function_server: Duration::from_micros(120),
+            function_db: Duration::from_micros(120),
+            server_db: Duration::from_micros(100),
+            bandwidth_bps: 1_000_000_000 / 8, // 1 Gb/s
+            dispatch_latency: Duration::ZERO,
+        }
+    }
+
+    /// Time to move `bytes` over the bulk link (excluding latency).
+    pub fn transfer(&self, bytes: u64) -> Duration {
+        Duration::from_nanos(bytes.saturating_mul(1_000_000_000) / self.bandwidth_bps)
+    }
+}
+
+/// Tunables and feature toggles of the BeeHive runtime.
+#[derive(Clone, Copy, Debug)]
+pub struct BeeHiveConfig {
+    /// Network profile between endpoints.
+    pub net: NetProfile,
+    /// Server CPU time to service one fallback request (lookup + reply).
+    pub fallback_handle_cost: Duration,
+    /// Server CPU time to coordinate one synchronization (lock grant +
+    /// address translation base cost, §4.2).
+    pub sync_base_cost: Duration,
+    /// Server CPU time per translated/shipped object during sync.
+    pub per_object_sync_cost: Duration,
+    /// Server CPU cost to compute an initial closure, per included object.
+    pub closure_per_object_cost: Duration,
+    /// Server CPU cost to compute an initial closure, per included class.
+    pub closure_per_class_cost: Duration,
+    /// Fixed part of closure computation.
+    pub closure_base_cost: Duration,
+    /// §3.2: pack native states into closures (`false` reproduces the
+    /// COMET-style ablation where every hidden-state native falls back).
+    pub packageable_enabled: bool,
+    /// §3.3: share connections through the proxy (`false` makes every DB
+    /// round trip fall back to the server).
+    pub proxy_enabled: bool,
+    /// §4.5: capture a recovery snapshot at every synchronization point.
+    pub recovery_enabled: bool,
+}
+
+impl Default for BeeHiveConfig {
+    fn default() -> Self {
+        BeeHiveConfig {
+            net: NetProfile::intra_az(),
+            fallback_handle_cost: Duration::from_micros(25),
+            sync_base_cost: Duration::from_micros(40),
+            per_object_sync_cost: Duration::from_micros(2),
+            // §5.6: computing initial closures averages 133.66 ms; dominated
+            // by graph traversal over thousands of objects/classes.
+            closure_per_object_cost: Duration::from_micros(40),
+            closure_per_class_cost: Duration::from_micros(120),
+            closure_base_cost: Duration::from_millis(2),
+            packageable_enabled: true,
+            proxy_enabled: true,
+            recovery_enabled: false,
+        }
+    }
+}
+
+impl BeeHiveConfig {
+    /// The COMET-style ablation: no native-state packaging (§3.2 motivation).
+    pub fn without_packageable(mut self) -> Self {
+        self.packageable_enabled = false;
+        self
+    }
+
+    /// Ablation: no proxy-based connection sharing (§3.3 motivation).
+    pub fn without_proxy(mut self) -> Self {
+        self.proxy_enabled = false;
+        self
+    }
+
+    /// Enable sync-point snapshots for failure recovery (§4.5).
+    pub fn with_recovery(mut self) -> Self {
+        self.recovery_enabled = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_scales_with_bytes() {
+        let net = NetProfile::intra_az();
+        let small = net.transfer(1_000);
+        let big = net.transfer(1_000_000);
+        assert!(big > small * 500);
+        // 1 MB over 1 Gb/s = 8 ms.
+        assert_eq!(net.transfer(1_000_000).as_millis(), 8);
+    }
+
+    #[test]
+    fn ablation_toggles() {
+        let c = BeeHiveConfig::default();
+        assert!(c.packageable_enabled && c.proxy_enabled && !c.recovery_enabled);
+        assert!(!c.without_packageable().packageable_enabled);
+        assert!(!c.without_proxy().proxy_enabled);
+        assert!(c.with_recovery().recovery_enabled);
+    }
+}

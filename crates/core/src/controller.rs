@@ -1,0 +1,107 @@
+//! The offloading-ratio controller (§3.1, §5.7).
+//!
+//! "The number of offloaded requests is determined by an *offloading ratio*,
+//! and BeeHive can scale in and out by setting the ratio." Setting the ratio
+//! to zero stops offloading entirely — the §5.7 combination mode hands the
+//! burst back to freshly provisioned on-demand instances this way.
+
+/// Deterministic per-request offload decision maker.
+///
+/// Uses an error-accumulator (Bresenham-style) instead of randomness so that
+/// a ratio of 0.5 offloads *exactly* every other request, keeping experiment
+/// runs reproducible.
+#[derive(Clone, Debug)]
+pub struct OffloadController {
+    ratio: f64,
+    acc: f64,
+}
+
+impl OffloadController {
+    /// A controller offloading `ratio` of requests (clamped to `[0, 1]`).
+    pub fn new(ratio: f64) -> Self {
+        OffloadController {
+            ratio: ratio.clamp(0.0, 1.0),
+            acc: 0.0,
+        }
+    }
+
+    /// The current ratio.
+    pub fn ratio(&self) -> f64 {
+        self.ratio
+    }
+
+    /// Set the ratio (clamped to `[0, 1]`).
+    pub fn set_ratio(&mut self, ratio: f64) {
+        self.ratio = ratio.clamp(0.0, 1.0);
+    }
+
+    /// Decide whether the next request is offloaded.
+    pub fn decide(&mut self) -> bool {
+        self.acc += self.ratio;
+        if self.acc >= 1.0 {
+            self.acc -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Scale out: raise the ratio by `step`.
+    pub fn scale_out(&mut self, step: f64) {
+        self.set_ratio(self.ratio + step);
+    }
+
+    /// Scale in: lower the ratio by `step`.
+    pub fn scale_in(&mut self, step: f64) {
+        self.set_ratio(self.ratio - step);
+    }
+}
+
+impl Default for OffloadController {
+    fn default() -> Self {
+        Self::new(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count_offloaded(ratio: f64, n: usize) -> usize {
+        let mut c = OffloadController::new(ratio);
+        (0..n).filter(|_| c.decide()).count()
+    }
+
+    #[test]
+    fn zero_ratio_never_offloads() {
+        assert_eq!(count_offloaded(0.0, 1000), 0);
+    }
+
+    #[test]
+    fn full_ratio_always_offloads() {
+        assert_eq!(count_offloaded(1.0, 1000), 1000);
+    }
+
+    #[test]
+    fn half_ratio_alternates_exactly() {
+        let mut c = OffloadController::new(0.5);
+        let pattern: Vec<bool> = (0..6).map(|_| c.decide()).collect();
+        assert_eq!(pattern, vec![false, true, false, true, false, true]);
+    }
+
+    #[test]
+    fn fractional_ratios_hit_expected_counts() {
+        assert_eq!(count_offloaded(0.25, 1000), 250);
+        assert_eq!(count_offloaded(0.75, 1000), 750);
+    }
+
+    #[test]
+    fn ratio_is_clamped() {
+        let mut c = OffloadController::new(7.0);
+        assert_eq!(c.ratio(), 1.0);
+        c.scale_in(5.0);
+        assert_eq!(c.ratio(), 0.0);
+        c.scale_out(0.3);
+        assert!((c.ratio() - 0.3).abs() < 1e-12);
+    }
+}

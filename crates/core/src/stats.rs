@@ -1,0 +1,116 @@
+//! Fallback and session statistics (the raw material of Table 5 and §5.6).
+
+use beehive_sim::Duration;
+
+/// Per-request (per-session) statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Missing-code fallbacks (class fetches).
+    pub fallbacks_code: u64,
+    /// Missing-data fallbacks (object fetches, including statics).
+    pub fallbacks_data: u64,
+    /// Synchronization fallbacks (monitor hand-offs, volatile syncs).
+    pub fallbacks_sync: u64,
+    /// Native-method fallbacks.
+    pub fallbacks_native: u64,
+    /// Database round trips that had to fall back to the server (connection
+    /// not packaged / proxy disabled).
+    pub fallbacks_db: u64,
+    /// Wall time spent on fallback round trips (network + server handling).
+    pub fallback_overhead: Duration,
+    /// Wall time spent fetching remote code/data specifically.
+    pub fetch_overhead: Duration,
+    /// Objects shipped at synchronization points.
+    pub synchronized_objects: u64,
+    /// Database round trips executed (either directly via the proxy or by
+    /// fallback).
+    pub db_rounds: u64,
+    /// Closure transfer size (first dispatch on a fresh instance).
+    pub closure_bytes: u64,
+    /// Objects in the initial closure.
+    pub closure_objects: u64,
+    /// Classes in the initial closure.
+    pub closure_classes: u64,
+    /// Server CPU time spent computing the initial closure.
+    pub closure_compute: Duration,
+    /// Dirty objects shipped back at completion.
+    pub completion_dirty: u64,
+    /// Recovery snapshots taken (§4.5).
+    pub snapshots: u64,
+    /// Re-executions after an injected failure.
+    pub recoveries: u64,
+}
+
+impl SessionStats {
+    /// Total fallbacks of all kinds.
+    pub fn total_fallbacks(&self) -> u64 {
+        self.fallbacks_code
+            + self.fallbacks_data
+            + self.fallbacks_sync
+            + self.fallbacks_native
+            + self.fallbacks_db
+    }
+
+    /// Remote code+data fetches (the "Remote fetching" row of Table 5).
+    pub fn remote_fetches(&self) -> u64 {
+        self.fallbacks_code + self.fallbacks_data
+    }
+
+    /// Accumulate another session's counters (for averaging).
+    pub fn absorb(&mut self, other: &SessionStats) {
+        self.fallbacks_code += other.fallbacks_code;
+        self.fallbacks_data += other.fallbacks_data;
+        self.fallbacks_sync += other.fallbacks_sync;
+        self.fallbacks_native += other.fallbacks_native;
+        self.fallbacks_db += other.fallbacks_db;
+        self.fallback_overhead += other.fallback_overhead;
+        self.fetch_overhead += other.fetch_overhead;
+        self.synchronized_objects += other.synchronized_objects;
+        self.db_rounds += other.db_rounds;
+        self.closure_bytes += other.closure_bytes;
+        self.closure_objects += other.closure_objects;
+        self.closure_classes += other.closure_classes;
+        self.closure_compute += other.closure_compute;
+        self.completion_dirty += other.completion_dirty;
+        self.snapshots += other.snapshots;
+        self.recoveries += other.recoveries;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals() {
+        let s = SessionStats {
+            fallbacks_code: 1,
+            fallbacks_data: 2,
+            fallbacks_sync: 3,
+            fallbacks_native: 4,
+            fallbacks_db: 5,
+            ..Default::default()
+        };
+        assert_eq!(s.total_fallbacks(), 15);
+        assert_eq!(s.remote_fetches(), 3);
+    }
+
+    #[test]
+    fn absorb_sums() {
+        let mut a = SessionStats {
+            fallbacks_sync: 1,
+            synchronized_objects: 10,
+            ..Default::default()
+        };
+        let b = SessionStats {
+            fallbacks_sync: 2,
+            synchronized_objects: 20,
+            fallback_overhead: Duration::from_millis(1),
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.fallbacks_sync, 3);
+        assert_eq!(a.synchronized_objects, 30);
+        assert_eq!(a.fallback_overhead, Duration::from_millis(1));
+    }
+}

@@ -1,0 +1,610 @@
+//! End-to-end tests of the fallback protocol: a miniature web application is
+//! offloaded to function instances and driven through every fallback type —
+//! missing code, remote data, statics, monitor synchronization, proxied and
+//! fallen-back database rounds, shadow execution, and failure recovery.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use beehive_core::config::BeeHiveConfig;
+use beehive_core::{FunctionRuntime, OffloadSession, ServerRuntime, ServerSession, SessionStep};
+use beehive_db::{Database, QueryDef, QueryKind};
+use beehive_proxy::Proxy;
+use beehive_sim::Duration;
+use beehive_vm::class::{PackKind, PackSpec};
+use beehive_vm::program::{Program, ProgramBuilder};
+use beehive_vm::{Asm, ClassId, CostModel, MethodId, StaticSlot, Value};
+
+/// The mini application: a root handler that
+/// 1. calls a framework helper (separate class → missing-code fallback),
+/// 2. reads a shared config object through a static (data fallbacks),
+/// 3. increments a synchronized counter (monitor sync),
+/// 4. runs two DB reads and one insert over a pooled connection,
+/// 5. returns a value derived from all of the above.
+struct MiniApp {
+    program: Arc<Program>,
+    root: MethodId,
+    conn_static: StaticSlot,
+    config_static: StaticSlot,
+    counter_static: StaticSlot,
+    node: ClassId,
+    read_q: u16,
+    insert_q: u16,
+}
+
+fn build_app() -> (MiniApp, Database) {
+    let mut pb = ProgramBuilder::new();
+    let app = pb.user_class("CommentController", 0, Some("@RestController"));
+    let helper = pb.framework_class("SpringDispatcher", 0);
+    let node = pb.user_class("Config", 2, None);
+    let _counter_class = pb.user_class("Counter", 1, None);
+    let sock = pb.jdk_class("SocketImpl", 1);
+    pb.make_packageable(
+        sock,
+        PackSpec {
+            handle_slot: 0,
+            kind: PackKind::Socket,
+            marshalled_bytes: 64,
+        },
+    );
+
+    let conn_static = pb.static_slot("CONNECTION_POOL");
+    let config_static = pb.static_slot("APP_CONFIG");
+    let counter_static = pb.static_slot("COMMENT_COUNTER");
+
+    // helper: returns its argument doubled (framework-side work).
+    let mut h = Asm::new();
+    h.load(0).const_i(2).mul().return_val();
+    let helper_m = pb.method(helper, "dispatch", 1, 0, h.finish());
+
+    // root(topic_id):
+    //   base = Dispatcher.dispatch(topic_id)
+    //   cfg  = APP_CONFIG.f0   (remote object on first access)
+    //   synchronized(COMMENT_COUNTER) { COMMENT_COUNTER.f0 += 1 }
+    //   conn = CONNECTION_POOL
+    //   v1 = read(topic_id); insert(v1);
+    //   return base + cfg + v1 + counter
+    let mut a = Asm::new();
+    a.load(0).call(helper_m).store(1); // base in local 1
+    a.get_static(config_static).get_field(0).store(2); // cfg value in local 2
+    // synchronized counter increment
+    a.get_static(counter_static).store(3);
+    a.load(3).monitor_enter();
+    a.load(3).load(3).get_field(0).const_i(1).add().put_field(0);
+    a.load(3).monitor_exit();
+    // db rounds over the pooled connection (local 4)
+    a.get_static(conn_static).store(4);
+    a.load(0).db_call(4, 0).store(5); // read(topic) -> v1
+    a.load(5).db_call(4, 1).pop(); // insert(v1)
+    // result
+    a.load(1).load(2).add().load(5).add();
+    a.load(3).get_field(0).add().return_val();
+    let root = pb.method_annotated(app, "comment", 1, 6, a.finish(), Some("@PostMapping"));
+
+    let program = Arc::new(pb.finish());
+
+    let mut db = Database::new();
+    db.seed(0, 100, |k| k * 10);
+    let read_q = db.prepare(QueryDef {
+        name: "read_topic".into(),
+        kind: QueryKind::PointRead { table: 0 },
+        base_cost: Duration::from_micros(60),
+        per_row: Duration::from_micros(5),
+    });
+    let insert_q = db.prepare(QueryDef {
+        name: "insert_comment".into(),
+        kind: QueryKind::Insert { table: 1 },
+        base_cost: Duration::from_micros(90),
+        per_row: Duration::from_micros(5),
+    });
+
+    (
+        MiniApp {
+            program,
+            root,
+            conn_static,
+            config_static,
+            counter_static,
+            node,
+            read_q,
+            insert_q,
+        },
+        db,
+    )
+}
+
+fn setup(config: BeeHiveConfig) -> (MiniApp, ServerRuntime) {
+    let (app, db) = build_app();
+    let mut server = ServerRuntime::new(
+        Arc::clone(&app.program),
+        config,
+        Proxy::new(db),
+        CostModel::default(),
+    );
+    // Application init: shared state in stable space.
+    let sock_class = app.program.method_by_name("SocketImpl.init").map(|_| ());
+    let _ = sock_class;
+    let sock = find_class(&app.program, "SocketImpl");
+    let conn = server.create_connection(sock);
+    server.vm.set_static(app.conn_static, Value::Ref(conn));
+
+    let cfg = server
+        .vm
+        .heap
+        .alloc_object(app.node, 2, beehive_vm::heap::Space::Closure)
+        .unwrap();
+    server.vm.heap.set(cfg, 0, Value::I64(1000));
+    server.vm.set_static(app.config_static, Value::Ref(cfg));
+
+    let counter_class = find_class(&app.program, "Counter");
+    let counter = server
+        .vm
+        .heap
+        .alloc_object(counter_class, 1, beehive_vm::heap::Space::Closure)
+        .unwrap();
+    server.vm.heap.set(counter, 0, Value::I64(0));
+    server.vm.set_static(app.counter_static, Value::Ref(counter));
+
+    let _ = (app.read_q, app.insert_q);
+    (app, server)
+}
+
+fn find_class(program: &Program, name: &str) -> ClassId {
+    (0..program.class_count() as u32)
+        .map(ClassId)
+        .find(|&c| program.class(c).name == name)
+        .expect("class exists")
+}
+
+/// Drive a server session to completion, returning (value, total time).
+fn drive_server(server: &mut ServerRuntime, session: &mut ServerSession) -> (Value, Duration) {
+    let mut total = Duration::ZERO;
+    loop {
+        match session.next(server) {
+            SessionStep::Need(n) => total += n.amount,
+            SessionStep::ServerGc => {
+                let pause = server
+                    .vm
+                    .collect(&mut [session.execution_mut()], &mut [])
+                    .pause;
+                session.gc_done(pause);
+            }
+            SessionStep::SyncFromPeer { .. } => {
+                panic!("single-endpoint test has no peers")
+            }
+            SessionStep::AwaitLock { .. } => {
+                unreachable!("no concurrent lock hand-offs in this driver")
+            }
+            SessionStep::Finished(v) => return (v, total),
+        }
+    }
+}
+
+/// Drive an offload session to completion against a set of function
+/// instances (the session's own instance plus possible sync peers).
+fn drive_offload(
+    server: &mut ServerRuntime,
+    session: &mut OffloadSession,
+    funcs: &mut HashMap<u32, FunctionRuntime>,
+) -> (Value, Duration) {
+    let mut total = Duration::ZERO;
+    loop {
+        let id = session.function_id;
+        let mut func = funcs.remove(&id).expect("instance exists");
+        let step = session.next(server, &mut func);
+        funcs.insert(id, func);
+        match step {
+            SessionStep::Need(n) => total += n.amount,
+            SessionStep::SyncFromPeer { peer, monitor } => {
+                let p = funcs.get_mut(&peer).expect("peer exists");
+                let (objs, _) = server.pull_dirty_from(p);
+                if let Some(canonical) = monitor {
+                    server.revoke_peer_monitor(p, canonical);
+                }
+                session.deliver_peer_objects(objs);
+            }
+            SessionStep::ServerGc => unreachable!("offload sessions collect inline"),
+            SessionStep::AwaitLock { .. } => {
+                unreachable!("no concurrent lock hand-offs in this driver")
+            }
+            SessionStep::Finished(v) => return (v, total),
+        }
+    }
+}
+
+fn expected_result(topic: i64, invocation: i64) -> i64 {
+    // base = 2*topic, cfg = 1000, v1 = topic*10, counter = invocation count
+    2 * topic + 1000 + topic * 10 + invocation
+}
+
+#[test]
+fn server_execution_computes_the_reference_result() {
+    let (app, mut server) = setup(BeeHiveConfig::default());
+    let mut s = ServerSession::start(&mut server, app.root, vec![Value::I64(7)]);
+    let (v, total) = drive_server(&mut server, &mut s);
+    assert_eq!(v, Value::I64(expected_result(7, 1)));
+    assert!(total > Duration::ZERO);
+    assert_eq!(s.stats.db_rounds, 2);
+    assert_eq!(s.stats.total_fallbacks(), 0, "no fallbacks on the server");
+    // The insert landed.
+    assert_eq!(server.proxy.db().table_len(1), 1);
+}
+
+#[test]
+fn offloaded_execution_matches_server_result_via_fallbacks() {
+    let (app, mut server) = setup(BeeHiveConfig::default());
+    let mut funcs = HashMap::new();
+    funcs.insert(0, FunctionRuntime::new(0, &app.program, CostModel::default()));
+
+    let net = server.config.net;
+    let mut s = OffloadSession::start(
+        &mut server,
+        funcs.get_mut(&0).unwrap(),
+        app.root,
+        vec![Value::I64(7)],
+        false,
+        net,
+        false,
+    );
+    let (v, _) = drive_offload(&mut server, &mut s, &mut funcs);
+    assert_eq!(v, Value::I64(expected_result(7, 1)));
+
+    // The first offloaded run needed fallbacks of several kinds.
+    assert!(s.stats.fallbacks_code >= 1, "framework class fetched");
+    assert!(s.stats.fallbacks_data >= 2, "statics/objects fetched");
+    assert_eq!(s.stats.fallbacks_sync, 1, "one monitor hand-off");
+    assert_eq!(s.stats.db_rounds, 2);
+    assert_eq!(s.stats.fallbacks_db, 0, "proxied connection, no DB fallback");
+    assert!(s.stats.fallback_overhead > Duration::ZERO);
+
+    // Side effects reached the server: counter incremented, insert landed.
+    let counter = server.vm.static_value(app.counter_static).as_ref().unwrap();
+    assert_eq!(server.vm.heap.get(counter, 0), Value::I64(1));
+    assert_eq!(server.proxy.db().table_len(1), 1);
+}
+
+#[test]
+fn warm_instance_has_no_fetch_fallbacks() {
+    let (app, mut server) = setup(BeeHiveConfig::default());
+    let mut funcs = HashMap::new();
+    funcs.insert(0, FunctionRuntime::new(0, &app.program, CostModel::default()));
+
+    let net = server.config.net;
+    let mut first = OffloadSession::start(
+        &mut server,
+        funcs.get_mut(&0).unwrap(),
+        app.root,
+        vec![Value::I64(1)],
+        false,
+        net,
+        false,
+    );
+    drive_offload(&mut server, &mut first, &mut funcs);
+    let first_fetches = first.stats.remote_fetches();
+    assert!(first_fetches > 0);
+
+    // Second request on the same warm instance: the closure is complete.
+    let net = server.config.net;
+    let mut second = OffloadSession::start(
+        &mut server,
+        funcs.get_mut(&0).unwrap(),
+        app.root,
+        vec![Value::I64(2)],
+        false,
+        net,
+        false,
+    );
+    let (v, _) = drive_offload(&mut server, &mut second, &mut funcs);
+    assert_eq!(v, Value::I64(expected_result(2, 2)));
+    assert_eq!(second.stats.remote_fetches(), 0, "closure fully refined");
+    // The instance retained monitor ownership from the first request (JMM:
+    // no hand-off needed when the same endpoint re-acquires), so steady
+    // state on one warm instance is fallback-free.
+    assert_eq!(second.stats.total_fallbacks(), 0);
+}
+
+#[test]
+fn refined_plan_makes_fresh_instances_fetch_free() {
+    let (app, mut server) = setup(BeeHiveConfig::default());
+    let mut funcs = HashMap::new();
+    funcs.insert(0, FunctionRuntime::new(0, &app.program, CostModel::default()));
+    let net = server.config.net;
+    let mut first = OffloadSession::start(
+        &mut server,
+        funcs.get_mut(&0).unwrap(),
+        app.root,
+        vec![Value::I64(1)],
+        false,
+        net,
+        false,
+    );
+    drive_offload(&mut server, &mut first, &mut funcs);
+
+    // A brand-new instance benefits from the refined plan (Table 5: steady
+    // state fallbacks are sync-only).
+    funcs.insert(1, FunctionRuntime::new(1, &app.program, CostModel::default()));
+    let net = server.config.net;
+    let mut fresh = OffloadSession::start(
+        &mut server,
+        funcs.get_mut(&1).unwrap(),
+        app.root,
+        vec![Value::I64(3)],
+        false,
+        net,
+        false,
+    );
+    let (v, _) = drive_offload(&mut server, &mut fresh, &mut funcs);
+    assert_eq!(v, Value::I64(expected_result(3, 2)));
+    assert_eq!(fresh.stats.remote_fetches(), 0);
+    assert!(fresh.stats.closure_objects >= 3, "closure carries the data now");
+    assert!(fresh.stats.closure_bytes > 0);
+}
+
+#[test]
+fn shadow_execution_suppresses_all_side_effects() {
+    let (app, mut server) = setup(BeeHiveConfig::default());
+    let mut funcs = HashMap::new();
+    funcs.insert(0, FunctionRuntime::new(0, &app.program, CostModel::default()));
+
+    let net = server.config.net;
+    let mut shadow = OffloadSession::start(
+        &mut server,
+        funcs.get_mut(&0).unwrap(),
+        app.root,
+        vec![Value::I64(5)],
+        true,
+        net,
+        true,
+    );
+    assert!(shadow.is_shadow());
+    let (v, _) = drive_offload(&mut server, &mut shadow, &mut funcs);
+    // The shadow computes a plausible result...
+    assert_eq!(v, Value::I64(expected_result(5, 1)));
+    // ...but neither the database nor server memory changed.
+    assert_eq!(server.proxy.db().table_len(1), 0, "insert suppressed");
+    let counter = server.vm.static_value(app.counter_static).as_ref().unwrap();
+    assert_eq!(
+        server.vm.heap.get(counter, 0),
+        Value::I64(0),
+        "memory side effects not shipped"
+    );
+    assert_eq!(server.stats.shadows, 1);
+
+    // And it refined the closure: the next real request on this instance is
+    // fetch-free.
+    let net = server.config.net;
+    let mut real = OffloadSession::start(
+        &mut server,
+        funcs.get_mut(&0).unwrap(),
+        app.root,
+        vec![Value::I64(5)],
+        false,
+        net,
+        false,
+    );
+    let (v, _) = drive_offload(&mut server, &mut real, &mut funcs);
+    assert_eq!(v, Value::I64(expected_result(5, 1)));
+    assert_eq!(real.stats.remote_fetches(), 0);
+    assert_eq!(server.proxy.db().table_len(1), 1);
+}
+
+#[test]
+fn db_fallback_when_proxy_disabled() {
+    let (app, mut server) = setup(BeeHiveConfig::default().without_proxy());
+    let mut funcs = HashMap::new();
+    funcs.insert(0, FunctionRuntime::new(0, &app.program, CostModel::default()));
+    let net = server.config.net;
+    let mut s = OffloadSession::start(
+        &mut server,
+        funcs.get_mut(&0).unwrap(),
+        app.root,
+        vec![Value::I64(7)],
+        false,
+        net,
+        false,
+    );
+    let (v, _) = drive_offload(&mut server, &mut s, &mut funcs);
+    assert_eq!(v, Value::I64(expected_result(7, 1)));
+    assert_eq!(s.stats.fallbacks_db, 2, "every DB round fell back");
+    assert_eq!(server.proxy.db().table_len(1), 1, "fallback writes still land");
+}
+
+#[test]
+fn cross_function_monitor_sync_ships_peer_state() {
+    let (app, mut server) = setup(BeeHiveConfig::default());
+    let mut funcs = HashMap::new();
+    funcs.insert(0, FunctionRuntime::new(0, &app.program, CostModel::default()));
+    funcs.insert(1, FunctionRuntime::new(1, &app.program, CostModel::default()));
+
+    // Function 0 runs first and ends up owning the counter's monitor.
+    let net = server.config.net;
+    let mut s0 = OffloadSession::start(
+        &mut server,
+        funcs.get_mut(&0).unwrap(),
+        app.root,
+        vec![Value::I64(1)],
+        false,
+        net,
+        false,
+    );
+    drive_offload(&mut server, &mut s0, &mut funcs);
+
+    // Function 1 must now sync through the server, pulling f0's state.
+    let net = server.config.net;
+    let mut s1 = OffloadSession::start(
+        &mut server,
+        funcs.get_mut(&1).unwrap(),
+        app.root,
+        vec![Value::I64(2)],
+        false,
+        net,
+        false,
+    );
+    let (v, _) = drive_offload(&mut server, &mut s1, &mut funcs);
+    assert_eq!(v, Value::I64(expected_result(2, 2)), "sees f0's increment");
+    assert!(s1.stats.synchronized_objects >= 1);
+
+    // And the server sees both increments after f1 completes.
+    let counter = server.vm.static_value(app.counter_static).as_ref().unwrap();
+    assert_eq!(server.vm.heap.get(counter, 0), Value::I64(2));
+}
+
+#[test]
+fn server_reacquires_monitor_from_function() {
+    let (app, mut server) = setup(BeeHiveConfig::default());
+    let mut funcs = HashMap::new();
+    funcs.insert(0, FunctionRuntime::new(0, &app.program, CostModel::default()));
+    let net = server.config.net;
+    let mut s0 = OffloadSession::start(
+        &mut server,
+        funcs.get_mut(&0).unwrap(),
+        app.root,
+        vec![Value::I64(1)],
+        false,
+        net,
+        false,
+    );
+    drive_offload(&mut server, &mut s0, &mut funcs);
+
+    // Now a server-side request needs the same monitor.
+    let mut s = ServerSession::start(&mut server, app.root, vec![Value::I64(3)]);
+    let mut total = Duration::ZERO;
+    let v = loop {
+        match s.next(&mut server) {
+            SessionStep::Need(n) => total += n.amount,
+            SessionStep::SyncFromPeer { peer, monitor } => {
+                let p = funcs.get_mut(&peer).expect("peer");
+                let _ = server.pull_dirty_from(p);
+                if let Some(canonical) = monitor {
+                    server.revoke_peer_monitor(p, canonical);
+                }
+            }
+            SessionStep::ServerGc => {
+                let pause = server.vm.collect(&mut [s.execution_mut()], &mut []).pause;
+                s.gc_done(pause);
+            }
+            SessionStep::AwaitLock { .. } => {
+                unreachable!("no concurrent lock hand-offs in this driver")
+            }
+            SessionStep::Finished(v) => break v,
+        }
+    };
+    assert_eq!(v, Value::I64(expected_result(3, 2)));
+    assert_eq!(s.stats.fallbacks_sync, 1, "server synced back once");
+}
+
+#[test]
+fn failure_recovery_resumes_from_snapshot_exactly_once() {
+    let (app, mut server) = setup(BeeHiveConfig::default().with_recovery());
+    let mut funcs = HashMap::new();
+    funcs.insert(0, FunctionRuntime::new(0, &app.program, CostModel::default()));
+
+    let net = server.config.net;
+    let mut s = OffloadSession::start(
+        &mut server,
+        funcs.get_mut(&0).unwrap(),
+        app.root,
+        vec![Value::I64(7)],
+        false,
+        net,
+        false,
+    );
+
+    // Drive until the first synchronization snapshot exists, then a bit
+    // further (through the first DB round), then kill the instance.
+    let mut total = Duration::ZERO;
+    let mut db_rounds_seen = 0;
+    loop {
+        let id = s.function_id;
+        let mut func = funcs.remove(&id).unwrap();
+        let step = s.next(&mut server, &mut func);
+        funcs.insert(id, func);
+        match step {
+            SessionStep::Need(n) => {
+                total += n.amount;
+                if n.resource == beehive_core::Resource::Db {
+                    db_rounds_seen += 1;
+                    if db_rounds_seen == 2 {
+                        break; // kill mid-insert
+                    }
+                }
+            }
+            SessionStep::SyncFromPeer { .. } => unreachable!(),
+            SessionStep::ServerGc => unreachable!(),
+            SessionStep::AwaitLock { .. } => {
+                unreachable!("no concurrent lock hand-offs in this driver")
+            }
+            SessionStep::Finished(_) => panic!("should not finish before the kill"),
+        }
+    }
+    assert!(s.stats.snapshots >= 1, "sync point snapshotted");
+
+    // The instance dies; a replacement is provisioned.
+    funcs.remove(&0);
+    let mut replacement = FunctionRuntime::new(9, &app.program, CostModel::default());
+    let step = s.recover(&mut server, &mut replacement);
+    assert!(matches!(step, SessionStep::Need(_)));
+    funcs.insert(9, replacement);
+
+    let (v, _) = drive_offload(&mut server, &mut s, &mut funcs);
+    assert_eq!(v, Value::I64(expected_result(7, 1)), "same result after recovery");
+    assert_eq!(s.stats.recoveries, 1);
+
+    // Exactly-once: the insert is in the table exactly once even though the
+    // request re-executed it.
+    assert_eq!(server.proxy.db().table_len(1), 1);
+    let counter = server.vm.static_value(app.counter_static).as_ref().unwrap();
+    assert_eq!(
+        server.vm.heap.get(counter, 0),
+        Value::I64(1),
+        "counter incremented once"
+    );
+}
+
+#[test]
+fn recovery_without_snapshot_restarts_from_scratch() {
+    let (app, mut server) = setup(BeeHiveConfig::default().with_recovery());
+    let mut funcs = HashMap::new();
+    funcs.insert(0, FunctionRuntime::new(0, &app.program, CostModel::default()));
+
+    let net = server.config.net;
+    let mut s = OffloadSession::start(
+        &mut server,
+        funcs.get_mut(&0).unwrap(),
+        app.root,
+        vec![Value::I64(4)],
+        false,
+        net,
+        false,
+    );
+    // Kill before anything ran (no snapshot yet).
+    let mut replacement = FunctionRuntime::new(5, &app.program, CostModel::default());
+    s.recover(&mut server, &mut replacement);
+    funcs.clear();
+    funcs.insert(5, replacement);
+    let (v, _) = drive_offload(&mut server, &mut s, &mut funcs);
+    assert_eq!(v, Value::I64(expected_result(4, 1)));
+    assert_eq!(server.proxy.db().table_len(1), 1);
+}
+
+#[test]
+fn fallback_overhead_is_attributed() {
+    let (app, mut server) = setup(BeeHiveConfig::default());
+    let mut funcs = HashMap::new();
+    funcs.insert(0, FunctionRuntime::new(0, &app.program, CostModel::default()));
+    let net = server.config.net;
+    let mut s = OffloadSession::start(
+        &mut server,
+        funcs.get_mut(&0).unwrap(),
+        app.root,
+        vec![Value::I64(1)],
+        false,
+        net,
+        false,
+    );
+    let (_, total) = drive_offload(&mut server, &mut s, &mut funcs);
+    assert!(s.stats.fallback_overhead > Duration::ZERO);
+    assert!(s.stats.fetch_overhead > Duration::ZERO);
+    assert!(s.stats.fallback_overhead <= total);
+    assert!(s.stats.fetch_overhead <= s.stats.fallback_overhead);
+}

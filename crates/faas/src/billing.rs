@@ -1,0 +1,104 @@
+//! Billing models (Table 1's billing-granularity column, §5.4 cost analysis).
+
+use beehive_sim::Duration;
+use serde::Serialize;
+
+/// How a platform charges for compute.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub enum Billing {
+    /// Charged per instance-hour while the instance exists (EC2-style; the
+    /// paper bills OpenWhisk workers this way).
+    PerInstanceHour {
+        /// Dollars per instance-hour.
+        rate: f64,
+    },
+    /// Charged per GB-second of execution plus per request (Lambda-style;
+    /// millisecond billing granularity).
+    PerUse {
+        /// Dollars per GB-second of execution.
+        per_gb_second: f64,
+        /// Dollars per invocation.
+        per_request: f64,
+    },
+}
+
+/// Accumulates usage for [`Billing::PerUse`] accounting.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CostLedger {
+    gb_seconds: f64,
+    requests: u64,
+}
+
+impl CostLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `busy` of execution on an instance with `memory_gb`, covering
+    /// `requests` invocations.
+    pub fn record_use(&mut self, busy: Duration, memory_gb: f64, requests: u64) {
+        self.gb_seconds += busy.as_secs_f64() * memory_gb;
+        self.requests += requests;
+    }
+
+    /// GB-seconds accumulated.
+    pub fn gb_seconds(&self) -> f64 {
+        self.gb_seconds
+    }
+
+    /// Requests accumulated.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Dollars under a per-use billing model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called with [`Billing::PerInstanceHour`] (instance-time
+    /// billing needs instance lifetimes, not usage).
+    pub fn cost(&self, billing: &Billing) -> f64 {
+        match billing {
+            Billing::PerUse {
+                per_gb_second,
+                per_request,
+            } => self.gb_seconds * per_gb_second + self.requests as f64 * per_request,
+            Billing::PerInstanceHour { .. } => {
+                panic!("per-instance-hour cost requires instance lifetimes")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_accumulates() {
+        let mut l = CostLedger::new();
+        l.record_use(Duration::from_millis(500), 2.0, 1);
+        l.record_use(Duration::from_millis(500), 2.0, 1);
+        assert!((l.gb_seconds() - 2.0).abs() < 1e-12);
+        assert_eq!(l.requests(), 2);
+    }
+
+    #[test]
+    fn per_use_cost() {
+        let mut l = CostLedger::new();
+        l.record_use(Duration::from_secs(10), 1.0, 1000);
+        let billing = Billing::PerUse {
+            per_gb_second: 0.00001,
+            per_request: 0.0000002,
+        };
+        let c = l.cost(&billing);
+        assert!((c - (10.0 * 0.00001 + 1000.0 * 0.0000002)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "instance lifetimes")]
+    fn instance_hour_cost_needs_lifetimes() {
+        CostLedger::new().cost(&Billing::PerInstanceHour { rate: 0.1 });
+    }
+}

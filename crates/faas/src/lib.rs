@@ -1,0 +1,24 @@
+//! # beehive-faas — simulated FaaS platforms
+//!
+//! Models the two platforms the paper deploys BeeHive on (§5.1):
+//!
+//! * **OpenWhisk** — open-source platform on EC2 `m4.large` instances
+//!   (2 vCPU / 2.3 GHz, 8 GB), one request per instance at a time; billed
+//!   like EC2 on-demand instance-time in the paper's cost analysis (§5.4).
+//! * **AWS Lambda** — commercial platform; CPU share scales with memory
+//!   (0.6 vCPU at 1 GB, 1.2 vCPU at 2 GB), per-GB-second + per-request
+//!   billing, higher network latency to EC2 servers even within one VPC
+//!   (which the paper measures as the main source of BeeHiveL's extra
+//!   overhead, §5.2).
+//!
+//! The platform hands out *instances* with cold-boot delays on first use and
+//! a warm cache afterwards ("the life span of a cached instance is usually
+//! hours", §2.2); the embedding experiment drives it on virtual time.
+
+#![warn(missing_docs)]
+
+pub mod billing;
+pub mod platform;
+
+pub use billing::{Billing, CostLedger};
+pub use platform::{BootKind, FaasPlatform, InstanceId, PlatformConfig};

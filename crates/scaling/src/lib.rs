@@ -1,0 +1,15 @@
+//! # beehive-scaling — baseline cloud scaling solutions
+//!
+//! The scaling alternatives BeeHive is evaluated against (§2.1, Table 1):
+//! reserved, on-demand and burstable EC2 instances, and Fargate. This crate
+//! provides their provisioning-time models, hourly rates and the Table 1
+//! comparison data, plus the burst handler that "immediately forwards
+//! requests with pre-defined policies once a burst happens" (§5.1).
+
+#![warn(missing_docs)]
+
+pub mod burst;
+pub mod solutions;
+
+pub use burst::BurstHandler;
+pub use solutions::{table1, InstanceScaler, ScalingKind, SolutionRow};

@@ -1,0 +1,40 @@
+//! # beehive-sim — deterministic discrete-event simulation kernel
+//!
+//! Every experiment in the BeeHive reproduction runs on virtual time so that
+//! figures regenerate bit-identically from a seed. This crate provides the
+//! shared substrate:
+//!
+//! * [`SimTime`] / [`Duration`] — virtual nanosecond clock types,
+//! * [`Rng`] — a seedable, splittable PCG generator with the distributions the
+//!   experiments need (uniform, exponential, log-normal),
+//! * [`EventQueue`] — a stable priority queue of timestamped events,
+//! * [`pool`] — CPU models: egalitarian processor sharing ([`pool::PsPool`])
+//!   for multi-threaded web servers and FIFO ([`pool::FifoPool`]) for
+//!   single-request FaaS instances,
+//! * [`stats`] — latency percentiles, per-second timelines, histograms.
+//!
+//! # Example
+//!
+//! ```
+//! use beehive_sim::{EventQueue, SimTime, Duration};
+//!
+//! let mut q: EventQueue<&'static str> = EventQueue::new();
+//! q.schedule(SimTime::ZERO + Duration::from_millis(5), "b");
+//! q.schedule(SimTime::ZERO + Duration::from_millis(1), "a");
+//! let (t, ev) = q.pop().unwrap();
+//! assert_eq!(ev, "a");
+//! assert_eq!(t.as_millis(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+mod event;
+mod rng;
+mod time;
+
+pub mod pool;
+pub mod stats;
+
+pub use event::EventQueue;
+pub use rng::Rng;
+pub use time::{Duration, SimTime};

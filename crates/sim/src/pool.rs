@@ -1,0 +1,391 @@
+//! CPU resource models.
+//!
+//! Two queueing disciplines cover every machine in the reproduction:
+//!
+//! * [`PsPool`] — egalitarian **processor sharing** over `capacity` cores.
+//!   Multi-threaded web servers time-slice requests across a thread pool, and
+//!   PS is the standard fluid model for that: with `n` jobs active each
+//!   receives `min(1, capacity / n)` of a core. This produces the convex
+//!   latency-vs-load curves of the paper's Figure 2.
+//! * [`FifoPool`] — `k` servers, FIFO queue; used for the database machine
+//!   where queries are short and run to completion.
+//!
+//! Both pools are *passive*: they never schedule events themselves. Drivers
+//! ask for [`PsPool::next_completion`] after every mutation and schedule a
+//! kernel event; the [`epoch`](PsPool::epoch) counter lets drivers discard
+//! stale completion events after later arrivals changed the schedule.
+
+use std::collections::HashMap;
+
+use crate::{Duration, SimTime};
+
+/// Caller-assigned identifier of a job inside a pool.
+pub type JobId = u64;
+
+/// Egalitarian processor-sharing pool (fluid model).
+///
+/// # Example
+///
+/// ```
+/// use beehive_sim::pool::PsPool;
+/// use beehive_sim::{Duration, SimTime};
+///
+/// let mut pool = PsPool::new(1.0); // one core
+/// let t0 = SimTime::ZERO;
+/// pool.add(t0, 1, Duration::from_millis(10));
+/// pool.add(t0, 2, Duration::from_millis(10));
+/// // Two equal jobs share the core: both finish at 20ms.
+/// let (t, job) = pool.next_completion().unwrap();
+/// assert_eq!(t.as_millis(), 20);
+/// assert_eq!(job, 1); // FIFO tie-break
+/// ```
+#[derive(Debug, Clone)]
+pub struct PsPool {
+    capacity: f64,
+    jobs: HashMap<JobId, Job>,
+    last_update: SimTime,
+    epoch: u64,
+    busy_core_time: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Job {
+    /// Remaining CPU work in nanoseconds-of-one-core.
+    remaining: f64,
+    /// Insertion sequence for deterministic tie-breaking.
+    seq: u64,
+}
+
+impl PsPool {
+    /// A pool with `capacity` cores (fractional capacities model throttled
+    /// FaaS instances, e.g. Lambda's 0.6 vCPU at 1 GB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not positive and finite.
+    pub fn new(capacity: f64) -> Self {
+        assert!(
+            capacity.is_finite() && capacity > 0.0,
+            "pool capacity must be positive: {capacity}"
+        );
+        PsPool {
+            capacity,
+            jobs: HashMap::new(),
+            last_update: SimTime::ZERO,
+            epoch: 0,
+            busy_core_time: 0.0,
+        }
+    }
+
+    /// Per-job service rate (fraction of one core) with the current load.
+    fn rate(&self) -> f64 {
+        if self.jobs.is_empty() {
+            0.0
+        } else {
+            (self.capacity / self.jobs.len() as f64).min(1.0)
+        }
+    }
+
+    /// Number of jobs currently in service.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// `true` when the pool is idle.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Monotonic counter bumped on every mutation; embed it in scheduled
+    /// completion events and drop events whose epoch is stale.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Total core-nanoseconds consumed so far (for utilization/cost
+    /// accounting).
+    pub fn busy_core_nanos(&self) -> f64 {
+        self.busy_core_time
+    }
+
+    /// Apply elapsed service up to `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` is earlier than the previous update.
+    fn advance_to(&mut self, now: SimTime) {
+        let elapsed = (now - self.last_update).as_nanos() as f64;
+        self.last_update = now;
+        if elapsed == 0.0 || self.jobs.is_empty() {
+            return;
+        }
+        let rate = self.rate();
+        let served = elapsed * rate;
+        self.busy_core_time += served * self.jobs.len() as f64;
+        for job in self.jobs.values_mut() {
+            job.remaining = (job.remaining - served).max(0.0);
+        }
+    }
+
+    /// Submit a job needing `work` nanoseconds of one core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is already in the pool or `now` precedes the last
+    /// mutation.
+    pub fn add(&mut self, now: SimTime, id: JobId, work: Duration) {
+        self.advance_to(now);
+        let seq = self.epoch;
+        let prev = self.jobs.insert(
+            id,
+            Job {
+                remaining: work.as_nanos() as f64,
+                seq,
+            },
+        );
+        assert!(prev.is_none(), "job {id} already in pool");
+        self.epoch += 1;
+    }
+
+    /// Remove a job (completed or cancelled), returning how much CPU work it
+    /// still had left.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job is not in the pool.
+    pub fn remove(&mut self, now: SimTime, id: JobId) -> Duration {
+        self.advance_to(now);
+        let job = self.jobs.remove(&id).expect("job not in pool");
+        self.epoch += 1;
+        Duration::from_nanos(job.remaining.max(0.0).round() as u64)
+    }
+
+    /// The earliest `(completion_time, job)` under the current load, assuming
+    /// no further arrivals. Ties break FIFO by insertion order.
+    pub fn next_completion(&self) -> Option<(SimTime, JobId)> {
+        if self.jobs.is_empty() {
+            return None;
+        }
+        let rate = self.rate();
+        debug_assert!(rate > 0.0);
+        let (id, job) = self
+            .jobs
+            .iter()
+            .min_by(|(_, a), (_, b)| {
+                a.remaining
+                    .partial_cmp(&b.remaining)
+                    .unwrap()
+                    .then(a.seq.cmp(&b.seq))
+            })
+            .map(|(id, job)| (*id, *job))
+            .expect("non-empty");
+        let dt = (job.remaining / rate).ceil() as u64;
+        Some((self.last_update + Duration::from_nanos(dt), id))
+    }
+
+    /// `true` when job `id` has zero remaining work at `now` (use from a
+    /// completion event to confirm it is not stale).
+    pub fn is_finished(&mut self, now: SimTime, id: JobId) -> bool {
+        self.advance_to(now);
+        self.jobs.get(&id).is_some_and(|j| j.remaining < 1.0)
+    }
+}
+
+/// `k`-server FIFO queue: jobs run to completion on a dedicated server,
+/// excess arrivals wait in order.
+#[derive(Debug, Clone)]
+pub struct FifoPool {
+    servers: usize,
+    /// Jobs currently in service: (id, completion time).
+    running: Vec<(JobId, SimTime)>,
+    /// Waiting jobs in arrival order: (id, service demand).
+    queue: std::collections::VecDeque<(JobId, Duration)>,
+    busy_core_time: f64,
+}
+
+impl FifoPool {
+    /// A pool with `servers` parallel servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` is zero.
+    pub fn new(servers: usize) -> Self {
+        assert!(servers > 0, "FifoPool needs at least one server");
+        FifoPool {
+            servers,
+            running: Vec::new(),
+            queue: std::collections::VecDeque::new(),
+            busy_core_time: 0.0,
+        }
+    }
+
+    /// Submit a job; it starts immediately if a server is free.
+    pub fn add(&mut self, now: SimTime, id: JobId, work: Duration) {
+        self.busy_core_time += work.as_nanos() as f64;
+        if self.running.len() < self.servers {
+            self.running.push((id, now + work));
+        } else {
+            self.queue.push_back((id, work));
+        }
+    }
+
+    /// The earliest `(completion_time, job)` among running jobs.
+    pub fn next_completion(&self) -> Option<(SimTime, JobId)> {
+        self.running
+            .iter()
+            .min_by_key(|(id, t)| (*t, *id))
+            .map(|(id, t)| (*t, *id))
+    }
+
+    /// Mark `id` complete at `now`, promoting the next queued job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not running.
+    pub fn complete(&mut self, now: SimTime, id: JobId) {
+        let idx = self
+            .running
+            .iter()
+            .position(|(j, _)| *j == id)
+            .expect("completing job that is not running");
+        self.running.swap_remove(idx);
+        if let Some((next, work)) = self.queue.pop_front() {
+            self.running.push((next, now + work));
+        }
+    }
+
+    /// Jobs in service plus jobs waiting.
+    pub fn len(&self) -> usize {
+        self.running.len() + self.queue.len()
+    }
+
+    /// `true` when nothing is running or queued.
+    pub fn is_empty(&self) -> bool {
+        self.running.is_empty() && self.queue.is_empty()
+    }
+
+    /// Total core-nanoseconds ever submitted (for utilization accounting).
+    pub fn busy_core_nanos(&self) -> f64 {
+        self.busy_core_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_job_runs_at_full_speed() {
+        let mut pool = PsPool::new(4.0);
+        pool.add(SimTime::ZERO, 1, Duration::from_millis(8));
+        let (t, id) = pool.next_completion().unwrap();
+        assert_eq!(id, 1);
+        assert_eq!(t.as_millis(), 8); // one job never exceeds one core
+    }
+
+    #[test]
+    fn sharing_slows_jobs_down() {
+        let mut pool = PsPool::new(1.0);
+        pool.add(SimTime::ZERO, 1, Duration::from_millis(10));
+        pool.add(SimTime::ZERO, 2, Duration::from_millis(10));
+        let (t, _) = pool.next_completion().unwrap();
+        assert_eq!(t.as_millis(), 20);
+    }
+
+    #[test]
+    fn capacity_bounds_parallelism() {
+        // 2 cores, 4 equal jobs => each runs at 0.5 core.
+        let mut pool = PsPool::new(2.0);
+        for id in 0..4 {
+            pool.add(SimTime::ZERO, id, Duration::from_millis(10));
+        }
+        let (t, _) = pool.next_completion().unwrap();
+        assert_eq!(t.as_millis(), 20);
+    }
+
+    #[test]
+    fn later_arrival_delays_completion() {
+        let mut pool = PsPool::new(1.0);
+        pool.add(SimTime::ZERO, 1, Duration::from_millis(10));
+        // After 5ms, job 1 has 5ms left. Job 2 arrives; both at half speed.
+        pool.add(SimTime::ZERO + Duration::from_millis(5), 2, Duration::from_millis(3));
+        let (t, id) = pool.next_completion().unwrap();
+        // Job 2 (3ms left) finishes first: 5ms + 3/0.5 = 11ms.
+        assert_eq!(id, 2);
+        assert_eq!(t.as_millis(), 11);
+        pool.remove(t, 2);
+        let (t1, id1) = pool.next_completion().unwrap();
+        assert_eq!(id1, 1);
+        // Job 1: 5ms left at t=5, served 3ms during the shared 6ms window,
+        // so 2ms remain at full speed once alone => finishes at 13ms.
+        assert_eq!(t1.as_millis(), 13);
+    }
+
+    #[test]
+    fn fractional_capacity() {
+        let mut pool = PsPool::new(0.5);
+        pool.add(SimTime::ZERO, 1, Duration::from_millis(10));
+        let (t, _) = pool.next_completion().unwrap();
+        assert_eq!(t.as_millis(), 20);
+    }
+
+    #[test]
+    fn epoch_bumps_on_mutation() {
+        let mut pool = PsPool::new(1.0);
+        let e0 = pool.epoch();
+        pool.add(SimTime::ZERO, 1, Duration::from_millis(1));
+        assert!(pool.epoch() > e0);
+        let e1 = pool.epoch();
+        pool.remove(SimTime::from_nanos(10), 1);
+        assert!(pool.epoch() > e1);
+    }
+
+    #[test]
+    fn is_finished_detects_completion() {
+        let mut pool = PsPool::new(1.0);
+        pool.add(SimTime::ZERO, 1, Duration::from_millis(2));
+        assert!(!pool.is_finished(SimTime::from_nanos(1_000_000), 1));
+        assert!(pool.is_finished(SimTime::from_nanos(2_000_001), 1));
+    }
+
+    #[test]
+    fn busy_time_accumulates() {
+        let mut pool = PsPool::new(4.0);
+        pool.add(SimTime::ZERO, 1, Duration::from_millis(10));
+        let (t, _) = pool.next_completion().unwrap();
+        pool.remove(t, 1);
+        let busy_ms = pool.busy_core_nanos() / 1e6;
+        assert!((busy_ms - 10.0).abs() < 1e-6, "busy {busy_ms}ms");
+    }
+
+    #[test]
+    #[should_panic(expected = "already in pool")]
+    fn duplicate_job_panics() {
+        let mut pool = PsPool::new(1.0);
+        pool.add(SimTime::ZERO, 1, Duration::from_millis(1));
+        pool.add(SimTime::ZERO, 1, Duration::from_millis(1));
+    }
+
+    #[test]
+    fn fifo_queues_beyond_servers() {
+        let mut pool = FifoPool::new(1);
+        pool.add(SimTime::ZERO, 1, Duration::from_millis(5));
+        pool.add(SimTime::ZERO, 2, Duration::from_millis(5));
+        let (t1, id1) = pool.next_completion().unwrap();
+        assert_eq!((t1.as_millis(), id1), (5, 1));
+        pool.complete(t1, 1);
+        let (t2, id2) = pool.next_completion().unwrap();
+        assert_eq!((t2.as_millis(), id2), (10, 2));
+        pool.complete(t2, 2);
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn fifo_parallel_servers() {
+        let mut pool = FifoPool::new(2);
+        pool.add(SimTime::ZERO, 1, Duration::from_millis(5));
+        pool.add(SimTime::ZERO, 2, Duration::from_millis(3));
+        let (t, id) = pool.next_completion().unwrap();
+        assert_eq!((t.as_millis(), id), (3, 2));
+    }
+}

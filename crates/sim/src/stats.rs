@@ -1,0 +1,395 @@
+//! Latency statistics: percentile samplers, per-second timelines, histograms.
+
+use std::fmt;
+
+use serde::Serialize;
+
+use crate::{Duration, SimTime};
+
+/// Collects duration samples and answers percentile queries.
+///
+/// Stores all samples (simulations produce at most a few hundred thousand per
+/// run), sorting lazily on query.
+///
+/// # Example
+///
+/// ```
+/// use beehive_sim::stats::LatencySampler;
+/// use beehive_sim::Duration;
+///
+/// let mut s = LatencySampler::new();
+/// for ms in 1..=100 {
+///     s.record(Duration::from_millis(ms));
+/// }
+/// assert_eq!(s.percentile(0.99).as_millis(), 99); // nearest rank
+/// assert_eq!(s.percentile(0.50).as_millis(), 50);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LatencySampler {
+    samples: Vec<u64>,
+    sorted: bool,
+}
+
+impl LatencySampler {
+    /// An empty sampler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, d: Duration) {
+        self.samples.push(d.as_nanos());
+        self.sorted = false;
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn sort(&mut self) {
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`), nearest-rank method.
+    ///
+    /// Returns [`Duration::ZERO`] when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn percentile(&mut self, q: f64) -> Duration {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        self.sort();
+        let rank = ((q * self.samples.len() as f64).ceil() as usize)
+            .clamp(1, self.samples.len());
+        Duration::from_nanos(self.samples[rank - 1])
+    }
+
+    /// Arithmetic mean, or zero when empty.
+    pub fn mean(&self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        let sum: u128 = self.samples.iter().map(|&x| x as u128).sum();
+        Duration::from_nanos((sum / self.samples.len() as u128) as u64)
+    }
+
+    /// Largest sample, or zero when empty.
+    pub fn max(&mut self) -> Duration {
+        self.sort();
+        Duration::from_nanos(self.samples.last().copied().unwrap_or(0))
+    }
+
+    /// Drain all samples, leaving the sampler empty.
+    pub fn take(&mut self) -> Vec<Duration> {
+        self.sorted = false;
+        self.samples.drain(..).map(Duration::from_nanos).collect()
+    }
+}
+
+/// One point of a per-bucket latency timeline.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct TimelinePoint {
+    /// Start of the bucket, seconds since simulation start.
+    pub second: u64,
+    /// Number of requests completing in the bucket.
+    pub count: u64,
+    /// p99 latency of those requests, milliseconds.
+    pub p99_ms: f64,
+    /// Mean latency of those requests, milliseconds.
+    pub mean_ms: f64,
+}
+
+/// Buckets completed-request latencies per virtual second; produces the
+/// p99-over-time series of the paper's Figure 7.
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    buckets: Vec<LatencySampler>,
+}
+
+impl Timeline {
+    /// An empty timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a request that *completed* at `at` with the given latency.
+    pub fn record(&mut self, at: SimTime, latency: Duration) {
+        let sec = (at.as_nanos() / 1_000_000_000) as usize;
+        if self.buckets.len() <= sec {
+            self.buckets.resize_with(sec + 1, LatencySampler::new);
+        }
+        self.buckets[sec].record(latency);
+    }
+
+    /// The per-second series (empty seconds yield `count == 0`).
+    pub fn points(&mut self) -> Vec<TimelinePoint> {
+        self.buckets
+            .iter_mut()
+            .enumerate()
+            .map(|(second, b)| TimelinePoint {
+                second: second as u64,
+                count: b.len() as u64,
+                p99_ms: b.percentile(0.99).as_millis_f64(),
+                mean_ms: b.mean().as_millis_f64(),
+            })
+            .collect()
+    }
+
+    /// First second `>= from_second` after which the p99 stays within
+    /// `factor`× of `baseline` for `hold` consecutive non-empty seconds.
+    /// This is the paper's "duration to reach stable latency" metric (§5.2).
+    ///
+    /// Returns `None` if the latency never stabilizes within the recorded
+    /// horizon.
+    pub fn stabilization_second(
+        &mut self,
+        from_second: u64,
+        baseline: Duration,
+        factor: f64,
+        hold: usize,
+    ) -> Option<u64> {
+        let threshold = baseline.mul_f64(factor);
+        let points = self.points();
+        let mut run = 0usize;
+        let mut run_start = 0u64;
+        for p in points.iter().filter(|p| p.second >= from_second) {
+            if p.count == 0 {
+                continue; // empty buckets say nothing either way
+            }
+            if p.p99_ms <= threshold.as_millis_f64() {
+                if run == 0 {
+                    run_start = p.second;
+                }
+                run += 1;
+                if run >= hold {
+                    return Some(run_start);
+                }
+            } else {
+                run = 0;
+            }
+        }
+        None
+    }
+}
+
+/// A fixed-width histogram of durations (for GC pause distributions).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    width: Duration,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// A histogram with `bins` buckets of `width` each; overflow goes to the
+    /// last bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins` is zero or `width` is zero.
+    pub fn new(width: Duration, bins: usize) -> Self {
+        assert!(bins > 0 && !width.is_zero(), "degenerate histogram");
+        Histogram {
+            width,
+            counts: vec![0; bins],
+            total: 0,
+        }
+    }
+
+    /// Record one duration.
+    pub fn record(&mut self, d: Duration) {
+        let idx = ((d.as_nanos() / self.width.as_nanos()) as usize).min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Total number of samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Count in bucket `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn count(&self, idx: usize) -> u64 {
+        self.counts[idx]
+    }
+
+    /// Approximate median (midpoint of the bucket holding the median sample).
+    pub fn median(&self) -> Duration {
+        if self.total == 0 {
+            return Duration::ZERO;
+        }
+        let target = self.total.div_ceil(2);
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Duration::from_nanos(
+                    self.width.as_nanos() * i as u64 + self.width.as_nanos() / 2,
+                );
+            }
+        }
+        unreachable!("median within total")
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "histogram({} samples, median {})", self.total, self.median())
+    }
+}
+
+/// Online mean/variance accumulator (Welford).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl OnlineStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (zero when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sample variance (zero with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut s = LatencySampler::new();
+        for ms in [10u64, 20, 30, 40] {
+            s.record(Duration::from_millis(ms));
+        }
+        assert_eq!(s.percentile(0.0).as_millis(), 10);
+        assert_eq!(s.percentile(0.25).as_millis(), 10);
+        assert_eq!(s.percentile(0.5).as_millis(), 20);
+        assert_eq!(s.percentile(1.0).as_millis(), 40);
+        assert_eq!(s.mean().as_millis(), 25);
+        assert_eq!(s.max().as_millis(), 40);
+    }
+
+    #[test]
+    fn empty_sampler_is_zero() {
+        let mut s = LatencySampler::new();
+        assert_eq!(s.percentile(0.99), Duration::ZERO);
+        assert_eq!(s.mean(), Duration::ZERO);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn timeline_buckets_by_second() {
+        let mut t = Timeline::new();
+        t.record(SimTime::from_secs(0), Duration::from_millis(10));
+        t.record(SimTime::from_secs(2), Duration::from_millis(30));
+        t.record(SimTime::from_secs(2), Duration::from_millis(50));
+        let pts = t.points();
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[0].count, 1);
+        assert_eq!(pts[1].count, 0);
+        assert_eq!(pts[2].count, 2);
+        assert!((pts[2].p99_ms - 50.0).abs() < 1e-9);
+        assert!((pts[2].mean_ms - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stabilization_detects_recovery() {
+        let mut t = Timeline::new();
+        // Seconds 0..5: 100ms p99 (elevated); seconds 5..10: 10ms (stable).
+        for sec in 0..10u64 {
+            let lat = if sec < 5 { 100 } else { 10 };
+            for _ in 0..10 {
+                t.record(SimTime::from_secs(sec), Duration::from_millis(lat));
+            }
+        }
+        let stab = t.stabilization_second(0, Duration::from_millis(12), 1.2, 3);
+        assert_eq!(stab, Some(5));
+    }
+
+    #[test]
+    fn stabilization_none_when_never_stable() {
+        let mut t = Timeline::new();
+        for sec in 0..5u64 {
+            t.record(SimTime::from_secs(sec), Duration::from_millis(100));
+        }
+        assert_eq!(
+            t.stabilization_second(0, Duration::from_millis(10), 1.2, 2),
+            None
+        );
+    }
+
+    #[test]
+    fn histogram_median() {
+        let mut h = Histogram::new(Duration::from_millis(1), 64);
+        for ms in [1u64, 2, 2, 3, 9] {
+            h.record(Duration::from_millis(ms));
+        }
+        assert_eq!(h.total(), 5);
+        // Median sample (2ms) lands in bucket 2 -> midpoint 2.5ms.
+        assert_eq!(h.median().as_micros(), 2_500);
+    }
+
+    #[test]
+    fn histogram_overflow_clamps() {
+        let mut h = Histogram::new(Duration::from_millis(1), 4);
+        h.record(Duration::from_secs(10));
+        assert_eq!(h.count(3), 1);
+    }
+
+    #[test]
+    fn online_stats() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+    }
+}

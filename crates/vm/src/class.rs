@@ -1,0 +1,165 @@
+//! Classes, methods and the `Packageable` native-state specification.
+
+use crate::ids::{ClassId, MethodId, NativeId};
+use crate::op::Op;
+
+/// Where a class came from. Web applications are dominated by framework and
+/// generated classes (99.6% of pybbs' jar — §2.2); root-method selection must
+/// filter down to user-annotated business logic (§4.3).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Origin {
+    /// Application code written by the user; `annotation` carries the
+    /// framework annotation (`@PostMapping`, ...) when present.
+    User {
+        /// The framework annotation on the class's handler, if any.
+        annotation: Option<String>,
+    },
+    /// Shipped framework code (Spring, MyBatis, HikariCP, ...).
+    Framework,
+    /// Dynamically generated helper/stub classes (proxies, accessors).
+    Generated,
+    /// Java system library classes.
+    Jdk,
+}
+
+/// The kind of native state a packageable class owns, determining how its
+/// marshal/unmarshal pair behaves (§3.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PackKind {
+    /// Reflection metadata (e.g. `java.lang.reflect.Method`): marshals the
+    /// method name/signature so `invoke0` works remotely.
+    MethodMeta,
+    /// A socket implementation (`SocketImpl`): marshals the proxy connection
+    /// ID obtained from the connection proxy (§3.3).
+    Socket,
+}
+
+/// Declares that instances of a class carry native state in field
+/// `handle_slot` and how to marshal it into closures.
+///
+/// This is the paper's `packageable` interface: classes implementing it marshal
+/// their native state into the closure and unmarshal it on the FaaS side,
+/// avoiding a fallback per native invocation. The paper enhanced 15 JDK
+/// classes this way.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PackSpec {
+    /// Field slot holding the native-state handle (an integer key into the
+    /// owning instance's native-state table).
+    pub handle_slot: u16,
+    /// What the native state is.
+    pub kind: PackKind,
+    /// Marshalled size in bytes (charged to the closure transfer).
+    pub marshalled_bytes: u32,
+}
+
+/// A class definition.
+#[derive(Clone, Debug)]
+pub struct ClassDef {
+    /// Fully qualified name.
+    pub name: String,
+    /// Provenance (user / framework / generated / JDK).
+    pub origin: Origin,
+    /// Number of instance fields.
+    pub field_count: u16,
+    /// Packageable declaration, if the class owns native state that can be
+    /// marshalled (§3.2). `None` for classes without native state — and for
+    /// the ablation where native state exists but cannot be packed.
+    pub packageable: Option<PackSpec>,
+    /// Approximate class-file size in bytes (charged when the class is
+    /// fetched by a FaaS function on a missing-code fallback).
+    pub bytes: u32,
+}
+
+/// How a method executes.
+#[derive(Clone, Debug)]
+pub enum MethodBody {
+    /// Interpreted bytecode.
+    Bytecode(Vec<Op>),
+    /// A native method (body defined by its [`NativeDef`]).
+    ///
+    /// [`NativeDef`]: crate::natives::NativeDef
+    Native(NativeId),
+}
+
+/// A method definition.
+#[derive(Clone, Debug)]
+pub struct MethodDef {
+    /// Method name (diagnostics only; dispatch is by id).
+    pub name: String,
+    /// Declaring class.
+    pub class: ClassId,
+    /// Number of parameters (popped into locals 0..params on call).
+    pub params: u8,
+    /// Number of additional local slots.
+    pub locals: u8,
+    /// The body.
+    pub body: MethodBody,
+    /// Framework annotation on the method, making it an *offloading
+    /// candidate* (§4.3), e.g. `@PostMapping("/comment")`.
+    pub annotation: Option<String>,
+}
+
+impl MethodDef {
+    /// Total local slots (parameters + declared locals).
+    pub fn frame_slots(&self) -> usize {
+        self.params as usize + self.locals as usize
+    }
+
+    /// Approximate bytecode size in bytes (for closure/code transfer
+    /// accounting): 4 bytes per instruction, minimum 16.
+    pub fn code_bytes(&self) -> u32 {
+        match &self.body {
+            MethodBody::Bytecode(code) => (code.len() as u32 * 4).max(16),
+            MethodBody::Native(_) => 16,
+        }
+    }
+
+    /// `true` when the method carries a framework annotation and is thus an
+    /// offloading candidate (§4.3).
+    pub fn is_candidate(&self) -> bool {
+        self.annotation.is_some()
+    }
+}
+
+/// A dynamic-dispatch stub (framework interceptor) with its possible targets.
+#[derive(Clone, Debug)]
+pub struct StubDef {
+    /// Stub name (e.g. `MethodInterceptor`).
+    pub name: String,
+    /// Possible call targets; the selector operand picks one at run time.
+    pub targets: Vec<MethodId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_slots_sum_params_and_locals() {
+        let m = MethodDef {
+            name: "m".into(),
+            class: ClassId(0),
+            params: 2,
+            locals: 3,
+            body: MethodBody::Bytecode(vec![Op::Return]),
+            annotation: None,
+        };
+        assert_eq!(m.frame_slots(), 5);
+        assert!(!m.is_candidate());
+        assert_eq!(m.code_bytes(), 16);
+    }
+
+    #[test]
+    fn code_bytes_scale_with_length() {
+        let m = MethodDef {
+            name: "m".into(),
+            class: ClassId(0),
+            params: 0,
+            locals: 0,
+            body: MethodBody::Bytecode(vec![Op::ConstI(1); 100]),
+            annotation: Some("@GetMapping".into()),
+        };
+        assert_eq!(m.code_bytes(), 400);
+        assert!(m.is_candidate());
+    }
+}

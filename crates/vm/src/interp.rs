@@ -1,0 +1,1502 @@
+//! The resumable bytecode interpreter.
+//!
+//! An [`Execution`] owns its frames explicitly (no host-stack recursion), so
+//! the dispatch loop can stop at any instruction and hand control back to the
+//! embedder with a [`Block`] describing what it needs: a remote object, a
+//! missing class, a monitor hand-off, a database round trip, a native
+//! fallback, or a GC. The embedder (the BeeHive runtime in `beehive-core`)
+//! services the block — possibly after simulated network time — and resumes.
+//!
+//! Blocks come in two resumption styles:
+//!
+//! * **retry** blocks ([`Block::RemoteRef`], [`Block::RemoteStatic`],
+//!   [`Block::MissingClass`], [`Block::MonitorAcquire`],
+//!   [`Block::VolatileSync`], [`Block::GcNeeded`]) leave the program counter
+//!   on the faulting instruction with operands restored; the embedder repairs
+//!   the instance state (fetches the object, loads the class, grants the
+//!   monitor, collects) and calls [`Execution::resume`]; the instruction
+//!   re-executes and now succeeds.
+//! * **value** blocks ([`Block::Db`], [`Block::NativeFallback`]) consumed
+//!   their operands; the embedder computes the result (a query response, the
+//!   server-side native result) and delivers it with
+//!   [`Execution::resume_with`].
+
+use beehive_sim::Duration;
+
+use crate::class::{MethodBody, PackKind};
+use crate::ids::{ClassId, MethodId, NativeId, StaticSlot};
+use crate::instance::{EndpointKind, VmInstance};
+use crate::natives::{NativeCategory, NativeEffect, NativeState};
+use crate::op::Op;
+use crate::program::Program;
+use crate::value::{Addr, Value};
+
+/// Where a remote reference was loaded from, so the embedder can overwrite it
+/// with the fetched local address ("resets the bit to avoid repeated
+/// fallbacks", §4.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Provenance {
+    /// Field `slot` of the object at `obj`.
+    Field {
+        /// The holding object.
+        obj: Addr,
+        /// The field slot.
+        slot: u32,
+    },
+    /// Element `idx` of the array at `obj`.
+    ArrayElem {
+        /// The holding array.
+        obj: Addr,
+        /// The element index.
+        idx: u32,
+    },
+    /// Local variable `slot` of frame `frame` (0 = outermost).
+    Local {
+        /// Frame index.
+        frame: usize,
+        /// Local slot.
+        slot: u8,
+    },
+    /// Static slot.
+    Static {
+        /// The static slot.
+        slot: StaticSlot,
+    },
+}
+
+/// Why an execution stopped before completing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Block {
+    /// A reference load found bit 63 set: the object lives on the server (at
+    /// `addr.to_local()`) and must be fetched (data fallback, §4.1).
+    RemoteRef {
+        /// The remote-marked address (canonical address on the owner).
+        addr: Addr,
+        /// Where the reference was loaded from.
+        prov: Provenance,
+    },
+    /// A static variable has not been fetched to this endpoint yet.
+    RemoteStatic {
+        /// The slot.
+        slot: StaticSlot,
+    },
+    /// Code for `class` is not loaded on this endpoint (code fallback).
+    MissingClass {
+        /// The missing class.
+        class: ClassId,
+    },
+    /// The monitor of `obj` is owned by another endpoint; a JMM
+    /// synchronization through the server is required (§4.2).
+    MonitorAcquire {
+        /// The lock object (local address).
+        obj: Addr,
+    },
+    /// A volatile static access: always a synchronization point on FaaS.
+    VolatileSync {
+        /// The slot.
+        slot: StaticSlot,
+        /// `true` for a volatile write.
+        is_write: bool,
+    },
+    /// A database round trip on a connection.
+    Db {
+        /// The connection object (local address) the round trip uses.
+        conn: Addr,
+        /// Statement selector.
+        query: u16,
+        /// Statement argument.
+        arg: i64,
+        /// `Some(id)`: the connection was packaged with proxy connection `id`
+        /// and the request goes directly to the proxy (§3.3). `None`: the
+        /// connection's native state is absent here — fall back to the
+        /// server, which performs the round trip.
+        proxy_conn_id: Option<u64>,
+    },
+    /// A native invocation that cannot run on this endpoint; the server
+    /// executes it and returns the result.
+    NativeFallback {
+        /// The native method.
+        native: NativeId,
+        /// Its popped arguments.
+        args: Vec<Value>,
+    },
+    /// The allocation space is full; collect, then resume.
+    GcNeeded {
+        /// Slots of the failed allocation (diagnostics).
+        slots: u32,
+    },
+}
+
+impl Block {
+    /// `true` when the block is resumed with [`Execution::resume`] (retry)
+    /// rather than [`Execution::resume_with`].
+    pub fn is_retry(&self) -> bool {
+        !matches!(self, Block::Db { .. } | Block::NativeFallback { .. })
+    }
+}
+
+/// How an interpreter run ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// The root method returned.
+    Done(Value),
+    /// The execution blocked; service the block and resume.
+    Blocked(Block),
+}
+
+/// An interpreter run's outcome plus the CPU time it charged.
+#[derive(Clone, Debug)]
+pub struct StepResult {
+    /// Why the run stopped.
+    pub outcome: Outcome,
+    /// Virtual CPU time consumed by this run segment.
+    pub cpu: Duration,
+}
+
+/// One call frame.
+#[derive(Clone, Debug)]
+pub struct Frame {
+    method: MethodId,
+    pc: usize,
+    locals: Vec<Value>,
+    stack: Vec<Value>,
+    cold: bool,
+}
+
+impl Frame {
+    /// The executing method.
+    pub fn method(&self) -> MethodId {
+        self.method
+    }
+
+    /// The current program counter.
+    pub fn pc(&self) -> usize {
+        self.pc
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Pending {
+    /// Blocked on a retry-style block.
+    Retry,
+    /// Blocked on a value-style block.
+    Value,
+}
+
+/// A resumable execution of one root-method invocation.
+#[derive(Clone, Debug)]
+pub struct Execution {
+    frames: Vec<Frame>,
+    pending: Option<Pending>,
+    pending_push: Option<Value>,
+    sync_permit: bool,
+    root_warm_checked: bool,
+    total_cpu: Duration,
+    ops_guard: u64,
+}
+
+/// Hard cap on ops per [`Execution::run`] call; exceeding it aborts the
+/// process (it indicates a runaway loop in application bytecode).
+const MAX_OPS_PER_RUN: u64 = 500_000_000;
+
+impl Execution {
+    /// Begin an invocation of `method` with `args`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the argument count does not match the method's parameters or
+    /// the method is native.
+    pub fn call(method: MethodId, args: Vec<Value>, program: &Program) -> Self {
+        let def = program.method(method);
+        assert_eq!(
+            args.len(),
+            def.params as usize,
+            "{}: expected {} args, got {}",
+            def.name,
+            def.params,
+            args.len()
+        );
+        assert!(
+            matches!(def.body, MethodBody::Bytecode(_)),
+            "cannot root an execution at a native method"
+        );
+        let mut locals = args;
+        locals.resize(def.frame_slots(), Value::Null);
+        Execution {
+            frames: vec![Frame {
+                method,
+                pc: 0,
+                locals,
+                stack: Vec::new(),
+                cold: false,
+            }],
+            pending: None,
+            pending_push: None,
+            sync_permit: false,
+            root_warm_checked: false,
+            total_cpu: Duration::ZERO,
+            ops_guard: 0,
+        }
+    }
+
+    /// Resume after a retry-style block has been serviced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the execution is not blocked on a retry-style block.
+    pub fn resume(&mut self) {
+        assert_eq!(self.pending, Some(Pending::Retry), "not retry-blocked");
+        self.pending = None;
+    }
+
+    /// Resume after a value-style block, delivering the result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the execution is not blocked on a value-style block.
+    pub fn resume_with(&mut self, value: Value) {
+        assert_eq!(self.pending, Some(Pending::Value), "not value-blocked");
+        self.pending = None;
+        self.pending_push = Some(value);
+    }
+
+    /// Arm the one-shot permit that lets the next volatile access proceed
+    /// (set by the embedder after performing the synchronization).
+    pub fn grant_sync_permit(&mut self) {
+        self.sync_permit = true;
+    }
+
+    /// Current frame depth.
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// The frames, outermost first.
+    pub fn frames(&self) -> &[Frame] {
+        &self.frames
+    }
+
+    /// Total CPU time charged across all run segments.
+    pub fn total_cpu(&self) -> Duration {
+        self.total_cpu
+    }
+
+    /// Approximate wire size of the stack (for failure-recovery snapshots,
+    /// §4.5: "the size of the Java stack and related objects are usually
+    /// restricted — several KBs").
+    pub fn stack_bytes(&self) -> u64 {
+        self.frames
+            .iter()
+            .map(|f| (f.locals.len() + f.stack.len() + 2) as u64 * 8)
+            .sum()
+    }
+
+    /// Mutable access to a local slot (for remote-reference fix-ups).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame or slot is out of range.
+    pub fn local_mut(&mut self, frame: usize, slot: u8) -> &mut Value {
+        &mut self.frames[frame].locals[slot as usize]
+    }
+
+    /// Visit every root slot (locals and operand stacks) for GC.
+    pub fn visit_roots(&mut self, visit: &mut dyn FnMut(&mut Value)) {
+        for f in &mut self.frames {
+            for v in &mut f.locals {
+                visit(v);
+            }
+            for v in &mut f.stack {
+                visit(v);
+            }
+        }
+    }
+
+    /// All heap references currently on the stack (for snapshotting).
+    pub fn stack_refs(&self) -> Vec<Addr> {
+        let mut refs = Vec::new();
+        for f in &self.frames {
+            for v in f.locals.iter().chain(f.stack.iter()) {
+                if let Value::Ref(a) = v {
+                    if !a.is_remote() {
+                        refs.push(*a);
+                    }
+                }
+            }
+        }
+        refs
+    }
+
+    /// Run until completion or the next block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the execution is still blocked (call [`Execution::resume`] /
+    /// [`Execution::resume_with`] first), or on malformed bytecode.
+    pub fn run(&mut self, vm: &mut VmInstance, program: &Program) -> StepResult {
+        assert!(self.pending.is_none(), "execution is blocked; resume first");
+        let mut cpu = Duration::ZERO;
+
+        if let Some(v) = self.pending_push.take() {
+            self.top_frame().stack.push(v);
+        }
+        if !self.root_warm_checked {
+            self.root_warm_checked = true;
+            let root = self.frames[0].method;
+            self.frames[0].cold = vm.note_invocation(root);
+        }
+
+        let outcome = loop {
+            self.ops_guard += 1;
+            assert!(
+                self.ops_guard < MAX_OPS_PER_RUN,
+                "runaway execution: {} ops without completing",
+                MAX_OPS_PER_RUN
+            );
+            match self.step(vm, program, &mut cpu) {
+                StepOutcome::Continue => {}
+                StepOutcome::Done(v) => break Outcome::Done(v),
+                StepOutcome::Block(b) => {
+                    self.pending = Some(if b.is_retry() {
+                        Pending::Retry
+                    } else {
+                        Pending::Value
+                    });
+                    break Outcome::Blocked(b);
+                }
+            }
+        };
+        self.ops_guard = 0;
+        self.total_cpu += cpu;
+        StepResult { outcome, cpu }
+    }
+
+    fn top_frame(&mut self) -> &mut Frame {
+        self.frames.last_mut().expect("no frames")
+    }
+
+    fn step(&mut self, vm: &mut VmInstance, program: &Program, cpu: &mut Duration) -> StepOutcome {
+        vm.counters.ops += 1;
+        let depth = self.frames.len();
+        let cost = vm.cost;
+        let frame = self.frames.last_mut().expect("no frames");
+        let cold = frame.cold;
+        let method = program.method(frame.method);
+        let code = match &method.body {
+            MethodBody::Bytecode(code) => code,
+            MethodBody::Native(_) => unreachable!("native frames are never pushed"),
+        };
+        let op = code
+            .get(frame.pc)
+            .copied()
+            .unwrap_or_else(|| panic!("pc {} out of range in {}", frame.pc, method.name));
+
+        let charge = move |cpu: &mut Duration, base: Duration| {
+            *cpu += if cold {
+                base * cost.cold_multiplier as u64
+            } else {
+                base
+            };
+        };
+
+        macro_rules! pop {
+            () => {
+                frame.stack.pop().expect("operand stack underflow")
+            };
+        }
+        macro_rules! pop_i64 {
+            () => {
+                pop!().as_i64().expect("expected integer operand")
+            };
+        }
+        macro_rules! pop_ref {
+            () => {
+                match pop!() {
+                    Value::Ref(a) => a,
+                    other => panic!("expected reference operand, got {other:?}"),
+                }
+            };
+        }
+
+        match op {
+            Op::ConstI(x) => {
+                charge(cpu, cost.simple_op);
+                frame.stack.push(Value::I64(x));
+                frame.pc += 1;
+            }
+            Op::ConstNull => {
+                charge(cpu, cost.simple_op);
+                frame.stack.push(Value::Null);
+                frame.pc += 1;
+            }
+            Op::Load(slot) => {
+                charge(cpu, cost.simple_op);
+                let v = frame.locals[slot as usize];
+                if vm.checks_remote_refs() {
+                    if let Value::Ref(a) = v {
+                        if a.is_remote() {
+                            return StepOutcome::Block(Block::RemoteRef {
+                                addr: a,
+                                prov: Provenance::Local {
+                                    frame: depth - 1,
+                                    slot,
+                                },
+                            });
+                        }
+                    }
+                }
+                frame.stack.push(v);
+                frame.pc += 1;
+            }
+            Op::Store(slot) => {
+                charge(cpu, cost.simple_op);
+                let v = pop!();
+                frame.locals[slot as usize] = v;
+                frame.pc += 1;
+            }
+            Op::Dup => {
+                charge(cpu, cost.simple_op);
+                let v = *frame.stack.last().expect("stack underflow");
+                frame.stack.push(v);
+                frame.pc += 1;
+            }
+            Op::Pop => {
+                charge(cpu, cost.simple_op);
+                pop!();
+                frame.pc += 1;
+            }
+            Op::Add | Op::Sub | Op::Mul | Op::Div | Op::Rem | Op::CmpLt => {
+                charge(cpu, cost.simple_op);
+                let b = pop_i64!();
+                let a = pop_i64!();
+                let r = match op {
+                    Op::Add => a.wrapping_add(b),
+                    Op::Sub => a.wrapping_sub(b),
+                    Op::Mul => a.wrapping_mul(b),
+                    Op::Div => {
+                        if b == 0 {
+                            0
+                        } else {
+                            a.wrapping_div(b)
+                        }
+                    }
+                    Op::Rem => {
+                        if b == 0 {
+                            0
+                        } else {
+                            a.wrapping_rem(b)
+                        }
+                    }
+                    Op::CmpLt => (a < b) as i64,
+                    _ => unreachable!(),
+                };
+                frame.stack.push(Value::I64(r));
+                frame.pc += 1;
+            }
+            Op::CmpEq => {
+                charge(cpu, cost.simple_op);
+                let b = pop!();
+                let a = pop!();
+                frame.stack.push(Value::I64((a == b) as i64));
+                frame.pc += 1;
+            }
+            Op::Jump(target) => {
+                charge(cpu, cost.simple_op);
+                frame.pc = target as usize;
+            }
+            Op::JumpIfZero(target) => {
+                charge(cpu, cost.simple_op);
+                let v = pop!();
+                let zero = matches!(v, Value::Null | Value::I64(0));
+                frame.pc = if zero { target as usize } else { frame.pc + 1 };
+            }
+            Op::JumpIfNonZero(target) => {
+                charge(cpu, cost.simple_op);
+                let v = pop!();
+                let zero = matches!(v, Value::Null | Value::I64(0));
+                frame.pc = if zero { frame.pc + 1 } else { target as usize };
+            }
+            Op::Call(target) => {
+                charge(cpu, cost.call_op);
+                return self.do_call(vm, program, target, cpu);
+            }
+            Op::CallStub(stub) => {
+                charge(cpu, cost.call_op + cost.simple_op);
+                // Resolve the target *before* consuming the selector so a
+                // missing-code block can retry the instruction intact.
+                let sel = frame
+                    .stack
+                    .last()
+                    .and_then(|v| v.as_i64())
+                    .expect("stub selector must be an integer");
+                let targets = &program.stub(stub).targets;
+                let target = targets[sel.unsigned_abs() as usize % targets.len()];
+                if !vm.is_loaded(program.method(target).class) {
+                    return StepOutcome::Block(Block::MissingClass {
+                        class: program.method(target).class,
+                    });
+                }
+                pop!();
+                return self.do_call(vm, program, target, cpu);
+            }
+            Op::Return => {
+                charge(cpu, cost.call_op);
+                return self.do_return(Value::Null);
+            }
+            Op::ReturnVal => {
+                charge(cpu, cost.call_op);
+                let v = pop!();
+                return self.do_return(v);
+            }
+            Op::New(class) => {
+                charge(cpu, cost.alloc_op);
+                if !vm.is_loaded(class) {
+                    return StepOutcome::Block(Block::MissingClass { class });
+                }
+                let slots = program.class(class).field_count as u32;
+                match vm.heap.alloc_object(class, slots, vm.alloc_target) {
+                    Some(addr) => {
+                        vm.counters.allocs += 1;
+                        frame.stack.push(Value::Ref(addr));
+                        frame.pc += 1;
+                    }
+                    None => return StepOutcome::Block(Block::GcNeeded { slots }),
+                }
+            }
+            Op::NewArray => {
+                charge(cpu, cost.alloc_op);
+                let len = pop_i64!();
+                assert!(len >= 0, "negative array length {len}");
+                match vm.heap.alloc_array(len as u32, vm.alloc_target) {
+                    Some(addr) => {
+                        vm.counters.allocs += 1;
+                        frame.stack.push(Value::Ref(addr));
+                        frame.pc += 1;
+                    }
+                    None => {
+                        frame.stack.push(Value::I64(len)); // restore operand
+                        return StepOutcome::Block(Block::GcNeeded { slots: len as u32 });
+                    }
+                }
+            }
+            Op::GetField(slot) => {
+                charge(cpu, cost.field_op);
+                let obj = pop_ref!();
+                let v = vm.heap.get(obj, slot as u32);
+                if vm.checks_remote_refs() {
+                    if let Value::Ref(a) = v {
+                        if a.is_remote() {
+                            frame.stack.push(Value::Ref(obj)); // restore operand
+                            return StepOutcome::Block(Block::RemoteRef {
+                                addr: a,
+                                prov: Provenance::Field {
+                                    obj,
+                                    slot: slot as u32,
+                                },
+                            });
+                        }
+                    }
+                }
+                frame.stack.push(v);
+                frame.pc += 1;
+            }
+            Op::PutField(slot) => {
+                charge(cpu, cost.field_op);
+                let v = pop!();
+                let obj = pop_ref!();
+                vm.heap.set(obj, slot as u32, v);
+                *cpu += vm.note_write(obj);
+                frame.pc += 1;
+            }
+            Op::ArrLoad => {
+                charge(cpu, cost.field_op);
+                let idx = pop_i64!();
+                let arr = pop_ref!();
+                let v = vm.heap.get(arr, idx as u32);
+                if vm.checks_remote_refs() {
+                    if let Value::Ref(a) = v {
+                        if a.is_remote() {
+                            frame.stack.push(Value::Ref(arr));
+                            frame.stack.push(Value::I64(idx));
+                            return StepOutcome::Block(Block::RemoteRef {
+                                addr: a,
+                                prov: Provenance::ArrayElem {
+                                    obj: arr,
+                                    idx: idx as u32,
+                                },
+                            });
+                        }
+                    }
+                }
+                frame.stack.push(v);
+                frame.pc += 1;
+            }
+            Op::ArrStore => {
+                charge(cpu, cost.field_op);
+                let v = pop!();
+                let idx = pop_i64!();
+                let arr = pop_ref!();
+                vm.heap.set(arr, idx as u32, v);
+                *cpu += vm.note_write(arr);
+                frame.pc += 1;
+            }
+            Op::ArrLen => {
+                charge(cpu, cost.simple_op);
+                let arr = pop_ref!();
+                let len = vm.heap.len_of(arr);
+                frame.stack.push(Value::I64(len as i64));
+                frame.pc += 1;
+            }
+            Op::GetStatic(slot) => {
+                charge(cpu, cost.field_op);
+                if !vm.static_fetched(slot) {
+                    return StepOutcome::Block(Block::RemoteStatic { slot });
+                }
+                let v = vm.static_value(slot);
+                if vm.checks_remote_refs() {
+                    if let Value::Ref(a) = v {
+                        if a.is_remote() {
+                            return StepOutcome::Block(Block::RemoteRef {
+                                addr: a,
+                                prov: Provenance::Static { slot },
+                            });
+                        }
+                    }
+                }
+                frame.stack.push(v);
+                frame.pc += 1;
+            }
+            Op::PutStatic(slot) => {
+                charge(cpu, cost.field_op);
+                if !vm.static_fetched(slot) {
+                    return StepOutcome::Block(Block::RemoteStatic { slot });
+                }
+                let v = pop!();
+                vm.set_static(slot, v);
+                frame.pc += 1;
+            }
+            Op::GetStaticVolatile(slot) | Op::PutStaticVolatile(slot) => {
+                charge(cpu, cost.monitor_op);
+                let is_write = matches!(op, Op::PutStaticVolatile(_));
+                if vm.kind() == EndpointKind::Function && !self.sync_permit {
+                    return StepOutcome::Block(Block::VolatileSync { slot, is_write });
+                }
+                self.sync_permit = false;
+                let frame = self.frames.last_mut().expect("no frames");
+                if !vm.static_fetched(slot) {
+                    return StepOutcome::Block(Block::RemoteStatic { slot });
+                }
+                if is_write {
+                    let v = frame.stack.pop().expect("operand stack underflow");
+                    vm.set_static(slot, v);
+                } else {
+                    frame.stack.push(vm.static_value(slot));
+                }
+                frame.pc += 1;
+            }
+            Op::MonitorEnter => {
+                charge(cpu, cost.monitor_op);
+                let obj = pop_ref!();
+                vm.counters.monitor_enters += 1;
+                if !vm.owns_monitor(obj) {
+                    frame.stack.push(Value::Ref(obj)); // restore operand
+                    return StepOutcome::Block(Block::MonitorAcquire { obj });
+                }
+                frame.pc += 1;
+            }
+            Op::MonitorExit => {
+                charge(cpu, cost.monitor_op);
+                let _obj = pop_ref!();
+                frame.pc += 1;
+            }
+            Op::NativeCall(native) => {
+                return self.do_native(vm, program, native, cpu);
+            }
+            Op::Work(nanos) => {
+                charge(cpu, Duration::from_nanos(nanos as u64));
+                frame.pc += 1;
+            }
+            Op::DbCall { conn, query } => {
+                charge(cpu, cost.call_op);
+                let conn_v = frame.locals[conn as usize];
+                let conn_obj = match conn_v {
+                    Value::Ref(a) if a.is_remote() && vm.checks_remote_refs() => {
+                        return StepOutcome::Block(Block::RemoteRef {
+                            addr: a,
+                            prov: Provenance::Local {
+                                frame: depth - 1,
+                                slot: conn,
+                            },
+                        });
+                    }
+                    Value::Ref(a) => a,
+                    other => panic!("DbCall connection local holds {other:?}"),
+                };
+                let arg = pop_i64!();
+                let class = vm.heap.class_of(conn_obj);
+                let spec = program
+                    .class(class)
+                    .packageable
+                    .unwrap_or_else(|| panic!("connection class {class:?} is not packageable"));
+                assert_eq!(spec.kind, PackKind::Socket, "DbCall on non-socket class");
+                let handle = vm.heap.get(conn_obj, spec.handle_slot as u32);
+                let proxy_conn_id = match handle {
+                    Value::I64(h) => match vm.native_state(h as u64) {
+                        Some(NativeState::Socket { proxy_conn_id }) => Some(*proxy_conn_id),
+                        _ => None,
+                    },
+                    _ => None,
+                };
+                vm.counters.db_calls += 1;
+                // One DB round trip = write + two reads on the socket
+                // (request, response header, response body): matches the
+                // ~3 network natives per round of Table 2.
+                vm.counters.natives.bump(NativeCategory::Network);
+                vm.counters.natives.bump(NativeCategory::Network);
+                vm.counters.natives.bump(NativeCategory::Network);
+                frame.pc += 1;
+                return StepOutcome::Block(Block::Db {
+                    conn: conn_obj,
+                    query,
+                    arg,
+                    proxy_conn_id,
+                });
+            }
+        }
+        StepOutcome::Continue
+    }
+
+    fn do_call(
+        &mut self,
+        vm: &mut VmInstance,
+        program: &Program,
+        target: MethodId,
+        cpu: &mut Duration,
+    ) -> StepOutcome {
+        let def = program.method(target);
+        if !vm.is_loaded(def.class) {
+            return StepOutcome::Block(Block::MissingClass { class: def.class });
+        }
+        match &def.body {
+            MethodBody::Native(native) => {
+                // Natives execute inline, no frame.
+                let native = *native;
+                let r = self.do_native_inner(vm, program, native, cpu);
+                if matches!(r, StepOutcome::Continue) {
+                    // do_native_inner advanced nothing; bump pc here.
+                    self.top_frame().pc += 1;
+                }
+                r
+            }
+            MethodBody::Bytecode(_) => {
+                let cold = vm.note_invocation(target);
+                let params = def.params as usize;
+                let frame = self.frames.last_mut().expect("no frames");
+                let at = frame.stack.len().checked_sub(params).unwrap_or_else(|| {
+                    panic!("stack underflow calling {} ({params} params)", def.name)
+                });
+                let mut locals: Vec<Value> = frame.stack.split_off(at);
+                // The caller resumes after the call once the callee returns.
+                frame.pc += 1;
+                locals.resize(def.frame_slots(), Value::Null);
+                self.frames.push(Frame {
+                    method: target,
+                    pc: 0,
+                    locals,
+                    stack: Vec::new(),
+                    cold,
+                });
+                StepOutcome::Continue
+            }
+        }
+    }
+
+    fn do_return(&mut self, value: Value) -> StepOutcome {
+        self.frames.pop();
+        match self.frames.last_mut() {
+            None => StepOutcome::Done(value),
+            Some(caller) => {
+                caller.stack.push(value);
+                StepOutcome::Continue
+            }
+        }
+    }
+
+    fn do_native(
+        &mut self,
+        vm: &mut VmInstance,
+        program: &Program,
+        native: NativeId,
+        cpu: &mut Duration,
+    ) -> StepOutcome {
+        let r = self.do_native_inner(vm, program, native, cpu);
+        if matches!(r, StepOutcome::Continue) {
+            self.top_frame().pc += 1;
+        }
+        r
+    }
+
+    /// Executes a native; on `Continue` the caller advances pc. Value-style
+    /// blocks advance pc themselves (their result is pushed on resume).
+    fn do_native_inner(
+        &mut self,
+        vm: &mut VmInstance,
+        program: &Program,
+        native: NativeId,
+        cpu: &mut Duration,
+    ) -> StepOutcome {
+        let def = program.native(native);
+        let cold = self.frames.last().expect("no frames").cold;
+        *cpu += if cold {
+            def.cost * vm.cost.cold_multiplier as u64
+        } else {
+            def.cost
+        };
+        vm.counters.natives.bump(def.category);
+
+        let is_function = vm.kind() == EndpointKind::Function;
+        let frame = self.frames.last_mut().expect("no frames");
+
+        // Non-offloadable natives always fall back from FaaS.
+        if is_function && def.category == NativeCategory::NonOffloadable {
+            let n = def.effect.arity();
+            let at = frame.stack.len() - n;
+            let args = frame.stack.split_off(at);
+            frame.pc += 1;
+            return StepOutcome::Block(Block::NativeFallback { native, args });
+        }
+
+        match def.effect {
+            NativeEffect::Nop => {
+                for _ in 0..def.effect.arity() {
+                    frame.stack.pop().expect("operand stack underflow");
+                }
+                frame.stack.push(Value::Null);
+                StepOutcome::Continue
+            }
+            NativeEffect::PushToken(t) => {
+                frame.stack.push(Value::I64(t));
+                StepOutcome::Continue
+            }
+            NativeEffect::ArrayCopy => {
+                let len = frame.stack.pop().and_then(Value::as_i64).expect("len");
+                let dst_pos = frame.stack.pop().and_then(Value::as_i64).expect("dstPos");
+                let dst = frame.stack.pop().and_then(Value::as_ref).expect("dst");
+                let src_pos = frame.stack.pop().and_then(Value::as_i64).expect("srcPos");
+                let src = frame.stack.pop().and_then(Value::as_ref).expect("src");
+                let src_len = vm.heap.len_of(src) as i64;
+                let dst_len = vm.heap.len_of(dst) as i64;
+                let n = len.min(src_len - src_pos).min(dst_len - dst_pos).max(0);
+                for i in 0..n {
+                    let v = vm.heap.get(src, (src_pos + i) as u32);
+                    vm.heap.set(dst, (dst_pos + i) as u32, v);
+                }
+                *cpu += vm.note_write(dst);
+                frame.stack.push(Value::Null);
+                StepOutcome::Continue
+            }
+            NativeEffect::ReflectInvoke => {
+                let obj = match frame.stack.last().copied() {
+                    Some(Value::Ref(a)) => a,
+                    other => panic!("ReflectInvoke expects an object, got {other:?}"),
+                };
+                let class = vm.heap.class_of(obj);
+                let spec = program.class(class).packageable;
+                let resolved = spec.and_then(|s| {
+                    vm.heap
+                        .get(obj, s.handle_slot as u32)
+                        .as_i64()
+                        .and_then(|h| vm.native_state(h as u64))
+                        .cloned()
+                });
+                match resolved {
+                    Some(NativeState::MethodMeta { method }) => {
+                        frame.stack.pop();
+                        frame.stack.push(Value::I64(method.0 as i64));
+                        StepOutcome::Continue
+                    }
+                    Some(_) => {
+                        frame.stack.pop();
+                        frame.stack.push(Value::I64(0));
+                        StepOutcome::Continue
+                    }
+                    None => {
+                        // Hidden state absent on this endpoint: fall back.
+                        let arg = frame.stack.pop().expect("arg");
+                        frame.pc += 1;
+                        StepOutcome::Block(Block::NativeFallback {
+                            native,
+                            args: vec![arg],
+                        })
+                    }
+                }
+            }
+            NativeEffect::SocketIo => {
+                let obj = match frame.stack.last().copied() {
+                    Some(Value::Ref(a)) => a,
+                    other => panic!("SocketIo expects a connection object, got {other:?}"),
+                };
+                let class = vm.heap.class_of(obj);
+                let present = program.class(class).packageable.is_some_and(|s| {
+                    vm.heap
+                        .get(obj, s.handle_slot as u32)
+                        .as_i64()
+                        .is_some_and(|h| vm.native_state(h as u64).is_some())
+                });
+                if present || !is_function {
+                    frame.stack.pop();
+                    frame.stack.push(Value::Null);
+                    StepOutcome::Continue
+                } else {
+                    let arg = frame.stack.pop().expect("arg");
+                    frame.pc += 1;
+                    StepOutcome::Block(Block::NativeFallback {
+                        native,
+                        args: vec![arg],
+                    })
+                }
+            }
+            NativeEffect::FileAccess => {
+                if is_function {
+                    frame.pc += 1;
+                    StepOutcome::Block(Block::NativeFallback {
+                        native,
+                        args: Vec::new(),
+                    })
+                } else {
+                    frame.stack.push(Value::I64(0));
+                    StepOutcome::Continue
+                }
+            }
+        }
+    }
+}
+
+enum StepOutcome {
+    Continue,
+    Done(Value),
+    Block(Block),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::class::PackSpec;
+    use crate::heap::Space;
+    use crate::instance::CostModel;
+    use crate::program::ProgramBuilder;
+
+    fn run_to_done(
+        exec: &mut Execution,
+        vm: &mut VmInstance,
+        program: &Program,
+    ) -> (Value, Duration) {
+        let r = exec.run(vm, program);
+        match r.outcome {
+            Outcome::Done(v) => (v, r.cpu),
+            Outcome::Blocked(b) => panic!("unexpected block: {b:?}"),
+        }
+    }
+
+    #[test]
+    fn arithmetic_program() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.user_class("A", 0, None);
+        let mut a = Asm::new();
+        // (10 + 5) * 3 - 1 = 44
+        a.const_i(10).const_i(5).add().const_i(3).mul().const_i(1).sub().return_val();
+        let m = pb.method(c, "calc", 0, 0, a.finish());
+        let p = pb.finish();
+        let mut vm = VmInstance::server(&p, CostModel::default());
+        let mut e = Execution::call(m, vec![], &p);
+        let (v, cpu) = run_to_done(&mut e, &mut vm, &p);
+        assert_eq!(v, Value::I64(44));
+        assert!(cpu > Duration::ZERO);
+    }
+
+    #[test]
+    fn locals_and_branches_compute_loops() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.user_class("A", 0, None);
+        // sum = 0; for i in 0..n { sum += i } ; return sum
+        let mut a = Asm::new();
+        a.const_i(0).store(1); // sum
+        a.const_i(0).store(2); // i
+        let top = a.here();
+        a.load(2).load(0).cmp_lt();
+        let exit = a.jump_if_zero_fwd();
+        a.load(1).load(2).add().store(1);
+        a.load(2).const_i(1).add().store(2);
+        a.jump_back(top);
+        a.bind(exit);
+        a.load(1).return_val();
+        let m = pb.method(c, "sum", 1, 2, a.finish());
+        let p = pb.finish();
+        let mut vm = VmInstance::server(&p, CostModel::default());
+        let mut e = Execution::call(m, vec![Value::I64(10)], &p);
+        let (v, _) = run_to_done(&mut e, &mut vm, &p);
+        assert_eq!(v, Value::I64(45));
+    }
+
+    #[test]
+    fn nested_calls_and_returns() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.user_class("A", 0, None);
+        let mut inner = Asm::new();
+        inner.load(0).load(0).mul().return_val();
+        let sq = pb.method(c, "sq", 1, 0, inner.finish());
+        let mut outer = Asm::new();
+        outer.const_i(6).call(sq).const_i(4).call(sq).add().return_val();
+        let m = pb.method(c, "m", 0, 0, outer.finish());
+        let p = pb.finish();
+        let mut vm = VmInstance::server(&p, CostModel::default());
+        let mut e = Execution::call(m, vec![], &p);
+        let (v, _) = run_to_done(&mut e, &mut vm, &p);
+        assert_eq!(v, Value::I64(52));
+    }
+
+    #[test]
+    fn objects_fields_and_arrays() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.user_class("Box", 2, None);
+        let mut a = Asm::new();
+        // b = new Box; b.f0 = 7; arr = new[3]; arr[2] = b.f0 + 1; return arr[2] + arr.len
+        a.new_obj(c).store(0);
+        a.load(0).const_i(7).put_field(0);
+        a.const_i(3).new_array().store(1);
+        a.load(1).const_i(2).load(0).get_field(0).const_i(1).add().arr_store();
+        a.load(1).const_i(2).arr_load();
+        a.load(1).arr_len().add().return_val();
+        let m = pb.method(c, "m", 0, 2, a.finish());
+        let p = pb.finish();
+        let mut vm = VmInstance::server(&p, CostModel::default());
+        let mut e = Execution::call(m, vec![], &p);
+        let (v, _) = run_to_done(&mut e, &mut vm, &p);
+        assert_eq!(v, Value::I64(11));
+    }
+
+    #[test]
+    fn stub_dispatch_selects_by_selector() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.user_class("A", 0, None);
+        let mut m1 = Asm::new();
+        m1.const_i(100).return_val();
+        let t1 = pb.method(c, "t1", 0, 0, m1.finish());
+        let mut m2 = Asm::new();
+        m2.const_i(200).return_val();
+        let t2 = pb.method(c, "t2", 0, 0, m2.finish());
+        let stub = pb.stub("MethodInterceptor", vec![t1, t2]);
+        let mut a = Asm::new();
+        a.const_i(1).call_stub(stub).const_i(0).call_stub(stub).add().return_val();
+        let m = pb.method(c, "m", 0, 0, a.finish());
+        let p = pb.finish();
+        let mut vm = VmInstance::server(&p, CostModel::default());
+        let mut e = Execution::call(m, vec![], &p);
+        let (v, _) = run_to_done(&mut e, &mut vm, &p);
+        assert_eq!(v, Value::I64(300));
+    }
+
+    #[test]
+    fn missing_class_blocks_and_resumes_on_function() {
+        let mut pb = ProgramBuilder::new();
+        let c_root = pb.user_class("Root", 0, None);
+        let c_dep = pb.framework_class("Dep", 0);
+        let mut dep = Asm::new();
+        dep.const_i(5).return_val();
+        let dep_m = pb.method(c_dep, "five", 0, 0, dep.finish());
+        let mut a = Asm::new();
+        a.call(dep_m).return_val();
+        let m = pb.method(c_root, "m", 0, 0, a.finish());
+        let p = pb.finish();
+        let mut vm = VmInstance::function(&p, CostModel::default());
+        vm.load_class(c_root);
+        let mut e = Execution::call(m, vec![], &p);
+        let r = e.run(&mut vm, &p);
+        assert_eq!(
+            r.outcome,
+            Outcome::Blocked(Block::MissingClass { class: c_dep })
+        );
+        vm.load_class(c_dep);
+        e.resume();
+        let (v, _) = run_to_done(&mut e, &mut vm, &p);
+        assert_eq!(v, Value::I64(5));
+    }
+
+    #[test]
+    fn remote_field_blocks_with_provenance_and_resumes_after_fixup() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.user_class("Node", 1, None);
+        let mut a = Asm::new();
+        // return arg.f0.f0
+        a.load(0).get_field(0).get_field(0).return_val();
+        let m = pb.method(c, "m", 1, 0, a.finish());
+        let p = pb.finish();
+        let mut vm = VmInstance::function(&p, CostModel::default());
+        vm.load_class(c);
+
+        // Closure: local object `a` whose field holds a remote ref (as the
+        // server's closure construction would leave it, §4.1).
+        let local = vm.heap.alloc_object(c, 1, Space::Alloc).unwrap();
+        let remote_canonical = Addr(crate::heap::CLOSURE_BASE + 0x100);
+        vm.heap
+            .set(local, 0, Value::Ref(remote_canonical.to_remote()));
+
+        let mut e = Execution::call(m, vec![Value::Ref(local)], &p);
+        let r = e.run(&mut vm, &p);
+        let (addr, prov) = match r.outcome {
+            Outcome::Blocked(Block::RemoteRef { addr, prov }) => (addr, prov),
+            other => panic!("expected RemoteRef, got {other:?}"),
+        };
+        assert!(addr.is_remote());
+        assert_eq!(addr.to_local(), remote_canonical);
+        assert_eq!(prov, Provenance::Field { obj: local, slot: 0 });
+
+        // "Server" ships the object; embedder copies it locally and clears
+        // the remote bit in the provenance slot.
+        let fetched = vm.heap.alloc_object(c, 1, Space::Closure).unwrap();
+        vm.heap.set(fetched, 0, Value::I64(77));
+        vm.heap.set(local, 0, Value::Ref(fetched));
+        e.resume();
+        let (v, _) = run_to_done(&mut e, &mut vm, &p);
+        assert_eq!(v, Value::I64(77));
+    }
+
+    #[test]
+    fn server_never_checks_remote_bits() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.user_class("Node", 1, None);
+        let mut a = Asm::new();
+        a.load(0).get_field(0).return_val();
+        let m = pb.method(c, "m", 1, 0, a.finish());
+        let p = pb.finish();
+        let mut vm = VmInstance::server(&p, CostModel::default());
+        let obj = vm.heap.alloc_object(c, 1, Space::Alloc).unwrap();
+        vm.heap.set(obj, 0, Value::I64(3));
+        let mut e = Execution::call(m, vec![Value::Ref(obj)], &p);
+        let (v, _) = run_to_done(&mut e, &mut vm, &p);
+        assert_eq!(v, Value::I64(3));
+    }
+
+    #[test]
+    fn monitor_acquire_blocks_until_granted() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.user_class("Shared", 1, None);
+        let mut a = Asm::new();
+        // synchronized(arg) { arg.f0 += 1 } ; return arg.f0
+        a.load(0).monitor_enter();
+        a.load(0).load(0).get_field(0).const_i(1).add().put_field(0);
+        a.load(0).monitor_exit();
+        a.load(0).get_field(0).return_val();
+        let m = pb.method(c, "inc", 1, 0, a.finish());
+        let p = pb.finish();
+        let mut vm = VmInstance::function(&p, CostModel::default());
+        vm.load_class(c);
+        let obj = vm.heap.alloc_object(c, 1, Space::Closure).unwrap();
+        vm.heap.set(obj, 0, Value::I64(10));
+        let mut e = Execution::call(m, vec![Value::Ref(obj)], &p);
+        let r = e.run(&mut vm, &p);
+        assert_eq!(r.outcome, Outcome::Blocked(Block::MonitorAcquire { obj }));
+        vm.grant_monitor(obj);
+        e.resume();
+        let (v, _) = run_to_done(&mut e, &mut vm, &p);
+        assert_eq!(v, Value::I64(11));
+        // The object was written under the lock: it is on the dirty list.
+        assert_eq!(vm.take_dirty(), vec![obj]);
+    }
+
+    #[test]
+    fn db_call_via_packaged_connection() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.user_class("Handler", 0, None);
+        let sock = pb.jdk_class("SocketImpl", 1);
+        pb.make_packageable(
+            sock,
+            PackSpec {
+                handle_slot: 0,
+                kind: PackKind::Socket,
+                marshalled_bytes: 64,
+            },
+        );
+        let mut a = Asm::new();
+        // conn in local 0; issue query 7 with arg 42, return result + 1
+        a.const_i(42).db_call(0, 7).const_i(1).add().return_val();
+        let m = pb.method(c, "q", 1, 0, a.finish());
+        let p = pb.finish();
+
+        let mut vm = VmInstance::function(&p, CostModel::default());
+        vm.load_class(c);
+        vm.load_class(sock);
+        let conn = vm.heap.alloc_object(sock, 1, Space::Closure).unwrap();
+        let handle = vm.register_native_state(NativeState::Socket { proxy_conn_id: 123 });
+        vm.heap.set(conn, 0, Value::I64(handle as i64));
+
+        let mut e = Execution::call(m, vec![Value::Ref(conn)], &p);
+        let r = e.run(&mut vm, &p);
+        assert_eq!(
+            r.outcome,
+            Outcome::Blocked(Block::Db {
+                conn,
+                query: 7,
+                arg: 42,
+                proxy_conn_id: Some(123)
+            })
+        );
+        assert_eq!(vm.counters.db_calls, 1);
+        assert_eq!(vm.counters.natives.network, 3);
+        e.resume_with(Value::I64(1000));
+        let (v, _) = run_to_done(&mut e, &mut vm, &p);
+        assert_eq!(v, Value::I64(1001));
+    }
+
+    #[test]
+    fn db_call_without_packaged_state_requests_fallback() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.user_class("Handler", 0, None);
+        let sock = pb.jdk_class("SocketImpl", 1);
+        pb.make_packageable(
+            sock,
+            PackSpec {
+                handle_slot: 0,
+                kind: PackKind::Socket,
+                marshalled_bytes: 64,
+            },
+        );
+        let mut a = Asm::new();
+        a.const_i(1).db_call(0, 2).return_val();
+        let m = pb.method(c, "q", 1, 0, a.finish());
+        let p = pb.finish();
+
+        let mut vm = VmInstance::function(&p, CostModel::default());
+        vm.load_class(c);
+        vm.load_class(sock);
+        let conn = vm.heap.alloc_object(sock, 1, Space::Closure).unwrap();
+        // Handle value copied from the server, but no native state here.
+        vm.heap.set(conn, 0, Value::I64(555));
+
+        let mut e = Execution::call(m, vec![Value::Ref(conn)], &p);
+        let r = e.run(&mut vm, &p);
+        assert_eq!(
+            r.outcome,
+            Outcome::Blocked(Block::Db {
+                conn,
+                query: 2,
+                arg: 1,
+                proxy_conn_id: None
+            })
+        );
+    }
+
+    #[test]
+    fn gc_needed_block_allows_collection_and_retry() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.user_class("Obj", 4, None);
+        let mut a = Asm::new();
+        // allocate `n` objects in a loop, keeping none
+        a.const_i(0).store(1);
+        let top = a.here();
+        a.load(1).load(0).cmp_lt();
+        let exit = a.jump_if_zero_fwd();
+        a.new_obj(c).pop();
+        a.load(1).const_i(1).add().store(1);
+        a.jump_back(top);
+        a.bind(exit);
+        a.const_i(1).return_val();
+        let m = pb.method(c, "churn", 1, 1, a.finish());
+        let p = pb.finish();
+
+        let mut vm = VmInstance::function(&p, CostModel::default());
+        vm.load_class(c);
+        // Shrink the heap drastically by exhausting it first.
+        let mut e = Execution::call(m, vec![Value::I64(300_000)], &p);
+        let mut gcs = 0;
+        loop {
+            let r = e.run(&mut vm, &p);
+            match r.outcome {
+                Outcome::Done(v) => {
+                    assert_eq!(v, Value::I64(1));
+                    break;
+                }
+                Outcome::Blocked(Block::GcNeeded { .. }) => {
+                    gcs += 1;
+                    vm.collect(&mut [&mut e], &mut []);
+                    e.resume();
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(gcs >= 1, "the loop must have triggered at least one GC");
+        assert_eq!(vm.gc_log().len(), gcs);
+    }
+
+    #[test]
+    fn natives_run_or_fall_back_by_category() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.user_class("A", 0, None);
+        let arraycopy = pb.native(
+            "System.arraycopy",
+            NativeCategory::PureOnHeap,
+            Duration::from_nanos(50),
+            NativeEffect::ArrayCopy,
+        );
+        let current_thread = pb.native(
+            "Thread.currentThread",
+            NativeCategory::Stateless,
+            Duration::from_nanos(10),
+            NativeEffect::PushToken(1),
+        );
+        let file_read = pb.native(
+            "FileInputStream.read0",
+            NativeCategory::NonOffloadable,
+            Duration::from_micros(2),
+            NativeEffect::FileAccess,
+        );
+        let mut a = Asm::new();
+        // copy arr1[0..2] into arr2[1..3]; read file; return arr2[2] + token
+        a.const_i(4).new_array().store(0);
+        a.const_i(4).new_array().store(1);
+        a.load(0).const_i(0).const_i(21).arr_store();
+        a.load(0).const_i(1).const_i(2).arr_store();
+        a.load(0).const_i(0).load(1).const_i(1).const_i(2).native(arraycopy).pop();
+        a.native(file_read).pop();
+        a.load(1).const_i(2).arr_load();
+        a.native(current_thread).add().return_val();
+        let m = pb.method(c, "m", 0, 2, a.finish());
+        let p = pb.finish();
+
+        // On the server: runs straight through.
+        let mut vm = VmInstance::server(&p, CostModel::default());
+        let mut e = Execution::call(m, vec![], &p);
+        let (v, _) = run_to_done(&mut e, &mut vm, &p);
+        assert_eq!(v, Value::I64(3)); // arr2[2] = 2, token = 1
+        assert_eq!(vm.counters.natives.pure_on_heap, 1);
+        assert_eq!(vm.counters.natives.stateless, 1);
+        assert_eq!(vm.counters.natives.non_offloadable, 1);
+
+        // On a function: the file access falls back.
+        let mut vmf = VmInstance::function(&p, CostModel::default());
+        vmf.load_class(c);
+        let mut ef = Execution::call(m, vec![], &p);
+        let r = ef.run(&mut vmf, &p);
+        match r.outcome {
+            Outcome::Blocked(Block::NativeFallback { native, .. }) => {
+                assert_eq!(native, file_read);
+            }
+            other => panic!("expected NativeFallback, got {other:?}"),
+        }
+        ef.resume_with(Value::I64(0));
+        let (v, _) = run_to_done(&mut ef, &mut vmf, &p);
+        assert_eq!(v, Value::I64(3));
+    }
+
+    #[test]
+    fn reflect_invoke_uses_packaged_metadata() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.user_class("A", 0, None);
+        let method_class = pb.jdk_class("java.lang.reflect.Method", 1);
+        pb.make_packageable(
+            method_class,
+            PackSpec {
+                handle_slot: 0,
+                kind: PackKind::MethodMeta,
+                marshalled_bytes: 48,
+            },
+        );
+        let invoke0 = pb.native(
+            "MethodAccessor.invoke0",
+            NativeCategory::HiddenState,
+            Duration::from_nanos(200),
+            NativeEffect::ReflectInvoke,
+        );
+        let mut a = Asm::new();
+        a.load(0).native(invoke0).return_val();
+        let m = pb.method(c, "m", 1, 0, a.finish());
+        let p = pb.finish();
+
+        // Function with packaged state: runs locally.
+        let mut vm = VmInstance::function(&p, CostModel::default());
+        vm.load_class(c);
+        vm.load_class(method_class);
+        let mobj = vm.heap.alloc_object(method_class, 1, Space::Closure).unwrap();
+        let h = vm.register_native_state(NativeState::MethodMeta { method: MethodId(9) });
+        vm.heap.set(mobj, 0, Value::I64(h as i64));
+        let mut e = Execution::call(m, vec![Value::Ref(mobj)], &p);
+        let (v, _) = run_to_done(&mut e, &mut vm, &p);
+        assert_eq!(v, Value::I64(9));
+        assert_eq!(vm.counters.natives.hidden_state, 1);
+
+        // Function without packaged state: falls back.
+        let mut vm2 = VmInstance::function(&p, CostModel::default());
+        vm2.load_class(c);
+        vm2.load_class(method_class);
+        let mobj2 = vm2.heap.alloc_object(method_class, 1, Space::Closure).unwrap();
+        vm2.heap.set(mobj2, 0, Value::I64(42)); // dangling handle
+        let mut e2 = Execution::call(m, vec![Value::Ref(mobj2)], &p);
+        let r = e2.run(&mut vm2, &p);
+        assert!(matches!(
+            r.outcome,
+            Outcome::Blocked(Block::NativeFallback { .. })
+        ));
+    }
+
+    #[test]
+    fn warmup_makes_cold_runs_slower() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.user_class("A", 0, None);
+        let mut a = Asm::new();
+        a.work(1000).const_i(0).return_val();
+        let m = pb.method(c, "m", 0, 0, a.finish());
+        let p = pb.finish();
+        let mut vm = VmInstance::server(&p, CostModel::default());
+        let mut cold_cpu = Duration::ZERO;
+        let mut warm_cpu = Duration::ZERO;
+        for i in 0..vm.cost.warm_threshold + 5 {
+            let mut e = Execution::call(m, vec![], &p);
+            let r = e.run(&mut vm, &p);
+            if i == 0 {
+                cold_cpu = r.cpu;
+            }
+            warm_cpu = r.cpu;
+        }
+        assert!(
+            cold_cpu > warm_cpu * 2,
+            "cold {cold_cpu:?} should dwarf warm {warm_cpu:?}"
+        );
+    }
+
+    #[test]
+    fn total_cpu_accumulates_across_segments() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.user_class("A", 0, None);
+        let dep = pb.framework_class("Dep", 0);
+        let mut depm = Asm::new();
+        depm.work(500).const_i(1).return_val();
+        let dm = pb.method(dep, "d", 0, 0, depm.finish());
+        let mut a = Asm::new();
+        a.work(500).call(dm).return_val();
+        let m = pb.method(c, "m", 0, 0, a.finish());
+        let p = pb.finish();
+        let mut vm = VmInstance::function(&p, CostModel::default());
+        vm.load_class(c);
+        let mut e = Execution::call(m, vec![], &p);
+        let r1 = e.run(&mut vm, &p);
+        assert!(matches!(r1.outcome, Outcome::Blocked(_)));
+        vm.load_class(dep);
+        e.resume();
+        let r2 = e.run(&mut vm, &p);
+        assert!(matches!(r2.outcome, Outcome::Done(_)));
+        assert_eq!(e.total_cpu(), r1.cpu + r2.cpu);
+    }
+
+    #[test]
+    fn stack_bytes_reflect_depth() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.user_class("A", 0, None);
+        let mut a = Asm::new();
+        a.const_i(1).return_val();
+        let m = pb.method(c, "m", 2, 3, a.finish());
+        let p = pb.finish();
+        let e = Execution::call(m, vec![Value::I64(1), Value::I64(2)], &p);
+        assert_eq!(e.stack_bytes(), (5 + 0 + 2) * 8);
+    }
+}

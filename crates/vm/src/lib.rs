@@ -1,0 +1,72 @@
+//! # beehive-vm — a from-scratch managed runtime
+//!
+//! BeeHive's offloading mechanism is a *runtime* mechanism: the JVM extracts
+//! closures (bytecode + reachable objects + packed native state), ships them
+//! to FaaS instances, detects remote references on load, and falls back to
+//! the server for missing code/data/locks. Reproducing that in Rust requires
+//! a managed runtime of our own. This crate provides it:
+//!
+//! * a **stack bytecode** instruction set ([`Op`]) with monitors, statics,
+//!   native calls, interceptor-style dynamic stubs and database calls,
+//! * a **resumable interpreter** ([`Execution`]) with explicit frames: the
+//!   dispatch loop returns [`Outcome::Blocked`] for anything that needs the
+//!   outside world (remote fetch, missing class, monitor hand-off, database
+//!   I/O, GC), and the driver resumes it later — this is what makes
+//!   fallback-based Semi-FaaS execution and stack-snapshot failure recovery
+//!   possible,
+//! * an **address-based heap** ([`heap::Heap`]) with a never-collected
+//!   *closure space* and a semispace-collected *allocation space*, a 512-byte
+//!   card table, and bit-63 **remote reference tagging** exactly as in §4.1
+//!   of the paper,
+//! * **native methods** in the paper's four categories (pure on-heap, hidden
+//!   state, network, stateless) plus non-offloadable ones, with
+//!   [`Packageable`](class::PackSpec) native-state marshalling (§3.2),
+//! * a **profiler** counting invocations and accumulated virtual time per
+//!   annotated method, feeding root-method selection (§4.3).
+//!
+//! Virtual time: the interpreter never consults the wall clock; every op
+//! charges virtual nanoseconds according to [`CostModel`], and the embedding
+//! discrete-event simulation accounts for them.
+//!
+//! # Example
+//!
+//! ```
+//! use beehive_vm::{Asm, CostModel, Execution, Outcome};
+//! use beehive_vm::program::ProgramBuilder;
+//! use beehive_vm::instance::VmInstance;
+//!
+//! let mut pb = ProgramBuilder::new();
+//! let class = pb.user_class("Demo", 0, Some("@GetMapping"));
+//! let mut asm = Asm::new();
+//! asm.const_i(20).const_i(22).add().return_val();
+//! let method = pb.method(class, "answer", 0, 0, asm.finish());
+//! let program = pb.finish();
+//!
+//! let mut vm = VmInstance::server(&program, CostModel::default());
+//! let mut exec = Execution::call(method, vec![], &program);
+//! let step = exec.run(&mut vm, &program);
+//! assert!(matches!(step.outcome, Outcome::Done(v) if v.as_i64() == Some(42)));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod class;
+pub mod heap;
+pub mod instance;
+pub mod interp;
+pub mod natives;
+pub mod op;
+pub mod profiler;
+pub mod program;
+pub mod value;
+
+mod asm;
+mod ids;
+
+pub use asm::Asm;
+pub use beehive_sim::Duration;
+pub use ids::{ClassId, EndpointId, MethodId, NativeId, StaticSlot, StubId};
+pub use instance::{CostModel, EndpointKind, VmInstance};
+pub use interp::{Block, Execution, Outcome, Provenance, StepResult};
+pub use op::Op;
+pub use value::{Addr, Value};

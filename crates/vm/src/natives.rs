@@ -1,0 +1,198 @@
+//! Native methods.
+//!
+//! Web applications invoke native methods intensively — over 200k per pybbs
+//! request (§3.2, Table 2). The paper divides them into four categories and
+//! handles each so that almost none needs a fallback:
+//!
+//! | Category | Example | FaaS handling |
+//! |---|---|---|
+//! | [`PureOnHeap`](NativeCategory::PureOnHeap) | `System.arraycopy` | run directly |
+//! | [`HiddenState`](NativeCategory::HiddenState) | `MethodAccessor.invoke0` | run directly *iff* the owning object's native state was packaged ([`PackSpec`](crate::class::PackSpec)); otherwise fall back |
+//! | [`Network`](NativeCategory::Network) | `socketRead0` | run through the connection proxy (§3.3) |
+//! | [`Stateless`](NativeCategory::Stateless) | `Thread.currentThread` | run directly |
+//!
+//! A fifth category, [`NonOffloadable`](NativeCategory::NonOffloadable)
+//! (e.g. local file access), always falls back — the paper lists these as the
+//! "inevitable native fallbacks" (§5.7).
+
+use crate::ids::MethodId;
+use crate::Duration;
+
+pub use crate::ids::NativeId;
+
+/// The paper's native-method taxonomy (§3.2, Table 2) plus the
+/// non-offloadable residue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum NativeCategory {
+    /// Manipulates heap data only; safe to run on FaaS directly.
+    PureOnHeap,
+    /// Depends on off-heap state owned by a Java object; runs on FaaS only
+    /// if that state was packaged into the closure.
+    HiddenState,
+    /// Socket I/O on stateful connections; runs on FaaS through the proxy.
+    Network,
+    /// No side effects between invocations; safe to run on FaaS directly.
+    Stateless,
+    /// Coupled to local resources (files, JVM-internal handles) that cannot
+    /// be packaged; always falls back to the server.
+    NonOffloadable,
+}
+
+impl NativeCategory {
+    /// Row label used when printing Table 2.
+    pub fn label(self) -> &'static str {
+        match self {
+            NativeCategory::PureOnHeap => "Pure on-heap",
+            NativeCategory::HiddenState => "Hidden states",
+            NativeCategory::Network => "Network",
+            NativeCategory::Stateless => "Others",
+            NativeCategory::NonOffloadable => "Non-offloadable",
+        }
+    }
+}
+
+/// What a native method does when it runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NativeEffect {
+    /// Charge cost only; pops `arity` arguments, pushes 0.
+    Nop,
+    /// `System.arraycopy`: pops (len, dstPos, dst, srcPos, src) and copies
+    /// the elements for real; pushes 0.
+    ArrayCopy,
+    /// Pushes a fixed token (e.g. a thread id).
+    PushToken(i64),
+    /// `MethodAccessor.invoke0`-style reflection: pops a `Method`-like object
+    /// whose [`PackSpec`](crate::class::PackSpec) field holds a native-state
+    /// handle; pushes a token derived from the resolved metadata.
+    ReflectInvoke,
+    /// Socket read/write on a connection object whose native state must be a
+    /// packaged socket; pushes 0. (Latency is modelled by
+    /// [`Op::DbCall`](crate::op::Op::DbCall); this effect covers the direct
+    /// invocation count.)
+    SocketIo,
+    /// Local file access; never offloadable.
+    FileAccess,
+}
+
+impl NativeEffect {
+    /// How many operands the effect pops.
+    pub fn arity(self) -> usize {
+        match self {
+            NativeEffect::Nop => 0,
+            NativeEffect::ArrayCopy => 5,
+            NativeEffect::PushToken(_) => 0,
+            NativeEffect::ReflectInvoke => 1,
+            NativeEffect::SocketIo => 1,
+            NativeEffect::FileAccess => 0,
+        }
+    }
+}
+
+/// Descriptor of one native method.
+#[derive(Clone, Debug)]
+pub struct NativeDef {
+    /// Diagnostic name (`System.arraycopy`, `socketRead0`, ...).
+    pub name: String,
+    /// Taxonomy category (§3.2).
+    pub category: NativeCategory,
+    /// CPU cost charged per invocation.
+    pub cost: Duration,
+    /// Behaviour.
+    pub effect: NativeEffect,
+}
+
+/// Off-heap state owned by an object, keyed from a field via
+/// [`PackSpec`](crate::class::PackSpec). Lives in a per-instance table; only
+/// packageable classes can carry it across endpoints.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NativeState {
+    /// Reflection metadata: which method a `Method` object denotes.
+    MethodMeta {
+        /// The denoted method.
+        method: MethodId,
+    },
+    /// A live socket. `proxy_conn_id` is the unique connection ID issued by
+    /// the proxy's *prepare* step (§3.3); zero means the connection was never
+    /// prepared for offloading.
+    Socket {
+        /// Proxy-issued connection ID (0 = not prepared).
+        proxy_conn_id: u64,
+    },
+    /// An open local file — never transferable.
+    File {
+        /// The path, for diagnostics.
+        path: String,
+    },
+}
+
+/// Per-category invocation counters (reproduces Table 2).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NativeCounters {
+    /// Invocations of pure on-heap natives.
+    pub pure_on_heap: u64,
+    /// Invocations of hidden-state natives.
+    pub hidden_state: u64,
+    /// Invocations of network natives.
+    pub network: u64,
+    /// Invocations of stateless natives ("Others" in Table 2).
+    pub stateless: u64,
+    /// Invocations of non-offloadable natives.
+    pub non_offloadable: u64,
+}
+
+impl NativeCounters {
+    /// Bump the counter for `category`.
+    pub fn bump(&mut self, category: NativeCategory) {
+        match category {
+            NativeCategory::PureOnHeap => self.pure_on_heap += 1,
+            NativeCategory::HiddenState => self.hidden_state += 1,
+            NativeCategory::Network => self.network += 1,
+            NativeCategory::Stateless => self.stateless += 1,
+            NativeCategory::NonOffloadable => self.non_offloadable += 1,
+        }
+    }
+
+    /// Sum across categories.
+    pub fn total(&self) -> u64 {
+        self.pure_on_heap + self.hidden_state + self.network + self.stateless + self.non_offloadable
+    }
+
+    /// Reset all counters to zero, returning the previous values.
+    pub fn take(&mut self) -> NativeCounters {
+        std::mem::take(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_bump_and_total() {
+        let mut c = NativeCounters::default();
+        c.bump(NativeCategory::PureOnHeap);
+        c.bump(NativeCategory::PureOnHeap);
+        c.bump(NativeCategory::Network);
+        assert_eq!(c.pure_on_heap, 2);
+        assert_eq!(c.network, 1);
+        assert_eq!(c.total(), 3);
+        let taken = c.take();
+        assert_eq!(taken.total(), 3);
+        assert_eq!(c.total(), 0);
+    }
+
+    #[test]
+    fn effect_arity() {
+        assert_eq!(NativeEffect::ArrayCopy.arity(), 5);
+        assert_eq!(NativeEffect::ReflectInvoke.arity(), 1);
+        assert_eq!(NativeEffect::Nop.arity(), 0);
+    }
+
+    #[test]
+    fn category_labels_match_table2() {
+        assert_eq!(NativeCategory::PureOnHeap.label(), "Pure on-heap");
+        assert_eq!(NativeCategory::HiddenState.label(), "Hidden states");
+        assert_eq!(NativeCategory::Network.label(), "Network");
+        assert_eq!(NativeCategory::Stateless.label(), "Others");
+    }
+}

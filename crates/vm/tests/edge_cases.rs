@@ -1,0 +1,271 @@
+//! Edge-case tests for the interpreter: volatile statics (JMM sync points),
+//! arithmetic corner cases, operand restoration across retries, and API
+//! misuse panics.
+
+use beehive_vm::program::ProgramBuilder;
+use beehive_vm::{Asm, Block, CostModel, Execution, Op, Outcome, Value, VmInstance};
+
+#[test]
+fn volatile_statics_are_plain_accesses_on_the_server() {
+    let mut pb = ProgramBuilder::new();
+    let c = pb.user_class("A", 0, None);
+    let s = pb.static_slot("FLAG");
+    let mut a = Asm::new();
+    a.const_i(5).put_static_volatile(s);
+    a.get_static_volatile(s).const_i(1).add().return_val();
+    let m = pb.method(c, "m", 0, 0, a.finish());
+    let p = pb.finish();
+    let mut vm = VmInstance::server(&p, CostModel::default());
+    let mut e = Execution::call(m, vec![], &p);
+    let r = e.run(&mut vm, &p);
+    assert!(matches!(r.outcome, Outcome::Done(Value::I64(6))));
+}
+
+#[test]
+fn volatile_statics_synchronize_on_functions() {
+    let mut pb = ProgramBuilder::new();
+    let c = pb.user_class("A", 0, None);
+    let s = pb.static_slot("FLAG");
+    let mut a = Asm::new();
+    a.get_static_volatile(s).const_i(1).add().return_val();
+    let m = pb.method(c, "m", 0, 0, a.finish());
+    let p = pb.finish();
+
+    let mut vm = VmInstance::function(&p, CostModel::default());
+    vm.load_class(c);
+    let mut e = Execution::call(m, vec![], &p);
+    // First: the volatile access is a synchronization point.
+    let r = e.run(&mut vm, &p);
+    assert_eq!(
+        r.outcome,
+        Outcome::Blocked(Block::VolatileSync { slot: s, is_write: false })
+    );
+    // The embedder performs the sync, installs the value, grants the
+    // one-shot permit and resumes.
+    vm.install_static(s, Value::I64(41));
+    e.grant_sync_permit();
+    e.resume();
+    let r = e.run(&mut vm, &p);
+    assert!(matches!(r.outcome, Outcome::Done(Value::I64(42))));
+}
+
+#[test]
+fn every_volatile_access_is_its_own_sync_point() {
+    let mut pb = ProgramBuilder::new();
+    let c = pb.user_class("A", 0, None);
+    let s = pb.static_slot("FLAG");
+    let mut a = Asm::new();
+    a.get_static_volatile(s).pop();
+    a.get_static_volatile(s).return_val();
+    let m = pb.method(c, "m", 0, 0, a.finish());
+    let p = pb.finish();
+    let mut vm = VmInstance::function(&p, CostModel::default());
+    vm.load_class(c);
+    vm.install_static(s, Value::I64(9));
+    let mut e = Execution::call(m, vec![], &p);
+    let mut syncs = 0;
+    loop {
+        match e.run(&mut vm, &p).outcome {
+            Outcome::Blocked(Block::VolatileSync { .. }) => {
+                syncs += 1;
+                e.grant_sync_permit();
+                e.resume();
+            }
+            Outcome::Done(v) => {
+                assert_eq!(v, Value::I64(9));
+                break;
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    assert_eq!(syncs, 2, "the permit is one-shot");
+}
+
+#[test]
+fn division_and_remainder_by_zero_yield_zero() {
+    let mut pb = ProgramBuilder::new();
+    let c = pb.user_class("A", 0, None);
+    let mut a = Asm::new();
+    a.const_i(7).const_i(0).div();
+    a.const_i(7).const_i(0).rem();
+    a.add().return_val();
+    let m = pb.method(c, "m", 0, 0, a.finish());
+    let p = pb.finish();
+    let mut vm = VmInstance::server(&p, CostModel::default());
+    let mut e = Execution::call(m, vec![], &p);
+    assert!(matches!(
+        e.run(&mut vm, &p).outcome,
+        Outcome::Done(Value::I64(0))
+    ));
+}
+
+#[test]
+fn cmp_eq_works_on_references_and_null() {
+    let mut pb = ProgramBuilder::new();
+    let c = pb.user_class("A", 1, None);
+    // new o; (o == o) + (o == null) + (null == null) => 1 + 0 + 1 = 2
+    let mut a = Asm::new();
+    a.new_obj(c).store(0);
+    a.load(0).load(0).cmp_eq();
+    a.load(0).const_null().cmp_eq().add();
+    a.const_null().const_null().cmp_eq().add().return_val();
+    let m = pb.method(c, "m", 0, 1, a.finish());
+    let p = pb.finish();
+    let mut vm = VmInstance::server(&p, CostModel::default());
+    let mut e = Execution::call(m, vec![], &p);
+    assert!(matches!(
+        e.run(&mut vm, &p).outcome,
+        Outcome::Done(Value::I64(2))
+    ));
+}
+
+#[test]
+fn negative_stub_selectors_wrap() {
+    let mut pb = ProgramBuilder::new();
+    let c = pb.user_class("A", 0, None);
+    let mut t0 = Asm::new();
+    t0.const_i(10).return_val();
+    let m0 = pb.method(c, "t0", 0, 0, t0.finish());
+    let mut t1 = Asm::new();
+    t1.const_i(20).return_val();
+    let m1 = pb.method(c, "t1", 0, 0, t1.finish());
+    let stub = pb.stub("s", vec![m0, m1]);
+    let mut a = Asm::new();
+    a.const_i(-3).call_stub(stub).return_val(); // |-3| % 2 = 1 -> t1
+    let m = pb.method(c, "m", 0, 0, a.finish());
+    let p = pb.finish();
+    let mut vm = VmInstance::server(&p, CostModel::default());
+    let mut e = Execution::call(m, vec![], &p);
+    assert!(matches!(
+        e.run(&mut vm, &p).outcome,
+        Outcome::Done(Value::I64(20))
+    ));
+}
+
+#[test]
+fn deep_recursion_uses_explicit_frames() {
+    let mut pb = ProgramBuilder::new();
+    let c = pb.user_class("A", 0, None);
+    // f(n) = n == 0 ? 0 : f(n - 1) + 1, assembled with a self-call.
+    let mut a = Asm::new();
+    a.load(0);
+    let base = a.jump_if_zero_fwd();
+    a.load(0).const_i(1).sub();
+    a.call(beehive_vm::MethodId(0)); // self (first method gets id 0)
+    a.const_i(1).add().return_val();
+    a.bind(base);
+    a.const_i(0).return_val();
+    let m = pb.method(c, "f", 1, 0, a.finish());
+    assert_eq!(m, beehive_vm::MethodId(0));
+    let p = pb.finish();
+    let mut vm = VmInstance::server(&p, CostModel::default());
+    // 20k frames would overflow a host stack if the interpreter recursed.
+    let mut e = Execution::call(m, vec![Value::I64(20_000)], &p);
+    assert!(matches!(
+        e.run(&mut vm, &p).outcome,
+        Outcome::Done(Value::I64(20_000))
+    ));
+}
+
+#[test]
+#[should_panic(expected = "not retry-blocked")]
+fn resume_without_block_panics() {
+    let mut pb = ProgramBuilder::new();
+    let c = pb.user_class("A", 0, None);
+    let mut a = Asm::new();
+    a.const_i(1).return_val();
+    let m = pb.method(c, "m", 0, 0, a.finish());
+    let p = pb.finish();
+    let mut e = Execution::call(m, vec![], &p);
+    e.resume();
+}
+
+#[test]
+#[should_panic(expected = "blocked; resume first")]
+fn run_while_blocked_panics() {
+    let mut pb = ProgramBuilder::new();
+    let root = pb.user_class("Root", 0, None);
+    let dep = pb.framework_class("Dep", 0);
+    let mut d = Asm::new();
+    d.const_i(1).return_val();
+    let dm = pb.method(dep, "d", 0, 0, d.finish());
+    let mut a = Asm::new();
+    a.call(dm).return_val();
+    let m = pb.method(root, "m", 0, 0, a.finish());
+    let p = pb.finish();
+    let mut vm = VmInstance::function(&p, CostModel::default());
+    vm.load_class(root);
+    let mut e = Execution::call(m, vec![], &p);
+    assert!(matches!(e.run(&mut vm, &p).outcome, Outcome::Blocked(_)));
+    let _ = e.run(&mut vm, &p); // must panic: still blocked
+}
+
+#[test]
+fn arraycopy_clamps_out_of_range_requests() {
+    use beehive_sim::Duration;
+    use beehive_vm::natives::{NativeCategory, NativeEffect};
+    let mut pb = ProgramBuilder::new();
+    let c = pb.user_class("A", 0, None);
+    let copy = pb.native(
+        "System.arraycopy",
+        NativeCategory::PureOnHeap,
+        Duration::from_nanos(50),
+        NativeEffect::ArrayCopy,
+    );
+    let mut a = Asm::new();
+    a.const_i(4).new_array().store(0);
+    a.const_i(2).new_array().store(1);
+    a.load(0).const_i(2).const_i(7).arr_store(); // src[2] = 7
+    a.load(0).const_i(3).const_i(99).arr_store(); // src[3] = 99
+    // Ask for 10 elements from src[2] into dst[1]: only 1 fits (dst len 2).
+    a.load(0).const_i(2).load(1).const_i(1).const_i(10).native(copy).pop();
+    a.load(1).const_i(1).arr_load().return_val();
+    let m = pb.method(c, "m", 0, 2, a.finish());
+    let p = pb.finish();
+    let mut vm = VmInstance::server(&p, CostModel::default());
+    let mut e = Execution::call(m, vec![], &p);
+    // Exactly src[2] was copied into dst[1]; src[3] stayed out of range and
+    // nothing wrote past dst's bounds (no panic).
+    assert!(matches!(
+        e.run(&mut vm, &p).outcome,
+        Outcome::Done(Value::I64(7))
+    ));
+}
+
+#[test]
+fn work_op_charges_exactly_its_nanos_when_warm() {
+    let mut pb = ProgramBuilder::new();
+    let c = pb.user_class("A", 0, None);
+    let mut a = Asm::new();
+    a.work(100_000).const_i(0).return_val();
+    let m = pb.method(c, "m", 0, 0, a.finish());
+    let p = pb.finish();
+    let mut vm = VmInstance::server(&p, CostModel::default());
+    // Warm the method first.
+    for _ in 0..=vm.cost.warm_threshold {
+        let mut e = Execution::call(m, vec![], &p);
+        e.run(&mut vm, &p);
+    }
+    let mut e = Execution::call(m, vec![], &p);
+    let r = e.run(&mut vm, &p);
+    let cpu = r.cpu.as_nanos();
+    // 100us of Work plus a handful of op costs.
+    assert!((100_000..100_200).contains(&cpu), "cpu {cpu}");
+}
+
+#[test]
+fn op_return_pushes_null_to_caller() {
+    let mut pb = ProgramBuilder::new();
+    let c = pb.user_class("A", 0, None);
+    let callee = pb.method(c, "void_fn", 0, 0, vec![Op::Return]);
+    let mut a = Asm::new();
+    a.call(callee).const_null().cmp_eq().return_val();
+    let m = pb.method(c, "m", 0, 0, a.finish());
+    let p = pb.finish();
+    let mut vm = VmInstance::server(&p, CostModel::default());
+    let mut e = Execution::call(m, vec![], &p);
+    assert!(matches!(
+        e.run(&mut vm, &p).outcome,
+        Outcome::Done(Value::I64(1))
+    ));
+}

@@ -1,0 +1,130 @@
+//! Design-choice ablations for the optimizations DESIGN.md calls out:
+//! Packageable native-state packing (§3.2), proxy-based connections (§3.3),
+//! and shadow execution (§3.4, measured in
+//! [`breakdown::shadow_breakdown`](super::breakdown::shadow_breakdown)).
+
+use std::fmt;
+
+use beehive_apps::{App, AppKind, Fidelity};
+use beehive_core::config::BeeHiveConfig;
+use beehive_sim::Duration;
+
+use crate::driver::{ArrivalPattern, Sim, SimConfig};
+use crate::strategy::Strategy;
+
+use super::{base_rate, Profile};
+
+/// One ablation configuration's steady-state metrics.
+#[derive(Clone, Debug)]
+pub struct AblationRow {
+    /// Configuration label.
+    pub label: &'static str,
+    /// Steady p99 (ms).
+    pub p99_ms: f64,
+    /// Native fallbacks per offloaded request.
+    pub native_fallbacks: f64,
+    /// Database fallbacks per offloaded request.
+    pub db_fallbacks: f64,
+    /// Total fallback overhead per offloaded request (ms).
+    pub fallback_overhead_ms: f64,
+}
+
+/// The ablation study.
+#[derive(Clone, Debug)]
+pub struct AblationReport {
+    /// The application.
+    pub app: AppKind,
+    /// Rows: full BeeHive, no packaging, no proxy.
+    pub rows: Vec<AblationRow>,
+}
+
+/// Run the ablations on `kind` (BeeHiveO, steady state, half offloaded).
+pub fn ablation(kind: AppKind, profile: Profile) -> AblationReport {
+    let app = App::build(kind, Fidelity::fast());
+    let rate = base_rate(&app);
+    let (horizon, record_from) = if profile.quick {
+        (Duration::from_secs(18), Duration::from_secs(9))
+    } else {
+        (Duration::from_secs(40), Duration::from_secs(18))
+    };
+    let run = |label: &'static str, beehive: BeeHiveConfig| {
+        let mut cfg = SimConfig::new(app.clone(), Strategy::BeeHiveOpenWhisk);
+        cfg.arrivals = ArrivalPattern::constant(rate);
+        cfg.horizon = horizon;
+        cfg.record_from = record_from;
+        cfg.seed = profile.seed;
+        cfg.offload_ratio = 0.5;
+        cfg.engage_at = Duration::ZERO;
+        cfg.beehive = beehive;
+        let mut r = Sim::new(cfg).run();
+        let n = r.steady_offload_count.max(1) as f64;
+        AblationRow {
+            label,
+            p99_ms: r.steady.percentile(0.99).as_millis_f64(),
+            native_fallbacks: r.steady_offload.fallbacks_native as f64 / n,
+            db_fallbacks: r.steady_offload.fallbacks_db as f64 / n,
+            fallback_overhead_ms: r.steady_offload.fallback_overhead.as_millis_f64() / n,
+        }
+    };
+    AblationReport {
+        app: kind,
+        rows: vec![
+            run("BeeHive (full)", BeeHiveConfig::default()),
+            run(
+                "no Packageable (COMET-style)",
+                BeeHiveConfig::default().without_packageable(),
+            ),
+            run("no connection proxy", BeeHiveConfig::default().without_proxy()),
+        ],
+    }
+}
+
+impl fmt::Display for AblationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Ablations — {} (steady state, per offloaded request)", self.app.name())?;
+        writeln!(
+            f,
+            "{:<30} {:>10} {:>12} {:>10} {:>14}",
+            "configuration", "p99(ms)", "native FB", "db FB", "FB ovh(ms)"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<30} {:>10.2} {:>12.2} {:>10.2} {:>14.3}",
+                r.label, r.p99_ms, r.native_fallbacks, r.db_fallbacks, r.fallback_overhead_ms
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn removing_optimizations_brings_fallbacks_back() {
+        let r = ablation(AppKind::Pybbs, Profile::quick());
+        let full = &r.rows[0];
+        let no_pack = &r.rows[1];
+        let no_proxy = &r.rows[2];
+        // Full BeeHive: native and DB fallbacks eliminated (§3.2, §3.3).
+        assert!(full.native_fallbacks < 0.5, "{}", full.native_fallbacks);
+        assert!(full.db_fallbacks < 0.5, "{}", full.db_fallbacks);
+        // Without packaging, reflective natives fall back constantly.
+        assert!(
+            no_pack.native_fallbacks > 5.0,
+            "no-pack native fallbacks {}",
+            no_pack.native_fallbacks
+        );
+        // Without the proxy, every DB round falls back (82 for pybbs).
+        assert!(
+            no_proxy.db_fallbacks > 50.0,
+            "no-proxy db fallbacks {}",
+            no_proxy.db_fallbacks
+        );
+        // Both ablations cost latency.
+        assert!(no_proxy.fallback_overhead_ms > full.fallback_overhead_ms);
+        assert!(no_pack.fallback_overhead_ms > full.fallback_overhead_ms);
+    }
+}

@@ -1,0 +1,102 @@
+//! Figure 2: "The latency of web service (pybbs) rapidly increases with the
+//! number of concurrent clients."
+
+use std::fmt;
+
+use beehive_apps::{App, AppKind, Fidelity};
+use beehive_sim::Duration;
+
+use crate::driver::{ArrivalPattern, Sim, SimConfig};
+use crate::strategy::Strategy;
+
+use super::Profile;
+
+/// One point of Figure 2.
+#[derive(Clone, Copy, Debug)]
+pub struct Fig2Point {
+    /// Concurrent closed-loop clients.
+    pub clients: usize,
+    /// Average request latency (ms).
+    pub mean_ms: f64,
+    /// p99 request latency (ms).
+    pub p99_ms: f64,
+    /// Achieved throughput (requests/s).
+    pub throughput: f64,
+}
+
+/// The Figure 2 series.
+#[derive(Clone, Debug)]
+pub struct Fig2Report {
+    /// Latency points by client count.
+    pub points: Vec<Fig2Point>,
+}
+
+/// Run Figure 2: vanilla pybbs under increasing closed-loop client counts.
+pub fn fig2(profile: Profile) -> Fig2Report {
+    let app = App::build(AppKind::Pybbs, Fidelity::fast());
+    let counts: &[usize] = if profile.quick {
+        &[1, 8, 32]
+    } else {
+        &[1, 2, 4, 8, 16, 24, 32, 48, 64, 96]
+    };
+    let horizon = if profile.quick {
+        Duration::from_secs(10)
+    } else {
+        Duration::from_secs(25)
+    };
+    let record_from = horizon / 3;
+
+    let mut points = Vec::new();
+    for &clients in counts {
+        let mut cfg = SimConfig::new(app.clone(), Strategy::Vanilla);
+        cfg.arrivals = ArrivalPattern::Closed { clients };
+        cfg.horizon = horizon;
+        cfg.record_from = record_from;
+        cfg.seed = profile.seed;
+        let mut r = Sim::new(cfg).run();
+        let window = (horizon - record_from).as_secs_f64();
+        points.push(Fig2Point {
+            clients,
+            mean_ms: r.steady.mean().as_millis_f64(),
+            p99_ms: r.steady.percentile(0.99).as_millis_f64(),
+            throughput: r.steady.len() as f64 / window,
+        });
+    }
+    Fig2Report { points }
+}
+
+impl fmt::Display for Fig2Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 2 — pybbs latency vs concurrent clients (vanilla)")?;
+        writeln!(f, "{:>8} {:>12} {:>12} {:>12}", "clients", "mean (ms)", "p99 (ms)", "rps")?;
+        for p in &self.points {
+            writeln!(
+                f,
+                "{:>8} {:>12.2} {:>12.2} {:>12.1}",
+                p.clients, p.mean_ms, p.p99_ms, p.throughput
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_rises_with_clients() {
+        let r = fig2(Profile::quick());
+        assert_eq!(r.points.len(), 3);
+        let first = &r.points[0];
+        let last = &r.points[r.points.len() - 1];
+        assert!(
+            last.mean_ms > first.mean_ms * 1.5,
+            "mean should rise: {:.1} -> {:.1}",
+            first.mean_ms,
+            last.mean_ms
+        );
+        assert!(last.p99_ms >= last.mean_ms);
+        assert!(!format!("{r}").is_empty());
+    }
+}

@@ -1,0 +1,17 @@
+//! # beehive-workload — workload generators and experiment drivers
+//!
+//! The discrete-event driver ([`driver::Sim`]) that wires the whole system
+//! together — applications, the BeeHive server runtime, FaaS platforms,
+//! instance-scaling baselines, the database pool, client arrival processes —
+//! plus one experiment driver per table and figure of the paper's
+//! evaluation (the [`experiment`] module). Everything runs on virtual time
+//! from a seed; re-running an experiment reproduces it bit-for-bit.
+
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod experiment;
+pub mod strategy;
+
+pub use driver::{ArrivalPattern, Sim, SimConfig, SimResult};
+pub use strategy::Strategy;

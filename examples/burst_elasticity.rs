@@ -1,0 +1,71 @@
+//! Compare how every scaling strategy of the paper's Figure 7 reacts to the
+//! same 2x request burst: always-on burstable instances, EC2 on-demand,
+//! Fargate, and BeeHive's Semi-FaaS offloading (cold and warm).
+//!
+//! ```text
+//! cargo run --release --example burst_elasticity [app]
+//! ```
+//!
+//! `app` is `thumbnail`, `pybbs` (default) or `blog`.
+
+use beehive::apps::AppKind;
+use beehive::workload::experiment::{BurstExperiment, Strategy};
+
+fn main() {
+    let kind = match std::env::args().nth(1).as_deref() {
+        Some("thumbnail") => AppKind::Thumbnail,
+        Some("blog") => AppKind::Blog,
+        _ => AppKind::Pybbs,
+    };
+    let horizon = 90;
+    let burst_at = 30;
+
+    println!(
+        "Burst elasticity on {} — burst of 2x load from t={}s to t={}s\n",
+        kind.name(),
+        burst_at,
+        horizon
+    );
+    println!(
+        "{:<24} {:>14} {:>16} {:>12}",
+        "strategy", "stabilize (s)", "stable p99 (ms)", "cost ($)"
+    );
+
+    let mut runs: Vec<(String, _)> = Strategy::fig7_set()
+        .iter()
+        .map(|&s| {
+            let rep = BurstExperiment::new(kind, s)
+                .horizon_secs(horizon)
+                .burst_at_secs(burst_at)
+                .seed(42)
+                .run();
+            (s.label().to_string(), rep)
+        })
+        .collect();
+
+    // The §5.2 warm-boot case: FaaS instances cached from earlier bursts.
+    let warm = BurstExperiment::new(kind, Strategy::BeeHiveOpenWhisk)
+        .horizon_secs(horizon)
+        .burst_at_secs(burst_at)
+        .seed(42)
+        .warm_boot(true)
+        .run();
+    runs.push(("BeeHiveO (warm)".into(), warm));
+
+    for (label, rep) in &runs {
+        let stab = rep
+            .stabilization_secs
+            .map(|s| format!("{s}"))
+            .unwrap_or_else(|| "never".into());
+        println!(
+            "{:<24} {:>14} {:>16.1} {:>12.4}",
+            label, stab, rep.stabilized_p99_ms, rep.scaling_cost
+        );
+    }
+
+    println!(
+        "\nThe FaaS-backed strategies stabilize one to two orders of magnitude\n\
+         faster than instance provisioning; with warm instances the reaction\n\
+         is sub-second-class (the paper's headline result, §5.2)."
+    );
+}

@@ -1,0 +1,47 @@
+//! # BeeHive — Sub-second Elasticity for Web Services with Semi-FaaS Execution
+//!
+//! A from-scratch Rust reproduction of the ASPLOS '23 paper *BeeHive:
+//! Sub-second Elasticity for Web Services with Semi-FaaS Execution*
+//! (Zhao, Wu, Tang, Zang, Wang, Chen).
+//!
+//! This facade crate re-exports every subsystem of the workspace so examples
+//! and downstream users can depend on a single crate:
+//!
+//! * [`sim`] — deterministic discrete-event simulation kernel,
+//! * [`vm`] — the managed runtime (bytecode, heap, GC, monitors, natives),
+//! * [`faas`] — simulated FaaS platforms (OpenWhisk-like, Lambda-like),
+//! * [`proxy`] — proxy-based connection management,
+//! * [`db`] — the storage service the applications talk to,
+//! * [`core`] — the BeeHive offloading framework itself (the paper's
+//!   contribution),
+//! * [`scaling`] — baseline cloud scaling solutions and cost accounting,
+//! * [`apps`] — the three evaluation applications (thumbnail, pybbs, blog),
+//! * [`workload`] — workload generators and per-figure experiment drivers.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use beehive::workload::experiment::{BurstExperiment, Strategy};
+//! use beehive::apps::AppKind;
+//!
+//! // 12-second burst scenario on the pybbs comment workload, scaled down so
+//! // doctests stay fast. See examples/quickstart.rs for the real thing.
+//! let report = BurstExperiment::new(AppKind::Pybbs, Strategy::BeeHiveOpenWhisk)
+//!     .horizon_secs(12)
+//!     .burst_at_secs(4)
+//!     .seed(7)
+//!     .run();
+//! assert!(report.completed > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use beehive_apps as apps;
+pub use beehive_core as core;
+pub use beehive_db as db;
+pub use beehive_faas as faas;
+pub use beehive_proxy as proxy;
+pub use beehive_scaling as scaling;
+pub use beehive_sim as sim;
+pub use beehive_vm as vm;
+pub use beehive_workload as workload;

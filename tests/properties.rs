@@ -1,0 +1,294 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants: value encoding, heap/GC reachability preservation, object
+//! graph copies with remote marking, processor-sharing work conservation,
+//! percentile monotonicity and controller exactness.
+
+use std::collections::HashSet;
+
+use beehive::core::mapping::MappingTable;
+use beehive::core::objgraph::{apply_dirty_to_server, copy_to_function};
+use beehive::core::OffloadController;
+use beehive::sim::pool::PsPool;
+use beehive::sim::stats::LatencySampler;
+use beehive::sim::{Duration, Rng, SimTime};
+use beehive::vm::heap::Space;
+use beehive::vm::program::ProgramBuilder;
+use beehive::vm::{Addr, ClassId, CostModel, Value, VmInstance};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Value encoding
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn value_encoding_round_trips(x in -(1i64 << 62)..(1i64 << 62) - 1) {
+        let v = Value::I64(x);
+        prop_assert_eq!(Value::decode(v.encode()), v);
+    }
+
+    #[test]
+    fn ref_encoding_round_trips(offset in 1u64..1_000_000, remote: bool) {
+        let addr = Addr(0x1000_0000_0000 + offset * 8);
+        let addr = if remote { addr.to_remote() } else { addr };
+        let v = Value::Ref(addr);
+        prop_assert_eq!(Value::decode(v.encode()), v);
+        prop_assert_eq!(addr.is_remote(), remote);
+        prop_assert_eq!(addr.to_local().is_remote(), false);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Heap + GC: random object graphs survive collection intact
+// ---------------------------------------------------------------------------
+
+/// A random graph description: `edges[i]` lists, for object `i`, which other
+/// objects its fields point at (by index).
+fn graph_strategy() -> impl Strategy<Value = Vec<Vec<usize>>> {
+    prop::collection::vec(prop::collection::vec(0usize..24, 0..4), 1..24)
+}
+
+fn tiny_vm() -> (VmInstance, ClassId) {
+    let mut pb = ProgramBuilder::new();
+    let c = pb.user_class("Node", 4, None);
+    pb.method(c, "noop", 0, 0, vec![beehive::vm::Op::Return]);
+    let p = pb.finish();
+    (VmInstance::function(&p, CostModel::default()), c)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn gc_preserves_reachable_graphs(edges in graph_strategy(), keep_mask in prop::collection::vec(any::<bool>(), 24)) {
+        let (mut vm, class) = tiny_vm();
+        let n = edges.len();
+        // Allocate nodes; field 0 holds the node's id, fields 1..4 its edges.
+        let addrs: Vec<Addr> = (0..n)
+            .map(|i| {
+                let a = vm.heap.alloc_object(class, 4, Space::Alloc).unwrap();
+                vm.heap.set(a, 0, Value::I64(i as i64));
+                a
+            })
+            .collect();
+        for (i, out) in edges.iter().enumerate() {
+            for (slot, &target) in out.iter().enumerate().take(3) {
+                vm.heap.set(addrs[i], (slot + 1) as u32, Value::Ref(addrs[target % n]));
+            }
+        }
+        // Roots: a random subset.
+        let mut roots: Vec<Value> = addrs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| keep_mask.get(*i).copied().unwrap_or(false))
+            .map(|(_, &a)| Value::Ref(a))
+            .collect();
+        // Garbage to reclaim.
+        for _ in 0..50 {
+            vm.heap.alloc_object(class, 4, Space::Alloc).unwrap();
+        }
+
+        let before = vm.heap.used_alloc_bytes();
+        vm.heap.collect(&mut |visit| roots.iter_mut().for_each(&mut *visit));
+        prop_assert!(vm.heap.used_alloc_bytes() <= before);
+
+        // Every root's transitive graph must be intact: ids and edge shape.
+        let mut stack: Vec<(Addr, usize)> = Vec::new();
+        for (root_idx, v) in roots.iter().enumerate() {
+            let a = v.as_ref().unwrap();
+            let orig: Vec<usize> = addrs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| keep_mask.get(*i).copied().unwrap_or(false))
+                .map(|(i, _)| i)
+                .collect();
+            stack.push((a, orig[root_idx]));
+        }
+        let mut seen = HashSet::new();
+        while let Some((a, i)) = stack.pop() {
+            if !seen.insert(a) {
+                continue;
+            }
+            prop_assert_eq!(vm.heap.get(a, 0), Value::I64(i as i64), "node id preserved");
+            for slot in 0..3usize {
+                let expect = edges[i].get(slot).map(|&t| t % edges.len());
+                match (vm.heap.get(a, (slot + 1) as u32), expect) {
+                    (Value::Ref(next), Some(t)) => stack.push((next, t)),
+                    (Value::Null, None) => {}
+                    (got, want) => prop_assert!(false, "slot mismatch: {got:?} vs {want:?}"),
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Object-graph copy: remote marking + dirty write-back round trip
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn copy_and_writeback_round_trip(
+        edges in graph_strategy(),
+        include_mask in prop::collection::vec(any::<bool>(), 24),
+        new_values in prop::collection::vec(0i64..1_000_000, 24),
+    ) {
+        let mut pb = ProgramBuilder::new();
+        let class = pb.user_class("Node", 4, None);
+        pb.method(class, "noop", 0, 0, vec![beehive::vm::Op::Return]);
+        let program = pb.finish();
+        let mut server = VmInstance::server(&program, CostModel::default());
+        let mut func = VmInstance::function(&program, CostModel::default());
+
+        let n = edges.len();
+        let addrs: Vec<Addr> = (0..n)
+            .map(|i| {
+                let a = server.heap.alloc_object(class, 4, Space::Closure).unwrap();
+                server.heap.set(a, 0, Value::I64(i as i64));
+                a
+            })
+            .collect();
+        for (i, out) in edges.iter().enumerate() {
+            for (slot, &t) in out.iter().enumerate().take(3) {
+                server.heap.set(addrs[i], (slot + 1) as u32, Value::Ref(addrs[t % n]));
+            }
+        }
+
+        let include: HashSet<Addr> = addrs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| include_mask.get(*i).copied().unwrap_or(false))
+            .map(|(_, &a)| a)
+            .collect();
+        let mut mapping = MappingTable::new();
+        let report = copy_to_function(&server, &mut func, &mut mapping, &program, &include, &mut |_, _, _| None);
+        prop_assert_eq!(report.objects, include.len() as u64);
+        prop_assert_eq!(mapping.len(), include.len());
+
+        // Invariant: copied fields either point at copied objects (local) or
+        // carry the remote mark with the exact canonical address.
+        for (i, &a) in addrs.iter().enumerate() {
+            let Some(local) = mapping.local_of(a) else { continue };
+            prop_assert_eq!(func.heap.get(local, 0), Value::I64(i as i64));
+            for slot in 0..3usize {
+                if let Value::Ref(r) = func.heap.get(local, (slot + 1) as u32) {
+                    let target = addrs[edges[i][slot] % n];
+                    if include.contains(&target) {
+                        prop_assert_eq!(r, mapping.local_of(target).unwrap());
+                    } else {
+                        prop_assert!(r.is_remote());
+                        prop_assert_eq!(r.to_local(), target);
+                    }
+                }
+            }
+        }
+
+        // Mutate every copied object on the function, ship dirty back, and
+        // check the server sees exactly the new values.
+        let mut dirty = Vec::new();
+        for (i, &a) in addrs.iter().enumerate() {
+            if let Some(local) = mapping.local_of(a) {
+                func.heap.set(local, 0, Value::I64(new_values[i]));
+                func.note_write(local);
+                dirty.push(local);
+            }
+        }
+        let dirty_list = func.take_dirty();
+        prop_assert_eq!(dirty_list.len(), dirty.len());
+        apply_dirty_to_server(&func, &mut server, &mut mapping, &program, &dirty_list);
+        for (i, &a) in addrs.iter().enumerate() {
+            let expect = if mapping.local_of(a).is_some() {
+                new_values[i]
+            } else {
+                i as i64
+            };
+            prop_assert_eq!(server.heap.get(a, 0), Value::I64(expect));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Processor sharing: work conservation and completion correctness
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ps_pool_conserves_work(
+        jobs in prop::collection::vec((1u64..50_000, 0u64..100_000), 1..20),
+        capacity in 1usize..8,
+    ) {
+        let mut pool = PsPool::new(capacity as f64);
+        let mut inserted = std::collections::HashMap::new();
+        for (id, (work, at)) in jobs.iter().enumerate() {
+            let t = SimTime::from_nanos(*at);
+            // Arrival times must be non-decreasing for the fluid model.
+            let t = inserted
+                .values()
+                .copied()
+                .fold(t, |acc: SimTime, prev: SimTime| acc.max(prev));
+            pool.add(t, id as u64, Duration::from_micros(*work));
+            inserted.insert(id as u64, t);
+        }
+        // Drain everything; completions must be non-decreasing in time.
+        let mut last = SimTime::ZERO;
+        let mut completed = HashSet::new();
+        while let Some((t, id)) = pool.next_completion() {
+            prop_assert!(t >= last, "completions move forward");
+            last = t;
+            pool.remove(t, id);
+            prop_assert!(completed.insert(id), "each job completes once");
+        }
+        prop_assert_eq!(completed.len(), jobs.len());
+        // Work conservation: total busy time equals total submitted work
+        // (within rounding).
+        let total: u64 = jobs.iter().map(|(w, _)| w * 1_000).sum();
+        let busy = pool.busy_core_nanos();
+        prop_assert!((busy - total as f64).abs() < jobs.len() as f64 * 10.0,
+            "busy {busy} vs submitted {total}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Statistics and controller
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn percentiles_are_monotone(mut xs in prop::collection::vec(0u64..10_000_000, 1..200)) {
+        let mut s = LatencySampler::new();
+        for &x in &xs {
+            s.record(Duration::from_nanos(x));
+        }
+        let p50 = s.percentile(0.5);
+        let p90 = s.percentile(0.9);
+        let p99 = s.percentile(0.99);
+        prop_assert!(p50 <= p90 && p90 <= p99);
+        xs.sort_unstable();
+        prop_assert_eq!(s.percentile(1.0).as_nanos(), *xs.last().unwrap());
+        prop_assert!(s.mean().as_nanos() <= *xs.last().unwrap());
+        prop_assert!(s.mean().as_nanos() >= *xs.first().unwrap());
+    }
+
+    #[test]
+    fn controller_offloads_exact_share(ratio in 0.0f64..1.0, n in 100usize..2000) {
+        let mut c = OffloadController::new(ratio);
+        let offloaded = (0..n).filter(|_| c.decide()).count();
+        let expected = (ratio * n as f64).floor();
+        prop_assert!((offloaded as f64 - expected).abs() <= 1.0,
+            "ratio {ratio}: {offloaded} of {n}");
+    }
+
+    #[test]
+    fn rng_exponential_is_positive_and_seeded(seed: u64, mean_us in 1u64..100_000) {
+        let mut a = Rng::new(seed);
+        let mut b = Rng::new(seed);
+        for _ in 0..50 {
+            let d = a.exponential(Duration::from_micros(mean_us));
+            prop_assert_eq!(d, b.exponential(Duration::from_micros(mean_us)));
+        }
+    }
+}
