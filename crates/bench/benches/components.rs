@@ -12,13 +12,13 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use beehive_apps::{App, AppKind, Fidelity};
+use beehive_bench::{BenchConfig, Harness};
 use beehive_core::config::BeeHiveConfig;
 use beehive_core::{FunctionRuntime, OffloadSession, ServerRuntime, ServerSession, SessionStep};
 use beehive_db::Database;
 use beehive_proxy::Proxy;
 use beehive_vm::heap::Space;
 use beehive_vm::{ClassId, CostModel, Value};
-use criterion::{criterion_group, criterion_main, Criterion};
 
 fn fresh_server(app: &App) -> ServerRuntime {
     let mut server = ServerRuntime::new(
@@ -80,25 +80,20 @@ fn drive_offload(
     }
 }
 
-fn bench_server_request(c: &mut Criterion) {
-    let mut g = c.benchmark_group("request/server");
+fn bench_server_request(h: &mut Harness) {
     for kind in AppKind::all() {
         let app = App::build(kind, Fidelity::Scaled(2048));
         let mut server = fresh_server(&app);
         let mut arg = 0i64;
-        g.bench_function(kind.name(), |b| {
-            b.iter(|| {
-                arg = (arg + 1) % 997;
-                let mut s = ServerSession::start(&mut server, app.root, vec![Value::I64(arg)]);
-                drive_server(&mut server, &mut s)
-            })
+        h.bench(&format!("request/server/{}", kind.name()), || {
+            arg = (arg + 1) % 997;
+            let mut s = ServerSession::start(&mut server, app.root, vec![Value::I64(arg)]);
+            drive_server(&mut server, &mut s)
         });
     }
-    g.finish();
 }
 
-fn bench_offload_request(c: &mut Criterion) {
-    let mut g = c.benchmark_group("request/offload");
+fn bench_offload_request(h: &mut Harness) {
     for kind in AppKind::all() {
         let app = App::build(kind, Fidelity::Scaled(2048));
         let mut server = fresh_server(&app);
@@ -117,21 +112,18 @@ fn bench_offload_request(c: &mut Criterion) {
         );
         drive_offload(&mut server, &mut warm, &mut funcs);
         let mut arg = 0i64;
-        g.bench_function(kind.name(), |b| {
-            b.iter(|| {
-                arg = (arg + 1) % 997;
-                let mut s = {
-                    let f = funcs.get_mut(&0).unwrap();
-                    OffloadSession::start(&mut server, f, app.root, vec![Value::I64(arg)], false, net, false)
-                };
-                drive_offload(&mut server, &mut s, &mut funcs)
-            })
+        h.bench(&format!("request/offload/{}", kind.name()), || {
+            arg = (arg + 1) % 997;
+            let mut s = {
+                let f = funcs.get_mut(&0).unwrap();
+                OffloadSession::start(&mut server, f, app.root, vec![Value::I64(arg)], false, net, false)
+            };
+            drive_offload(&mut server, &mut s, &mut funcs)
         });
     }
-    g.finish();
 }
 
-fn bench_closure_instantiation(c: &mut Criterion) {
+fn bench_closure_instantiation(h: &mut Harness) {
     let app = App::build(AppKind::Pybbs, Fidelity::Scaled(2048));
     let mut server = fresh_server(&app);
     // Refine the plan first so the closure is the steady-state one.
@@ -150,18 +142,16 @@ fn bench_closure_instantiation(c: &mut Criterion) {
     drive_offload(&mut server, &mut warm, &mut funcs);
 
     let mut next_id = 10u32;
-    c.bench_function("closure/instantiate", |b| {
-        b.iter(|| {
-            let mut f = FunctionRuntime::new(next_id, &app.program, CostModel::default());
-            next_id += 1;
-            let stats = server.instantiate_closure(&mut f, app.root);
-            server.remove_mapping(f.id);
-            stats.bytes
-        })
+    h.bench("closure/instantiate", || {
+        let mut f = FunctionRuntime::new(next_id, &app.program, CostModel::default());
+        next_id += 1;
+        let stats = server.instantiate_closure(&mut f, app.root);
+        server.remove_mapping(f.id);
+        stats.bytes
     });
 }
 
-fn bench_gc(c: &mut Criterion) {
+fn bench_gc(h: &mut Harness) {
     let app = App::build(AppKind::Pybbs, Fidelity::Scaled(2048));
     let program = Arc::clone(&app.program);
     let churn_class = (0..program.class_count() as u32)
@@ -169,24 +159,22 @@ fn bench_gc(c: &mut Criterion) {
         .find(|&cl| program.class(cl).name == "RequestScopedBean")
         .unwrap();
     let mut vm = beehive_vm::VmInstance::function(&program, CostModel::default());
-    c.bench_function("gc/collect", |b| {
-        b.iter(|| {
-            // Fill ~2 MB of young objects, then collect with no roots.
-            for _ in 0..20_000 {
-                if vm
-                    .heap
-                    .alloc_object(churn_class, 9, Space::Alloc)
-                    .is_none()
-                {
-                    break;
-                }
+    h.bench("gc/collect", || {
+        // Fill ~2 MB of young objects, then collect with no roots.
+        for _ in 0..20_000 {
+            if vm
+                .heap
+                .alloc_object(churn_class, 9, Space::Alloc)
+                .is_none()
+            {
+                break;
             }
-            vm.collect(&mut [], &mut []).pause
-        })
+        }
+        vm.collect(&mut [], &mut []).pause
     });
 }
 
-fn bench_sync_handoff(c: &mut Criterion) {
+fn bench_sync_handoff(h: &mut Harness) {
     // A request whose only expensive step is the monitor sync: measure the
     // hand-off machinery (pull dirty, refresh, ownership transfer).
     let app = App::build(AppKind::Thumbnail, Fidelity::Scaled(8192));
@@ -202,22 +190,22 @@ fn bench_sync_handoff(c: &mut Criterion) {
         drive_offload(&mut server, &mut warm, &mut funcs);
     }
     let mut which = 0u32;
-    c.bench_function("sync/handoff", |b| {
-        b.iter(|| {
-            which ^= 1; // alternate instances so the lock always moves
-            let mut s = {
-                let f = funcs.get_mut(&which).unwrap();
-                OffloadSession::start(&mut server, f, app.root, vec![Value::I64(2)], false, net, false)
-            };
-            drive_offload(&mut server, &mut s, &mut funcs)
-        })
+    h.bench("sync/handoff", || {
+        which ^= 1; // alternate instances so the lock always moves
+        let mut s = {
+            let f = funcs.get_mut(&which).unwrap();
+            OffloadSession::start(&mut server, f, app.root, vec![Value::I64(2)], false, net, false)
+        };
+        drive_offload(&mut server, &mut s, &mut funcs)
     });
 }
 
-criterion_group! {
-    name = components;
-    config = Criterion::default().sample_size(20);
-    targets = bench_server_request, bench_offload_request,
-              bench_closure_instantiation, bench_gc, bench_sync_handoff
+fn main() {
+    let mut h = Harness::new(BenchConfig::default().samples(20));
+    bench_server_request(&mut h);
+    bench_offload_request(&mut h);
+    bench_closure_instantiation(&mut h);
+    bench_gc(&mut h);
+    bench_sync_handoff(&mut h);
+    h.finish();
 }
-criterion_main!(components);

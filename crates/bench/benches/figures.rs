@@ -7,112 +7,88 @@
 //! cargo run --release -p beehive-bench --bin repro fig7     # one item
 //! ```
 
+use std::time::Duration as StdDuration;
+
 use beehive_apps::{App, AppKind, Fidelity};
+use beehive_bench::{BenchConfig, Harness};
 use beehive_sim::Duration;
 use beehive_workload::driver::{ArrivalPattern, Sim, SimConfig};
 use beehive_workload::Strategy;
-use criterion::{criterion_group, criterion_main, Criterion};
 
-fn fig2_point(c: &mut Criterion) {
-    let app = App::build(AppKind::Pybbs, Fidelity::Scaled(4096));
-    c.bench_function("figures/fig2_closed_loop_point", |b| {
-        b.iter(|| {
-            let mut cfg = SimConfig::new(app.clone(), Strategy::Vanilla);
-            cfg.arrivals = ArrivalPattern::Closed { clients: 16 };
-            cfg.horizon = Duration::from_secs(6);
-            cfg.record_from = Duration::from_secs(2);
-            Sim::new(cfg).run().completed
-        })
+fn main() {
+    let mut h = Harness::new(
+        BenchConfig::default()
+            .samples(10)
+            .measure(StdDuration::from_secs(12))
+            .warmup(StdDuration::from_secs(2)),
+    );
+
+    let pybbs = App::build(AppKind::Pybbs, Fidelity::Scaled(4096));
+
+    h.bench("figures/fig2_closed_loop_point", || {
+        let mut cfg = SimConfig::new(pybbs.clone(), Strategy::Vanilla);
+        cfg.arrivals = ArrivalPattern::Closed { clients: 16 };
+        cfg.horizon = Duration::from_secs(6);
+        cfg.record_from = Duration::from_secs(2);
+        Sim::new(cfg).run().completed
     });
-}
 
-fn fig7_burst_window(c: &mut Criterion) {
-    let app = App::build(AppKind::Pybbs, Fidelity::Scaled(4096));
-    c.bench_function("figures/fig7_burst_window", |b| {
-        b.iter(|| {
-            let mut cfg = SimConfig::new(app.clone(), Strategy::BeeHiveOpenWhisk);
-            cfg.arrivals = ArrivalPattern::Open {
-                base_rps: 50.0,
-                burst_mult: 2.0,
-                burst_at: Duration::from_secs(4),
-                burst_end: Duration::from_secs(16),
-            };
-            cfg.horizon = Duration::from_secs(16);
-            cfg.engage_at = Duration::from_secs(4);
-            Sim::new(cfg).run().completed
-        })
+    h.bench("figures/fig7_burst_window", || {
+        let mut cfg = SimConfig::new(pybbs.clone(), Strategy::BeeHiveOpenWhisk);
+        cfg.arrivals = ArrivalPattern::Open {
+            base_rps: 50.0,
+            burst_mult: 2.0,
+            burst_at: Duration::from_secs(4),
+            burst_end: Duration::from_secs(16),
+        };
+        cfg.horizon = Duration::from_secs(16);
+        cfg.engage_at = Duration::from_secs(4);
+        Sim::new(cfg).run().completed
     });
-}
 
-fn fig8_throughput_point(c: &mut Criterion) {
-    let app = App::build(AppKind::Pybbs, Fidelity::Scaled(4096));
-    c.bench_function("figures/fig8_throughput_point", |b| {
-        b.iter(|| {
-            let mut cfg = SimConfig::new(app.clone(), Strategy::BeeHiveOpenWhisk);
-            cfg.arrivals = ArrivalPattern::constant(150.0);
-            cfg.horizon = Duration::from_secs(8);
-            cfg.record_from = Duration::from_secs(4);
-            cfg.offload_ratio = 0.9;
-            cfg.prewarm_ready = 16;
-            Sim::new(cfg).run().completed
-        })
+    h.bench("figures/fig8_throughput_point", || {
+        let mut cfg = SimConfig::new(pybbs.clone(), Strategy::BeeHiveOpenWhisk);
+        cfg.arrivals = ArrivalPattern::constant(150.0);
+        cfg.horizon = Duration::from_secs(8);
+        cfg.record_from = Duration::from_secs(4);
+        cfg.offload_ratio = 0.9;
+        cfg.prewarm_ready = 16;
+        Sim::new(cfg).run().completed
     });
-}
 
-fn fig9_cost_measurement(c: &mut Criterion) {
-    let app = App::build(AppKind::Pybbs, Fidelity::Scaled(4096));
-    c.bench_function("figures/fig9_cost_measurement", |b| {
-        b.iter(|| {
-            let mut cfg = SimConfig::new(app.clone(), Strategy::BeeHiveLambda);
-            cfg.arrivals = ArrivalPattern::constant(40.0);
-            cfg.horizon = Duration::from_secs(8);
-            cfg.record_from = Duration::from_secs(4);
-            cfg.offload_ratio = 1.0;
-            cfg.prewarm_ready = 12;
-            let r = Sim::new(cfg).run();
-            r.faas_gb_seconds
-        })
+    h.bench("figures/fig9_cost_measurement", || {
+        let mut cfg = SimConfig::new(pybbs.clone(), Strategy::BeeHiveLambda);
+        cfg.arrivals = ArrivalPattern::constant(40.0);
+        cfg.horizon = Duration::from_secs(8);
+        cfg.record_from = Duration::from_secs(4);
+        cfg.offload_ratio = 1.0;
+        cfg.prewarm_ready = 12;
+        let r = Sim::new(cfg).run();
+        r.faas_gb_seconds
     });
-}
 
-fn table5_steady_window(c: &mut Criterion) {
-    let app = App::build(AppKind::Blog, Fidelity::Scaled(4096));
-    c.bench_function("figures/table5_steady_window", |b| {
-        b.iter(|| {
-            let mut cfg = SimConfig::new(app.clone(), Strategy::BeeHiveOpenWhisk);
-            cfg.arrivals = ArrivalPattern::constant(60.0);
-            cfg.horizon = Duration::from_secs(8);
-            cfg.record_from = Duration::from_secs(4);
-            let r = Sim::new(cfg).run();
-            r.steady_offload.total_fallbacks()
-        })
+    let blog = App::build(AppKind::Blog, Fidelity::Scaled(4096));
+    h.bench("figures/table5_steady_window", || {
+        let mut cfg = SimConfig::new(blog.clone(), Strategy::BeeHiveOpenWhisk);
+        cfg.arrivals = ArrivalPattern::constant(60.0);
+        cfg.horizon = Duration::from_secs(8);
+        cfg.record_from = Duration::from_secs(4);
+        let r = Sim::new(cfg).run();
+        r.steady_offload.total_fallbacks()
     });
-}
 
-fn gcstats_window(c: &mut Criterion) {
-    let app = App::build(AppKind::Thumbnail, Fidelity::Scaled(8));
-    c.bench_function("figures/gcstats_window", |b| {
-        b.iter(|| {
-            let mut cfg = SimConfig::new(app.clone(), Strategy::BeeHiveOpenWhisk);
-            cfg.arrivals = ArrivalPattern::constant(3.0);
-            cfg.horizon = Duration::from_secs(4);
-            cfg.record_from = Duration::ZERO;
-            cfg.offload_ratio = 1.0;
-            cfg.prewarm_ready = 2;
-            cfg.max_instances = 2;
-            let r = Sim::new(cfg).run();
-            r.function_gc_pauses.len()
-        })
+    let thumb = App::build(AppKind::Thumbnail, Fidelity::Scaled(8));
+    h.bench("figures/gcstats_window", || {
+        let mut cfg = SimConfig::new(thumb.clone(), Strategy::BeeHiveOpenWhisk);
+        cfg.arrivals = ArrivalPattern::constant(3.0);
+        cfg.horizon = Duration::from_secs(4);
+        cfg.record_from = Duration::ZERO;
+        cfg.offload_ratio = 1.0;
+        cfg.prewarm_ready = 2;
+        cfg.max_instances = 2;
+        let r = Sim::new(cfg).run();
+        r.function_gc_pauses.len()
     });
-}
 
-criterion_group! {
-    name = figures;
-    config = Criterion::default()
-        .sample_size(10)
-        .measurement_time(std::time::Duration::from_secs(12))
-        .warm_up_time(std::time::Duration::from_secs(2));
-    targets = fig2_point, fig7_burst_window, fig8_throughput_point,
-              fig9_cost_measurement, table5_steady_window, gcstats_window
+    h.finish();
 }
-criterion_main!(figures);

@@ -1,1 +1,227 @@
-//! repro harness lib (bench targets live in benches/)
+//! Self-timed benchmark harness — the zero-dependency replacement for
+//! criterion that the `benches/` targets run on (`harness = false`).
+//!
+//! Each benchmark is warmed up for a fixed wall-clock budget, a per-iteration
+//! estimate is taken, and then `samples` batches are timed with enough
+//! iterations per batch to fill the measurement budget. The report prints
+//! median / mean / min / max per-iteration times.
+//!
+//! Tuning knobs (environment variables, all optional):
+//!
+//! | Variable | Meaning | Default |
+//! |---|---|---|
+//! | `BEEHIVE_BENCH_SAMPLES` | timed batches per benchmark | per-suite |
+//! | `BEEHIVE_BENCH_WARMUP_MS` | warm-up budget per benchmark | per-suite |
+//! | `BEEHIVE_BENCH_MEASURE_MS` | measurement budget per benchmark | per-suite |
+//!
+//! `BEEHIVE_BENCH_QUICK=1` shrinks everything to a smoke-test size (1 sample,
+//! tiny budgets) so CI can check the benches still run without paying for a
+//! real measurement.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-suite timing configuration (see the module docs for the env knobs).
+#[derive(Clone, Copy, Debug)]
+pub struct BenchConfig {
+    /// Timed batches per benchmark.
+    pub samples: usize,
+    /// Wall-clock warm-up budget per benchmark.
+    pub warmup: Duration,
+    /// Wall-clock measurement budget per benchmark (split across samples).
+    pub measure: Duration,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            samples: 10,
+            warmup: Duration::from_secs(1),
+            measure: Duration::from_secs(3),
+        }
+    }
+}
+
+impl BenchConfig {
+    /// Apply the `BEEHIVE_BENCH_*` environment overrides to `self`.
+    pub fn from_env(mut self) -> Self {
+        if env_flag("BEEHIVE_BENCH_QUICK") {
+            self.samples = 1;
+            self.warmup = Duration::from_millis(1);
+            self.measure = Duration::from_millis(1);
+        }
+        if let Some(n) = env_u64("BEEHIVE_BENCH_SAMPLES") {
+            self.samples = (n as usize).max(1);
+        }
+        if let Some(ms) = env_u64("BEEHIVE_BENCH_WARMUP_MS") {
+            self.warmup = Duration::from_millis(ms);
+        }
+        if let Some(ms) = env_u64("BEEHIVE_BENCH_MEASURE_MS") {
+            self.measure = Duration::from_millis(ms);
+        }
+        self
+    }
+
+    /// Builder: timed batches per benchmark.
+    pub fn samples(mut self, n: usize) -> Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Builder: warm-up budget.
+    pub fn warmup(mut self, d: Duration) -> Self {
+        self.warmup = d;
+        self
+    }
+
+    /// Builder: measurement budget.
+    pub fn measure(mut self, d: Duration) -> Self {
+        self.measure = d;
+        self
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+fn env_flag(name: &str) -> bool {
+    std::env::var(name).is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Summary statistics for one benchmark, in seconds per iteration.
+#[derive(Clone, Copy, Debug)]
+pub struct Sample {
+    /// Median over the timed batches.
+    pub median: f64,
+    /// Mean over the timed batches.
+    pub mean: f64,
+    /// Fastest batch.
+    pub min: f64,
+    /// Slowest batch.
+    pub max: f64,
+    /// Iterations per batch.
+    pub iters: u64,
+}
+
+/// A benchmark suite: times closures and prints one aligned row each.
+pub struct Harness {
+    cfg: BenchConfig,
+    ran: usize,
+}
+
+impl Harness {
+    /// A suite with the given defaults, after env overrides.
+    pub fn new(cfg: BenchConfig) -> Harness {
+        Harness {
+            cfg: cfg.from_env(),
+            ran: 0,
+        }
+    }
+
+    /// Warm up, measure, and report one benchmark. Returns the statistics so
+    /// callers can assert on them if they want.
+    pub fn bench<R>(&mut self, name: &str, mut routine: impl FnMut() -> R) -> Sample {
+        if self.ran == 0 {
+            println!(
+                "{:<44} {:>12} {:>12} {:>12} {:>12}",
+                "benchmark", "median/iter", "mean", "min", "max"
+            );
+        }
+        self.ran += 1;
+
+        // Warm-up doubles as the batch-size estimate.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        loop {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.cfg.warmup {
+                break;
+            }
+        }
+        let est = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let budget = self.cfg.measure.as_secs_f64() / self.cfg.samples as f64;
+        let iters = ((budget / est.max(1e-9)).ceil() as u64).max(1);
+
+        let mut times = Vec::with_capacity(self.cfg.samples);
+        for _ in 0..self.cfg.samples {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            times.push(t0.elapsed().as_secs_f64() / iters as f64);
+        }
+        times.sort_by(f64::total_cmp);
+        let stats = Sample {
+            median: times[times.len() / 2],
+            mean: times.iter().sum::<f64>() / times.len() as f64,
+            min: times[0],
+            max: times[times.len() - 1],
+            iters,
+        };
+        println!(
+            "{:<44} {:>12} {:>12} {:>12} {:>12}   ({} × {} iters)",
+            name,
+            fmt_time(stats.median),
+            fmt_time(stats.mean),
+            fmt_time(stats.min),
+            fmt_time(stats.max),
+            self.cfg.samples,
+            iters,
+        );
+        stats
+    }
+
+    /// Footer; call once after the last benchmark.
+    pub fn finish(self) {
+        println!("{} benchmarks done.", self.ran);
+    }
+}
+
+/// Render seconds with an auto-selected unit (ns / µs / ms / s).
+pub fn fmt_time(secs: f64) -> String {
+    let ns = secs * 1e9;
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.1} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn units_pick_sensible_scales() {
+        assert_eq!(fmt_time(5e-9), "5.0 ns");
+        assert_eq!(fmt_time(2.5e-6), "2.5 µs");
+        assert_eq!(fmt_time(1.25e-3), "1.25 ms");
+        assert_eq!(fmt_time(4.2), "4.200 s");
+    }
+
+    #[test]
+    fn harness_measures_and_counts() {
+        let cfg = BenchConfig {
+            samples: 2,
+            warmup: Duration::from_millis(1),
+            measure: Duration::from_millis(2),
+        };
+        let mut h = Harness::new(cfg);
+        let mut n = 0u64;
+        let s = h.bench("test/spin", || {
+            n += 1;
+            black_box(n)
+        });
+        assert!(s.min <= s.median && s.median <= s.max);
+        assert!(s.mean > 0.0);
+        assert!(n >= s.iters, "routine actually ran");
+        h.finish();
+    }
+}

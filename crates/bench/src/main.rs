@@ -1,16 +1,25 @@
 //! `repro` — regenerate every table and figure of the BeeHive paper.
 //!
 //! ```text
-//! repro [--quick] [--seed N] [all|fig2|table1|table2|fig7|table3|fig8|fig9|
-//!                             table4|fig10|table5|gcstats|shadow|ablations|combination]
+//! repro [--quick] [--seed N] [--json] [all|fig2|table1|table2|fig7|table3|fig8|
+//!                             fig9|table4|fig10|table5|gcstats|shadow|ablations|combination]
 //! ```
 //!
 //! Without a subcommand, everything runs in paper order. `--quick` shortens
-//! horizons (the same mode the test suite and Criterion benches use); the
-//! default horizons match the paper's (e.g. 180 s burst windows).
+//! horizons (the same mode the test suite and benches use); the default
+//! horizons match the paper's (e.g. 180 s burst windows). `--json` replaces
+//! the Display tables with one machine-readable JSON document: an array of
+//! `{"title": ..., "body": ...}` reports, rendered deterministically (the
+//! same seed yields byte-identical output at any worker count).
+//!
+//! Every driver fans its independent simulations out over the parallel
+//! scenario engine (`beehive_workload::engine`); pin the worker count with
+//! the `BEEHIVE_WORKERS` environment variable.
 
 use beehive_apps::AppKind;
 use beehive_scaling::table1;
+use beehive_sim::json::{Json, ToJson};
+use beehive_workload::engine::RunReport;
 use beehive_workload::experiment::{
     ablation::ablation,
     combination::combination,
@@ -28,11 +37,13 @@ use beehive_workload::experiment::{
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut profile = Profile::full();
+    let mut json = false;
     let mut cmds: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => profile.quick = true,
+            "--json" => json = true,
             "--seed" => {
                 profile.seed = it
                     .next()
@@ -41,7 +52,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "repro [--quick] [--seed N] [all|fig2|table1|table2|fig7|table3|fig8|fig9|table4|fig10|table5|gcstats|shadow|ablations|combination]"
+                    "repro [--quick] [--seed N] [--json] [all|fig2|table1|table2|fig7|table3|fig8|fig9|table4|fig10|table5|gcstats|shadow|ablations|combination]"
                 );
                 return;
             }
@@ -51,46 +62,82 @@ fn main() {
     if cmds.is_empty() {
         cmds.push("all".into());
     }
+    const KNOWN: [&str; 15] = [
+        "all", "fig2", "table1", "table2", "fig7", "table3", "fig8", "fig9", "table4", "fig10",
+        "table5", "gcstats", "shadow", "ablations", "combination",
+    ];
+    for c in &cmds {
+        if !KNOWN.contains(&c.as_str()) {
+            die(&format!("unknown item {c:?} (run with --help for the list)"));
+        }
+    }
 
     let all = cmds.iter().any(|c| c == "all");
     let want = |name: &str| all || cmds.iter().any(|c| c == name);
     let apps = AppKind::all();
+    // In JSON mode every section appends a RunReport; one array document is
+    // printed at the end.
+    let mut reports: Vec<RunReport> = Vec::new();
 
     if want("table1") {
-        banner("Table 1 — scaling solutions compared");
-        println!(
-            "{:<14} {:<18} {:<14} {:<16} {:<12} {}",
-            "Solution", "Min running time", "Billing", "Preparation", "Config", "Auto-scaling"
-        );
-        for row in table1() {
+        if json {
+            reports.push(RunReport::new(
+                "table1",
+                Json::obj([("rows".into(), Json::arr(table1().iter()))]),
+            ));
+        } else {
+            banner("Table 1 — scaling solutions compared");
             println!(
                 "{:<14} {:<18} {:<14} {:<16} {:<12} {}",
-                row.name,
-                row.min_running_time,
-                row.billing_granularity,
-                row.preparation_time,
-                row.config_granularity,
-                if row.auto_scaling { "yes" } else { "no" }
+                "Solution", "Min running time", "Billing", "Preparation", "Config", "Auto-scaling"
             );
+            for row in table1() {
+                println!(
+                    "{:<14} {:<18} {:<14} {:<16} {:<12} {}",
+                    row.name,
+                    row.min_running_time,
+                    row.billing_granularity,
+                    row.preparation_time,
+                    row.config_granularity,
+                    if row.auto_scaling { "yes" } else { "no" }
+                );
+            }
         }
     }
 
     if want("fig2") {
-        banner("Figure 2");
-        println!("{}", fig2(profile));
+        let rep = fig2(profile);
+        if json {
+            reports.push(RunReport::new("fig2", rep.to_json()));
+        } else {
+            banner("Figure 2");
+            println!("{rep}");
+        }
     }
 
     if want("table2") {
-        banner("Table 2");
-        println!("{}", table2());
+        let rep = table2();
+        if json {
+            reports.push(RunReport::new("table2", rep.to_json()));
+        } else {
+            banner("Table 2");
+            println!("{rep}");
+        }
     }
 
     if want("fig7") || want("table3") {
-        banner("Figure 7 + Table 3");
+        if !json {
+            banner("Figure 7 + Table 3");
+        }
         let mut table3: Vec<(AppKind, Vec<(String, f64)>)> = Vec::new();
+        let mut fig7_bodies = Vec::new();
         for kind in apps {
             let rep = fig7(kind, profile);
-            println!("{rep}");
+            if json {
+                fig7_bodies.push(rep.to_json());
+            } else {
+                println!("{rep}");
+            }
             table3.push((
                 kind,
                 rep.rows
@@ -99,75 +146,180 @@ fn main() {
                     .collect(),
             ));
         }
-        println!("Table 3 — financial cost ($) for scaling in Figure 7");
-        if let Some((_, first)) = table3.first() {
-            print!("{:<22}", "Scaling solutions");
-            for (k, _) in &table3 {
-                print!("{:>12}", k.name());
-            }
-            println!();
-            for (i, (label, _)) in first.iter().enumerate() {
-                print!("{:<22}", label);
-                for (_, costs) in &table3 {
-                    print!("{:>12.4}", costs[i].1);
+        if json {
+            reports.push(RunReport::new(
+                "fig7",
+                Json::obj([("apps".into(), Json::Arr(fig7_bodies))]),
+            ));
+            reports.push(RunReport::new(
+                "table3",
+                Json::obj([(
+                    "costs".into(),
+                    Json::Arr(
+                        table3
+                            .iter()
+                            .map(|(kind, costs)| {
+                                Json::obj([
+                                    ("app".into(), Json::from(kind.name())),
+                                    (
+                                        "by_strategy".into(),
+                                        Json::Obj(
+                                            costs
+                                                .iter()
+                                                .map(|(l, c)| (l.clone(), Json::from(*c)))
+                                                .collect(),
+                                        ),
+                                    ),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                )]),
+            ));
+        } else {
+            println!("Table 3 — financial cost ($) for scaling in Figure 7");
+            if let Some((_, first)) = table3.first() {
+                print!("{:<22}", "Scaling solutions");
+                for (k, _) in &table3 {
+                    print!("{:>12}", k.name());
                 }
                 println!();
+                for (i, (label, _)) in first.iter().enumerate() {
+                    print!("{:<22}", label);
+                    for (_, costs) in &table3 {
+                        print!("{:>12.4}", costs[i].1);
+                    }
+                    println!();
+                }
             }
         }
     }
 
     if want("fig8") {
-        banner("Figure 8");
-        for kind in apps {
-            println!("{}", fig8(kind, profile));
+        if json {
+            let bodies: Vec<Json> = apps.iter().map(|&k| fig8(k, profile).to_json()).collect();
+            reports.push(RunReport::new(
+                "fig8",
+                Json::obj([("apps".into(), Json::Arr(bodies))]),
+            ));
+        } else {
+            banner("Figure 8");
+            for kind in apps {
+                println!("{}", fig8(kind, profile));
+            }
         }
     }
 
     if want("fig9") {
-        banner("Figure 9");
-        println!("{}", fig9(AppKind::Pybbs, profile));
+        let mut kinds = vec![AppKind::Pybbs];
         if !profile.quick {
-            for kind in [AppKind::Blog, AppKind::Thumbnail] {
+            kinds.extend([AppKind::Blog, AppKind::Thumbnail]);
+        }
+        if json {
+            let bodies: Vec<Json> = kinds.iter().map(|&k| fig9(k, profile).to_json()).collect();
+            reports.push(RunReport::new(
+                "fig9",
+                Json::obj([("apps".into(), Json::Arr(bodies))]),
+            ));
+        } else {
+            banner("Figure 9");
+            for kind in kinds {
                 println!("{}", fig9(kind, profile));
             }
         }
     }
 
     if want("table4") {
-        banner("Table 4");
-        println!("{}", table4(&apps, profile));
+        let rep = table4(&apps, profile);
+        if json {
+            reports.push(RunReport::new("table4", rep.to_json()));
+        } else {
+            banner("Table 4");
+            println!("{rep}");
+        }
     }
 
     if want("fig10") {
-        banner("Figure 10");
-        println!("{}", fig10(profile));
+        let rep = fig10(profile);
+        if json {
+            reports.push(RunReport::new("fig10", rep.to_json()));
+        } else {
+            banner("Figure 10");
+            println!("{rep}");
+        }
     }
 
     if want("table5") {
-        banner("Table 5");
-        println!("{}", table5(&apps, profile));
+        let rep = table5(&apps, profile);
+        if json {
+            reports.push(RunReport::new("table5", rep.to_json()));
+        } else {
+            banner("Table 5");
+            println!("{rep}");
+        }
     }
 
     if want("gcstats") {
-        banner("§5.6 — memory consumption and GC");
-        println!("{}", gc_stats(&apps, profile));
+        let rep = gc_stats(&apps, profile);
+        if json {
+            reports.push(RunReport::new("gcstats", rep.to_json()));
+        } else {
+            banner("§5.6 — memory consumption and GC");
+            println!("{rep}");
+        }
     }
 
     if want("shadow") {
-        banner("§5.6 — shadow execution");
-        for kind in apps {
-            println!("{}", shadow_breakdown(kind, profile));
+        if json {
+            let bodies: Vec<Json> = apps
+                .iter()
+                .map(|&k| shadow_breakdown(k, profile).to_json())
+                .collect();
+            reports.push(RunReport::new(
+                "shadow",
+                Json::obj([("apps".into(), Json::Arr(bodies))]),
+            ));
+        } else {
+            banner("§5.6 — shadow execution");
+            for kind in apps {
+                println!("{}", shadow_breakdown(kind, profile));
+            }
         }
     }
 
     if want("ablations") {
-        banner("Ablations");
-        println!("{}", ablation(AppKind::Pybbs, profile));
+        let rep = ablation(AppKind::Pybbs, profile);
+        if json {
+            reports.push(RunReport::new("ablations", rep.to_json()));
+        } else {
+            banner("Ablations");
+            println!("{rep}");
+        }
     }
 
     if want("combination") {
-        banner("§5.7 — combination mode");
-        println!("{}", combination(AppKind::Pybbs, profile));
+        let rep = combination(AppKind::Pybbs, profile);
+        if json {
+            reports.push(RunReport::new("combination", rep.to_json()));
+        } else {
+            banner("§5.7 — combination mode");
+            println!("{rep}");
+        }
+    }
+
+    if json {
+        let doc = Json::Arr(
+            reports
+                .iter()
+                .map(|r| {
+                    Json::obj([
+                        ("title".into(), Json::from(r.title.clone())),
+                        ("body".into(), r.body.clone()),
+                    ])
+                })
+                .collect(),
+        );
+        println!("{}", doc.render());
     }
 }
 

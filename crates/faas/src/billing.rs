@@ -1,10 +1,10 @@
 //! Billing models (Table 1's billing-granularity column, §5.4 cost analysis).
 
+use beehive_sim::json::{Json, ToJson};
 use beehive_sim::Duration;
-use serde::Serialize;
 
 /// How a platform charges for compute.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum Billing {
     /// Charged per instance-hour while the instance exists (EC2-style; the
     /// paper bills OpenWhisk workers this way).
@@ -20,6 +20,27 @@ pub enum Billing {
         /// Dollars per invocation.
         per_request: f64,
     },
+}
+
+impl ToJson for Billing {
+    fn to_json(&self) -> Json {
+        match *self {
+            Billing::PerInstanceHour { rate } => Json::obj([(
+                "per_instance_hour".into(),
+                Json::obj([("rate".into(), Json::from(rate))]),
+            )]),
+            Billing::PerUse {
+                per_gb_second,
+                per_request,
+            } => Json::obj([(
+                "per_use".into(),
+                Json::obj([
+                    ("per_gb_second".into(), Json::from(per_gb_second)),
+                    ("per_request".into(), Json::from(per_request)),
+                ]),
+            )]),
+        }
+    }
 }
 
 /// Accumulates usage for [`Billing::PerUse`] accounting.

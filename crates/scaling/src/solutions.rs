@@ -1,11 +1,11 @@
 //! The scaling solutions of Table 1 and their provisioning/cost models.
 
+use beehive_sim::json::{Json, ToJson};
 use beehive_sim::{Duration, Rng, SimTime};
-use serde::Serialize;
 
 /// Which scaling solution (Table 1 rows; Lambda is modelled by
 /// `beehive-faas`, listed here for the comparison table).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ScalingKind {
     /// Reserved EC2 instance: prepared in advance, ≥1-year commitment.
     Reserved,
@@ -69,8 +69,20 @@ impl ScalingKind {
     }
 }
 
+impl ToJson for ScalingKind {
+    fn to_json(&self) -> Json {
+        Json::from(match self {
+            ScalingKind::Reserved => "reserved",
+            ScalingKind::OnDemand => "on_demand",
+            ScalingKind::Burstable => "burstable",
+            ScalingKind::Fargate => "fargate",
+            ScalingKind::Lambda => "lambda",
+        })
+    }
+}
+
 /// One row of Table 1.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct SolutionRow {
     /// Solution name.
     pub name: &'static str,
@@ -84,6 +96,25 @@ pub struct SolutionRow {
     pub config_granularity: &'static str,
     /// Whether the solution auto-scales.
     pub auto_scaling: bool,
+}
+
+impl ToJson for SolutionRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name".into(), Json::from(self.name)),
+            ("min_running_time".into(), Json::from(self.min_running_time)),
+            (
+                "billing_granularity".into(),
+                Json::from(self.billing_granularity),
+            ),
+            ("preparation_time".into(), Json::from(self.preparation_time)),
+            (
+                "config_granularity".into(),
+                Json::from(self.config_granularity),
+            ),
+            ("auto_scaling".into(), Json::from(self.auto_scaling)),
+        ])
+    }
 }
 
 /// The comparison data of Table 1.

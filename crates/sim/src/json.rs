@@ -1,0 +1,593 @@
+//! Minimal, dependency-free JSON tree with a deterministic emitter and a
+//! strict parser.
+//!
+//! The reproduction publishes every experiment report as machine-readable
+//! JSON (`repro --json`). Rather than pulling serde into an otherwise
+//! self-contained workspace, reports build a [`Json`] tree and render it
+//! with [`Json::render`]. The emitter is deterministic: object keys keep
+//! insertion order, floats use Rust's shortest-round-trip `Display`
+//! formatting, and non-finite floats become `null`. This determinism is
+//! load-bearing — the engine's regression tests byte-compare rendered
+//! reports across worker counts, and `scripts/verify.sh` diffs a golden
+//! file.
+//!
+//! The parser exists so tests (and the golden-file check) can assert that
+//! emitted reports are well-formed JSON; it accepts exactly the JSON
+//! grammar (RFC 8259) with no extensions.
+//!
+//! # Example
+//!
+//! ```
+//! use beehive_sim::json::Json;
+//!
+//! let j = Json::obj([
+//!     ("label".into(), Json::from("fig8")),
+//!     ("p99_ms".into(), Json::from(12.5)),
+//!     ("points".into(), Json::Arr(vec![Json::from(1u64), Json::from(2u64)])),
+//! ]);
+//! let text = j.render();
+//! assert_eq!(text, r#"{"label":"fig8","p99_ms":12.5,"points":[1,2]}"#);
+//! assert_eq!(Json::parse(&text).unwrap(), j);
+//! ```
+
+use std::fmt;
+
+/// A JSON value.
+///
+/// Objects are ordered key/value lists, not maps: insertion order is
+/// preserved on render, which keeps report output deterministic without a
+/// sorting pass.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (renders without a decimal point).
+    Int(i128),
+    /// A float (shortest round-trip rendering; non-finite renders as `null`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Types that can describe themselves as a [`Json`] tree.
+///
+/// This is the workspace's stand-in for `serde::Serialize`: report structs
+/// implement it by hand, which keeps the emitted shape explicit and
+/// reviewable.
+pub trait ToJson {
+    /// Build the JSON representation.
+    fn to_json(&self) -> Json;
+}
+
+impl Json {
+    /// Build an object from `(key, value)` pairs, preserving order.
+    pub fn obj(pairs: impl IntoIterator<Item = (String, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().collect())
+    }
+
+    /// Build an array by mapping `to_json` over an iterator.
+    pub fn arr<T: ToJson>(items: impl IntoIterator<Item = T>) -> Json {
+        Json::Arr(items.into_iter().map(|x| x.to_json()).collect())
+    }
+
+    /// Render to a compact JSON string (no whitespace).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    /// Append the compact rendering to `out`.
+    pub fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                use fmt::Write;
+                let _ = write!(out, "{i}");
+            }
+            Json::Num(x) => {
+                if x.is_finite() {
+                    use fmt::Write;
+                    // Rust's Display prints the shortest string that parses
+                    // back to the same f64 — deterministic across platforms.
+                    let mut buf = String::new();
+                    let _ = write!(buf, "{x}");
+                    // `Display` omits ".0" for integral floats; keep it so a
+                    // reader can tell floats from ints and round-trips stay
+                    // type-stable.
+                    if !buf.contains(['.', 'e', 'E']) {
+                        buf.push_str(".0");
+                    }
+                    out.push_str(&buf);
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parse a JSON document. The whole input must be one value plus
+    /// optional surrounding whitespace.
+    pub fn parse(input: &str) -> Result<Json, ParseError> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after value"));
+        }
+        Ok(v)
+    }
+
+    /// Look up a key in an object; `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+impl From<u64> for Json {
+    fn from(x: u64) -> Json {
+        Json::Int(x as i128)
+    }
+}
+impl From<u32> for Json {
+    fn from(x: u32) -> Json {
+        Json::Int(x as i128)
+    }
+}
+impl From<usize> for Json {
+    fn from(x: usize) -> Json {
+        Json::Int(x as i128)
+    }
+}
+impl From<i64> for Json {
+    fn from(x: i64) -> Json {
+        Json::Int(x as i128)
+    }
+}
+impl From<f64> for Json {
+    fn from(x: f64) -> Json {
+        Json::Num(x)
+    }
+}
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_owned())
+    }
+}
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+impl<T: Into<Json>> From<Option<T>> for Json {
+    fn from(x: Option<T>) -> Json {
+        x.map_or(Json::Null, Into::into)
+    }
+}
+
+impl<T: ToJson> ToJson for &T {
+    fn to_json(&self) -> Json {
+        (*self).to_json()
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use fmt::Write;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A parse failure: byte offset plus a short description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the input where parsing failed.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: &'static str,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &'static str) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8, message: &'static str) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(message))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, ParseError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'[', "expected '['")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'{', "expected '{'")?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':', "expected ':'")?;
+            self.skip_ws();
+            let val = self.value()?;
+            pairs.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"', "expected '\"'")?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'b') => s.push('\u{8}'),
+                        Some(b'f') => s.push('\u{c}'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let cp = self.hex4()?;
+                            // Surrogate pairs: a high surrogate must be
+                            // followed by an escaped low surrogate.
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                if self.peek() != Some(b'\\') {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                self.pos += 1;
+                                self.expect(b'u', "expected low surrogate")?;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let combined =
+                                    0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(combined)
+                                    .ok_or_else(|| self.err("invalid surrogate pair"))?
+                            } else {
+                                char::from_u32(cp).ok_or_else(|| self.err("invalid code point"))?
+                            };
+                            s.push(c);
+                            continue; // hex4 already advanced pos
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x20 => return Err(self.err("control character in string")),
+                Some(_) => {
+                    // Copy one UTF-8 character (input is a &str, so slices at
+                    // char boundaries are safe to recover).
+                    let rest = &self.bytes[self.pos..];
+                    let len = utf8_len(rest[0]);
+                    let chunk = std::str::from_utf8(&rest[..len.min(rest.len())])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    s.push_str(chunk);
+                    self.pos += chunk.len();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let d = match self.peek() {
+                Some(b @ b'0'..=b'9') => (b - b'0') as u32,
+                Some(b @ b'a'..=b'f') => (b - b'a' + 10) as u32,
+                Some(b @ b'A'..=b'F') => (b - b'A' + 10) as u32,
+                _ => return Err(self.err("expected four hex digits")),
+            };
+            v = v * 16 + d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err("expected a digit")),
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected a digit after '.'"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected a digit in exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if is_float {
+            text.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| self.err("number out of range"))
+        } else {
+            text.parse::<i128>()
+                .map(Json::Int)
+                .map_err(|_| self.err("integer out of range"))
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalars() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::Bool(true).render(), "true");
+        assert_eq!(Json::Int(-7).render(), "-7");
+        assert_eq!(Json::Num(1.5).render(), "1.5");
+        assert_eq!(Json::Num(2.0).render(), "2.0");
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).render(), "null");
+        assert_eq!(Json::Str("a\"b\n".into()).render(), r#""a\"b\n""#);
+    }
+
+    #[test]
+    fn renders_nested() {
+        let j = Json::obj([
+            ("xs".into(), Json::Arr(vec![Json::Int(1), Json::Null])),
+            ("empty".into(), Json::Obj(vec![])),
+        ]);
+        assert_eq!(j.render(), r#"{"xs":[1,null],"empty":{}}"#);
+    }
+
+    #[test]
+    fn object_keys_keep_insertion_order() {
+        let j = Json::obj([
+            ("z".into(), Json::Int(1)),
+            ("a".into(), Json::Int(2)),
+        ]);
+        assert_eq!(j.render(), r#"{"z":1,"a":2}"#);
+    }
+
+    #[test]
+    fn parse_round_trips_rendered_output() {
+        let j = Json::obj([
+            ("label".into(), Json::from("fig8 — saturation")),
+            ("rps".into(), Json::from(123.456)),
+            ("counts".into(), Json::Arr(vec![Json::from(0u64), Json::from(9u64)])),
+            ("none".into(), Json::Null),
+            ("ok".into(), Json::from(true)),
+        ]);
+        let text = j.render();
+        assert_eq!(Json::parse(&text).unwrap(), j);
+    }
+
+    #[test]
+    fn parse_accepts_whitespace_and_escapes() {
+        let j = Json::parse(" { \"k\" : [ 1 , 2.5e1 , \"\\u0041\\n\" ] } ").unwrap();
+        assert_eq!(
+            j,
+            Json::obj([(
+                "k".into(),
+                Json::Arr(vec![Json::Int(1), Json::Num(25.0), Json::Str("A\n".into())])
+            )])
+        );
+    }
+
+    #[test]
+    fn parse_surrogate_pair() {
+        let j = Json::parse(r#""😀""#).unwrap();
+        assert_eq!(j, Json::Str("😀".into()));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("{\"a\":}").is_err());
+        assert!(Json::parse("1 2").is_err());
+        assert!(Json::parse("nul").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn float_rendering_is_shortest_round_trip() {
+        for x in [0.1, 1.0 / 3.0, 1e-12, 123456789.123456] {
+            let text = Json::Num(x).render();
+            assert_eq!(text.parse::<f64>().unwrap(), x, "{text}");
+        }
+    }
+
+    #[test]
+    fn get_looks_up_object_keys() {
+        let j = Json::obj([("a".into(), Json::Int(1))]);
+        assert_eq!(j.get("a"), Some(&Json::Int(1)));
+        assert_eq!(j.get("b"), None);
+        assert_eq!(Json::Null.get("a"), None);
+    }
+}

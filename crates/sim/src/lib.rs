@@ -11,7 +11,9 @@
 //! * [`pool`] — CPU models: egalitarian processor sharing ([`pool::PsPool`])
 //!   for multi-threaded web servers and FIFO ([`pool::FifoPool`]) for
 //!   single-request FaaS instances,
-//! * [`stats`] — latency percentiles, per-second timelines, histograms.
+//! * [`stats`] — latency percentiles, per-second timelines, histograms,
+//! * [`json`] — a dependency-free JSON tree, emitter and parser used by the
+//!   experiment reports (`repro --json`).
 //!
 //! # Example
 //!
@@ -32,6 +34,7 @@ mod event;
 mod rng;
 mod time;
 
+pub mod json;
 pub mod pool;
 pub mod stats;
 

@@ -2,9 +2,40 @@
 
 use std::fmt;
 
-use serde::Serialize;
-
+use crate::json::{Json, ToJson};
 use crate::{Duration, SimTime};
+
+/// The `q`-quantile of `sorted` (ascending), nearest-rank method; zero when
+/// empty.
+///
+/// This is the canonical f64 percentile used by every report aggregator in
+/// the workspace (the [`LatencySampler`] applies the same rule to duration
+/// samples).
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]`.
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Sort a copy of `values` and return its `q`-quantile (nearest rank).
+pub fn percentile(values: &[f64], q: f64) -> f64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    percentile_sorted(&sorted, q)
+}
+
+/// Median of `values` (nearest-rank, matching [`percentile`] at `q = 0.5`);
+/// zero when empty.
+pub fn median(values: &[f64]) -> f64 {
+    percentile(values, 0.5)
+}
 
 /// Collects duration samples and answers percentile queries.
 ///
@@ -100,7 +131,7 @@ impl LatencySampler {
 }
 
 /// One point of a per-bucket latency timeline.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct TimelinePoint {
     /// Start of the bucket, seconds since simulation start.
     pub second: u64,
@@ -110,6 +141,17 @@ pub struct TimelinePoint {
     pub p99_ms: f64,
     /// Mean latency of those requests, milliseconds.
     pub mean_ms: f64,
+}
+
+impl ToJson for TimelinePoint {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("second".into(), Json::from(self.second)),
+            ("count".into(), Json::from(self.count)),
+            ("p99_ms".into(), Json::from(self.p99_ms)),
+            ("mean_ms".into(), Json::from(self.mean_ms)),
+        ])
+    }
 }
 
 /// Buckets completed-request latencies per virtual second; produces the
@@ -380,6 +422,18 @@ mod tests {
         let mut h = Histogram::new(Duration::from_millis(1), 4);
         h.record(Duration::from_secs(10));
         assert_eq!(h.count(3), 1);
+    }
+
+    #[test]
+    fn f64_percentiles_match_sampler_rule() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&xs, 0.25), 10.0);
+        assert_eq!(percentile(&xs, 0.5), 20.0);
+        assert_eq!(percentile(&xs, 1.0), 40.0);
+        assert_eq!(median(&xs), 20.0);
+        assert_eq!(percentile(&[], 0.99), 0.0);
+        // Unsorted input sorts internally.
+        assert_eq!(percentile(&[3.0, 1.0, 2.0], 0.5), 2.0);
     }
 
     #[test]

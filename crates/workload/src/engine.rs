@@ -1,0 +1,252 @@
+//! Unified parallel scenario engine.
+//!
+//! Every experiment in the reproduction reduces to the same shape: build a
+//! grid of [`SimConfig`]s, run each one through [`Sim`], and aggregate the
+//! [`SimResult`]s into a report. Each run is an independent deterministic
+//! simulation on its own virtual clock, so the grid is embarrassingly
+//! parallel. This module is the single fan-out point:
+//!
+//! * [`Scenario`] — a labelled `SimConfig`,
+//! * [`run_all`] — executes every scenario across a `std::thread::scope`
+//!   worker pool (capped at available parallelism) and returns
+//!   [`RunOutcome`]s **in input order**, so aggregation code is oblivious
+//!   to scheduling and every report stays bit-identical to a serial run,
+//! * [`RunReport`] — a structured title + JSON body, the machine-readable
+//!   form of a report surfaced by `repro --json`.
+//!
+//! Worker count can be pinned with the `BEEHIVE_WORKERS` environment
+//! variable (useful for the determinism regression test, which compares
+//! rendered reports at 1, 2, and 8 workers).
+//!
+//! # Example
+//!
+//! ```
+//! use beehive_apps::{App, AppKind, Fidelity};
+//! use beehive_sim::Duration;
+//! use beehive_workload::driver::{ArrivalPattern, SimConfig};
+//! use beehive_workload::engine::{run_all, Scenario};
+//! use beehive_workload::Strategy;
+//!
+//! let app = App::build(AppKind::Thumbnail, Fidelity::Scaled(4096));
+//! let scenarios: Vec<Scenario> = [4.0, 8.0]
+//!     .iter()
+//!     .map(|&rps| {
+//!         let mut cfg = SimConfig::new(app.clone(), Strategy::Vanilla);
+//!         cfg.arrivals = ArrivalPattern::constant(rps);
+//!         cfg.horizon = Duration::from_secs(4);
+//!         Scenario::new(format!("rps={rps}"), cfg)
+//!     })
+//!     .collect();
+//! let outcomes = run_all(scenarios);
+//! assert_eq!(outcomes.len(), 2);
+//! assert_eq!(outcomes[0].label, "rps=4");
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+use beehive_sim::json::Json;
+
+use crate::driver::{Sim, SimConfig, SimResult};
+
+/// One labelled simulation to run.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Human-readable label carried through to the [`RunOutcome`] (e.g.
+    /// `"BeeHive/OW rps=120"`). Labels are for report bookkeeping; they do
+    /// not affect the simulation.
+    pub label: String,
+    /// The full simulation configuration.
+    pub cfg: SimConfig,
+}
+
+impl Scenario {
+    /// A scenario with `label` running `cfg`.
+    pub fn new(label: impl Into<String>, cfg: SimConfig) -> Self {
+        Scenario {
+            label: label.into(),
+            cfg,
+        }
+    }
+}
+
+/// The result of one scenario, in the input order of [`run_all`].
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// The scenario's label.
+    pub label: String,
+    /// The simulation result.
+    pub result: SimResult,
+}
+
+/// Number of workers [`run_all`] uses: `BEEHIVE_WORKERS` when set (clamped
+/// to ≥ 1), else the machine's available parallelism.
+pub fn default_workers() -> usize {
+    if let Ok(v) = std::env::var("BEEHIVE_WORKERS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Run every scenario, fanning out over [`default_workers`] threads, and
+/// return outcomes **in input order**.
+///
+/// Each simulation is seeded from its own `SimConfig` and runs on its own
+/// virtual clock, so results are identical whatever the worker count or
+/// scheduling interleaving — parallelism changes wall-clock time only.
+pub fn run_all(scenarios: Vec<Scenario>) -> Vec<RunOutcome> {
+    run_all_with_workers(scenarios, default_workers())
+}
+
+/// [`run_all`] with an explicit worker count (`workers ≤ 1` runs serially
+/// on the calling thread).
+pub fn run_all_with_workers(scenarios: Vec<Scenario>, workers: usize) -> Vec<RunOutcome> {
+    let workers = workers.min(scenarios.len()).max(1);
+    if workers <= 1 {
+        return scenarios
+            .into_iter()
+            .map(|s| RunOutcome {
+                label: s.label,
+                result: Sim::new(s.cfg).run(),
+            })
+            .collect();
+    }
+
+    // Work-stealing by atomic index: each worker claims the next unstarted
+    // scenario, writes its result into that scenario's slot, and repeats.
+    // Slots keep input order; the claim order is irrelevant to the output.
+    let mut labels = Vec::with_capacity(scenarios.len());
+    let mut configs = Vec::with_capacity(scenarios.len());
+    for s in scenarios {
+        labels.push(s.label);
+        configs.push(Mutex::new(Some(s.cfg)));
+    }
+    let slots: Vec<Mutex<Option<SimResult>>> =
+        configs.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= configs.len() {
+                    break;
+                }
+                let cfg = configs[i]
+                    .lock()
+                    .unwrap()
+                    .take()
+                    .expect("scenario claimed twice");
+                let result = Sim::new(cfg).run();
+                *slots[i].lock().unwrap() = Some(result);
+            });
+        }
+    });
+
+    labels
+        .into_iter()
+        .zip(slots)
+        .map(|(label, slot)| RunOutcome {
+            label,
+            result: slot
+                .into_inner()
+                .unwrap()
+                .expect("worker pool exited with an unfilled slot"),
+        })
+        .collect()
+}
+
+/// A structured experiment report: a title plus a JSON body.
+///
+/// Every experiment module produces one `RunReport` alongside its typed
+/// report struct; `repro --json` renders these instead of the Display
+/// tables. Bodies contain only simulation-derived data (never wall-clock
+/// readings), so rendered reports are byte-stable across machines and
+/// worker counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Report title (e.g. `"fig8"`).
+    pub title: String,
+    /// The report data.
+    pub body: Json,
+}
+
+impl RunReport {
+    /// A report titled `title` with `body`.
+    pub fn new(title: impl Into<String>, body: Json) -> Self {
+        RunReport {
+            title: title.into(),
+            body,
+        }
+    }
+
+    /// Render as a single JSON object `{"title": ..., "body": ...}`.
+    pub fn render(&self) -> String {
+        Json::obj([
+            ("title".into(), Json::from(self.title.clone())),
+            ("body".into(), self.body.clone()),
+        ])
+        .render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beehive_apps::{App, AppKind, Fidelity};
+    use beehive_sim::Duration;
+    use crate::driver::ArrivalPattern;
+    use crate::Strategy;
+
+    fn tiny_scenarios(n: usize) -> Vec<Scenario> {
+        let app = App::build(AppKind::Thumbnail, Fidelity::Scaled(4096));
+        (0..n)
+            .map(|i| {
+                let mut cfg = SimConfig::new(app.clone(), Strategy::Vanilla);
+                cfg.arrivals = ArrivalPattern::constant(4.0 + i as f64);
+                cfg.horizon = Duration::from_secs(3);
+                cfg.seed = 7 + i as u64;
+                Scenario::new(format!("s{i}"), cfg)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn outcomes_keep_input_order() {
+        let outcomes = run_all_with_workers(tiny_scenarios(5), 4);
+        let labels: Vec<&str> = outcomes.iter().map(|o| o.label.as_str()).collect();
+        assert_eq!(labels, ["s0", "s1", "s2", "s3", "s4"]);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let serial = run_all_with_workers(tiny_scenarios(4), 1);
+        let parallel = run_all_with_workers(tiny_scenarios(4), 3);
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.result.completed, b.result.completed);
+            assert_eq!(a.result.rejected, b.result.rejected);
+            assert_eq!(a.result.end, b.result.end);
+        }
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        assert!(run_all_with_workers(Vec::new(), 8).is_empty());
+    }
+
+    #[test]
+    fn more_workers_than_scenarios() {
+        let outcomes = run_all_with_workers(tiny_scenarios(2), 64);
+        assert_eq!(outcomes.len(), 2);
+    }
+
+    #[test]
+    fn run_report_renders_title_and_body() {
+        let r = RunReport::new("t", Json::obj([("x".into(), Json::Int(1))]));
+        assert_eq!(r.render(), r#"{"title":"t","body":{"x":1}}"#);
+    }
+}

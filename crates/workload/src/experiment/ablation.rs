@@ -7,9 +7,11 @@ use std::fmt;
 
 use beehive_apps::{App, AppKind, Fidelity};
 use beehive_core::config::BeeHiveConfig;
+use beehive_sim::json::{Json, ToJson};
 use beehive_sim::Duration;
 
-use crate::driver::{ArrivalPattern, Sim, SimConfig};
+use crate::driver::{ArrivalPattern, SimConfig};
+use crate::engine::{run_all, Scenario};
 use crate::strategy::Strategy;
 
 use super::{base_rate, Profile};
@@ -47,7 +49,7 @@ pub fn ablation(kind: AppKind, profile: Profile) -> AblationReport {
     } else {
         (Duration::from_secs(40), Duration::from_secs(18))
     };
-    let run = |label: &'static str, beehive: BeeHiveConfig| {
+    let configure = |beehive: BeeHiveConfig| {
         let mut cfg = SimConfig::new(app.clone(), Strategy::BeeHiveOpenWhisk);
         cfg.arrivals = ArrivalPattern::constant(rate);
         cfg.horizon = horizon;
@@ -56,26 +58,65 @@ pub fn ablation(kind: AppKind, profile: Profile) -> AblationReport {
         cfg.offload_ratio = 0.5;
         cfg.engage_at = Duration::ZERO;
         cfg.beehive = beehive;
-        let mut r = Sim::new(cfg).run();
-        let n = r.steady_offload_count.max(1) as f64;
-        AblationRow {
-            label,
-            p99_ms: r.steady.percentile(0.99).as_millis_f64(),
-            native_fallbacks: r.steady_offload.fallbacks_native as f64 / n,
-            db_fallbacks: r.steady_offload.fallbacks_db as f64 / n,
-            fallback_overhead_ms: r.steady_offload.fallback_overhead.as_millis_f64() / n,
-        }
+        cfg
     };
-    AblationReport {
-        app: kind,
-        rows: vec![
-            run("BeeHive (full)", BeeHiveConfig::default()),
-            run(
-                "no Packageable (COMET-style)",
-                BeeHiveConfig::default().without_packageable(),
+    let labels: [&'static str; 3] = [
+        "BeeHive (full)",
+        "no Packageable (COMET-style)",
+        "no connection proxy",
+    ];
+    let scenarios = labels
+        .iter()
+        .zip([
+            BeeHiveConfig::default(),
+            BeeHiveConfig::default().without_packageable(),
+            BeeHiveConfig::default().without_proxy(),
+        ])
+        .map(|(&label, beehive)| Scenario::new(label, configure(beehive)))
+        .collect();
+    let rows = labels
+        .iter()
+        .zip(run_all(scenarios))
+        .map(|(&label, mut o)| {
+            let n = o.result.steady_offload_count.max(1) as f64;
+            AblationRow {
+                label,
+                p99_ms: o.result.steady.percentile(0.99).as_millis_f64(),
+                native_fallbacks: o.result.steady_offload.fallbacks_native as f64 / n,
+                db_fallbacks: o.result.steady_offload.fallbacks_db as f64 / n,
+                fallback_overhead_ms: o.result.steady_offload.fallback_overhead.as_millis_f64()
+                    / n,
+            }
+        })
+        .collect();
+    AblationReport { app: kind, rows }
+}
+
+impl ToJson for AblationReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("app".into(), Json::from(self.app.name())),
+            (
+                "rows".into(),
+                Json::Arr(
+                    self.rows
+                        .iter()
+                        .map(|r| {
+                            Json::obj([
+                                ("label".into(), Json::from(r.label)),
+                                ("p99_ms".into(), Json::from(r.p99_ms)),
+                                ("native_fallbacks".into(), Json::from(r.native_fallbacks)),
+                                ("db_fallbacks".into(), Json::from(r.db_fallbacks)),
+                                (
+                                    "fallback_overhead_ms".into(),
+                                    Json::from(r.fallback_overhead_ms),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
             ),
-            run("no connection proxy", BeeHiveConfig::default().without_proxy()),
-        ],
+        ])
     }
 }
 

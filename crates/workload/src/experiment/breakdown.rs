@@ -4,10 +4,12 @@
 use std::fmt;
 
 use beehive_apps::{App, AppKind, Fidelity};
+use beehive_sim::json::{Json, ToJson};
 use beehive_sim::stats::LatencySampler;
 use beehive_sim::Duration;
 
-use crate::driver::{ArrivalPattern, Sim, SimConfig};
+use crate::driver::{ArrivalPattern, SimConfig};
+use crate::engine::{run_all, Scenario};
 use crate::strategy::Strategy;
 
 use super::Profile;
@@ -39,7 +41,7 @@ pub struct GcStatsReport {
 /// each serves enough requests to collect. Full profile runs at full
 /// fidelity (the exact per-request churn); quick mode scales it by 4.
 pub fn gc_stats(apps: &[AppKind], profile: Profile) -> GcStatsReport {
-    let rows = apps
+    let scenarios = apps
         .iter()
         .map(|&kind| {
             let fidelity = if profile.quick {
@@ -58,7 +60,14 @@ pub fn gc_stats(apps: &[AppKind], profile: Profile) -> GcStatsReport {
             cfg.prewarm_ready = 2;
             cfg.max_instances = 2;
             cfg.max_concurrent_boots = 2;
-            let r = Sim::new(cfg).run();
+            Scenario::new(kind.name(), cfg)
+        })
+        .collect();
+    let rows = apps
+        .iter()
+        .zip(run_all(scenarios))
+        .map(|(&kind, o)| {
+            let r = o.result;
             let mut pauses = LatencySampler::new();
             for p in &r.function_gc_pauses {
                 pauses.record(*p);
@@ -73,6 +82,28 @@ pub fn gc_stats(apps: &[AppKind], profile: Profile) -> GcStatsReport {
         })
         .collect();
     GcStatsReport { rows }
+}
+
+impl ToJson for GcStatsReport {
+    fn to_json(&self) -> Json {
+        Json::obj([(
+            "rows".into(),
+            Json::Arr(
+                self.rows
+                    .iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("app".into(), Json::from(r.app.name())),
+                            ("median_pause_ms".into(), Json::from(r.median_pause_ms)),
+                            ("collections".into(), Json::from(r.collections)),
+                            ("peak_heap_mb".into(), Json::from(r.peak_heap_mb)),
+                            ("mapping_kb".into(), Json::from(r.mapping_kb)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        )])
+    }
 }
 
 impl fmt::Display for GcStatsReport {
@@ -137,7 +168,7 @@ pub fn shadow_breakdown(kind: AppKind, profile: Profile) -> ShadowReport {
     let (horizon, burst_at) = if profile.quick { (30u64, 8u64) } else { (120, 40) };
     let app = App::build(kind, Fidelity::fast());
     let rate = super::base_rate(&app);
-    let run = |shadow: bool| {
+    let configure = |shadow: bool| {
         let mut cfg = SimConfig::new(app.clone(), Strategy::BeeHiveOpenWhisk);
         cfg.arrivals = ArrivalPattern::Open {
             base_rps: rate,
@@ -149,10 +180,14 @@ pub fn shadow_breakdown(kind: AppKind, profile: Profile) -> ShadowReport {
         cfg.engage_at = Duration::from_secs(burst_at);
         cfg.seed = profile.seed;
         cfg.shadow_enabled = shadow;
-        Sim::new(cfg).run()
+        cfg
     };
-    let mut with_shadow = run(true);
-    let mut without_shadow = run(false);
+    let mut outcomes = run_all(vec![
+        Scenario::new("shadow", configure(true)),
+        Scenario::new("no-shadow", configure(false)),
+    ]);
+    let mut without_shadow = outcomes.pop().expect("no-shadow outcome").result;
+    let mut with_shadow = outcomes.pop().expect("shadow outcome").result;
     let sh = with_shadow.shadows.max(1) as f64;
 
     ShadowReport {
@@ -166,6 +201,34 @@ pub fn shadow_breakdown(kind: AppKind, profile: Profile) -> ShadowReport {
         shadows: with_shadow.shadows,
         worst_with_shadow_ms: with_shadow.offload_latencies.max().as_millis_f64(),
         worst_without_shadow_ms: without_shadow.offload_latencies.max().as_millis_f64(),
+    }
+}
+
+impl ToJson for ShadowReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("app".into(), Json::from(self.app.name())),
+            ("mean_duration_ms".into(), Json::from(self.mean_duration_ms)),
+            (
+                "closure_compute_ms".into(),
+                Json::from(self.closure_compute_ms),
+            ),
+            ("fetch_ms".into(), Json::from(self.fetch_ms)),
+            ("sync_ms".into(), Json::from(self.sync_ms)),
+            ("shadows".into(), Json::from(self.shadows)),
+            (
+                "worst_with_shadow_ms".into(),
+                Json::from(self.worst_with_shadow_ms),
+            ),
+            (
+                "worst_without_shadow_ms".into(),
+                Json::from(self.worst_without_shadow_ms),
+            ),
+            (
+                "worst_case_reduction".into(),
+                Json::from(self.worst_case_reduction()),
+            ),
+        ])
     }
 }
 

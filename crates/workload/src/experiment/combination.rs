@@ -8,7 +8,9 @@ use std::fmt;
 
 use beehive_apps::AppKind;
 use beehive_scaling::ScalingKind;
+use beehive_sim::json::{Json, ToJson};
 
+use crate::engine::{run_all, Scenario};
 use crate::strategy::Strategy;
 
 use super::fig7::{BurstExperiment, BurstReport};
@@ -27,21 +29,48 @@ pub struct CombinationReport {
     pub combined: BurstReport,
 }
 
-/// Run the §5.7 combination study.
+/// Run the §5.7 combination study (all three burst windows concurrently).
 pub fn combination(kind: AppKind, profile: Profile) -> CombinationReport {
     let (horizon, burst_at) = if profile.quick { (60u64, 10u64) } else { (240, 60) };
-    let run = |s: Strategy| {
+    let experiments: Vec<BurstExperiment> = [
+        Strategy::Scaled(ScalingKind::OnDemand),
+        Strategy::BeeHiveOpenWhisk,
+        Strategy::Combined(ScalingKind::OnDemand),
+    ]
+    .into_iter()
+    .map(|s| {
         BurstExperiment::new(kind, s)
             .horizon_secs(horizon)
             .burst_at_secs(burst_at)
             .seed(profile.seed)
-            .run()
-    };
+    })
+    .collect();
+    let outcomes = run_all(
+        experiments
+            .iter()
+            .map(|e| Scenario::new(e.strategy().label(), e.config()))
+            .collect(),
+    );
+    let mut reports = experiments
+        .iter()
+        .zip(outcomes)
+        .map(|(e, o)| e.report(o.result));
     CombinationReport {
         app: kind,
-        ec2: run(Strategy::Scaled(ScalingKind::OnDemand)),
-        beehive: run(Strategy::BeeHiveOpenWhisk),
-        combined: run(Strategy::Combined(ScalingKind::OnDemand)),
+        ec2: reports.next().expect("ec2 report"),
+        beehive: reports.next().expect("beehive report"),
+        combined: reports.next().expect("combined report"),
+    }
+}
+
+impl ToJson for CombinationReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("app".into(), Json::from(self.app.name())),
+            ("ec2".into(), self.ec2.to_json()),
+            ("beehive".into(), self.beehive.to_json()),
+            ("combined".into(), self.combined.to_json()),
+        ])
     }
 }
 

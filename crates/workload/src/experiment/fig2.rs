@@ -4,9 +4,11 @@
 use std::fmt;
 
 use beehive_apps::{App, AppKind, Fidelity};
+use beehive_sim::json::{Json, ToJson};
 use beehive_sim::Duration;
 
-use crate::driver::{ArrivalPattern, Sim, SimConfig};
+use crate::driver::{ArrivalPattern, SimConfig};
+use crate::engine::{run_all, Scenario};
 use crate::strategy::Strategy;
 
 use super::Profile;
@@ -46,23 +48,46 @@ pub fn fig2(profile: Profile) -> Fig2Report {
     };
     let record_from = horizon / 3;
 
-    let mut points = Vec::new();
-    for &clients in counts {
-        let mut cfg = SimConfig::new(app.clone(), Strategy::Vanilla);
-        cfg.arrivals = ArrivalPattern::Closed { clients };
-        cfg.horizon = horizon;
-        cfg.record_from = record_from;
-        cfg.seed = profile.seed;
-        let mut r = Sim::new(cfg).run();
-        let window = (horizon - record_from).as_secs_f64();
-        points.push(Fig2Point {
+    let scenarios = counts
+        .iter()
+        .map(|&clients| {
+            let mut cfg = SimConfig::new(app.clone(), Strategy::Vanilla);
+            cfg.arrivals = ArrivalPattern::Closed { clients };
+            cfg.horizon = horizon;
+            cfg.record_from = record_from;
+            cfg.seed = profile.seed;
+            Scenario::new(format!("clients={clients}"), cfg)
+        })
+        .collect();
+    let window = (horizon - record_from).as_secs_f64();
+    let points = counts
+        .iter()
+        .zip(run_all(scenarios))
+        .map(|(&clients, mut o)| Fig2Point {
             clients,
-            mean_ms: r.steady.mean().as_millis_f64(),
-            p99_ms: r.steady.percentile(0.99).as_millis_f64(),
-            throughput: r.steady.len() as f64 / window,
-        });
-    }
+            mean_ms: o.result.steady.mean().as_millis_f64(),
+            p99_ms: o.result.steady.percentile(0.99).as_millis_f64(),
+            throughput: o.result.steady.len() as f64 / window,
+        })
+        .collect();
     Fig2Report { points }
+}
+
+impl ToJson for Fig2Point {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("clients".into(), Json::from(self.clients)),
+            ("mean_ms".into(), Json::from(self.mean_ms)),
+            ("p99_ms".into(), Json::from(self.p99_ms)),
+            ("throughput".into(), Json::from(self.throughput)),
+        ])
+    }
+}
+
+impl ToJson for Fig2Report {
+    fn to_json(&self) -> Json {
+        Json::obj([("points".into(), Json::arr(self.points.iter()))])
+    }
 }
 
 impl fmt::Display for Fig2Report {

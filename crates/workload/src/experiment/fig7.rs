@@ -4,10 +4,12 @@
 use std::fmt;
 
 use beehive_apps::{App, AppKind, Fidelity};
-use beehive_sim::stats::TimelinePoint;
+use beehive_sim::json::{Json, ToJson};
+use beehive_sim::stats::{median, percentile_sorted, TimelinePoint};
 use beehive_sim::Duration;
 
 use crate::driver::{ArrivalPattern, Sim, SimConfig, SimResult};
+use crate::engine::{run_all, Scenario};
 use crate::strategy::Strategy;
 
 use super::{base_rate, Profile};
@@ -81,8 +83,15 @@ impl BurstExperiment {
         self
     }
 
-    /// Run, producing the burst report.
-    pub fn run(self) -> BurstReport {
+    /// The strategy under test.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// The [`SimConfig`] this experiment describes (the engine-facing half
+    /// of [`run`](Self::run): build configs here, fan them out through
+    /// [`run_all`], aggregate with [`report`](Self::report)).
+    pub fn config(&self) -> SimConfig {
         let app = App::build(self.kind, self.fidelity);
         let rate = self.base_rps.unwrap_or_else(|| base_rate(&app));
         let mut cfg = SimConfig::new(app, self.strategy);
@@ -100,8 +109,18 @@ impl BurstExperiment {
         if self.warm_boot {
             cfg.prewarm_ready = 16;
         }
-        let result = Sim::new(cfg).run();
+        cfg
+    }
+
+    /// Aggregate the result of running [`config`](Self::config).
+    pub fn report(&self, result: SimResult) -> BurstReport {
         BurstReport::from_result(self.strategy, self.burst_at, result)
+    }
+
+    /// Run, producing the burst report.
+    pub fn run(self) -> BurstReport {
+        let result = Sim::new(self.config()).run();
+        self.report(result)
     }
 }
 
@@ -168,7 +187,7 @@ impl BurstReport {
             .map(|p| p.p99_ms)
             .collect();
         tail.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let tail_median = tail.get(tail.len() / 2).copied().unwrap_or(0.0);
+        let tail_median = percentile_sorted(&tail, 0.5);
         let stabilization_secs = if tail.is_empty()
             || tail_median > (pre_burst_p99_ms * 3.0).max(pre_burst_p99_ms + 300.0)
         {
@@ -178,11 +197,7 @@ impl BurstReport {
             // spikes a hundred-sample p99 estimator produces at this load.
             let smoothed: Vec<(u64, f64)> = recorded
                 .windows(3)
-                .map(|w| {
-                    let mut v = [w[0].p99_ms, w[1].p99_ms, w[2].p99_ms];
-                    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
-                    (w[1].second, v[1])
-                })
+                .map(|w| (w[1].second, median(&[w[0].p99_ms, w[1].p99_ms, w[2].p99_ms])))
                 .collect();
             // The threshold separates the burst melt (which reaches the
             // post-burst maximum) from the new operating point's ordinary
@@ -240,6 +255,29 @@ impl BurstReport {
     }
 }
 
+impl ToJson for BurstReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("strategy".into(), Json::from(self.strategy.label())),
+            ("completed".into(), Json::from(self.completed)),
+            ("pre_burst_p99_ms".into(), Json::from(self.pre_burst_p99_ms)),
+            (
+                "stabilization_secs".into(),
+                Json::from(self.stabilization_secs),
+            ),
+            (
+                "stabilized_p99_ms".into(),
+                Json::from(self.stabilized_p99_ms),
+            ),
+            ("scaling_cost".into(), Json::from(self.scaling_cost)),
+            ("cold_boots".into(), Json::from(self.boots.0)),
+            ("warm_boots".into(), Json::from(self.boots.1)),
+            ("shadows".into(), Json::from(self.shadows)),
+            ("timeline".into(), Json::arr(self.timeline.iter())),
+        ])
+    }
+}
+
 /// Figure 7 for one application: all five strategies.
 #[derive(Debug)]
 pub struct Fig7Report {
@@ -252,25 +290,53 @@ pub struct Fig7Report {
 }
 
 /// Run Figure 7 (and collect Table 3's costs) for `kind`.
+///
+/// All seven burst windows (five strategies plus the two warm-boot BeeHive
+/// runs) are independent simulations and fan out through the parallel
+/// engine.
 pub fn fig7(kind: AppKind, profile: Profile) -> Fig7Report {
     let (horizon, burst_at) = if profile.quick { (40, 12) } else { (180, 60) };
-    let run = |strategy: Strategy, warm: bool| {
+    let experiment = |strategy: Strategy, warm: bool| {
         BurstExperiment::new(kind, strategy)
             .horizon_secs(horizon)
             .burst_at_secs(burst_at)
             .seed(profile.seed)
             .warm_boot(warm)
-            .run()
     };
-    let rows = Strategy::fig7_set().iter().map(|&s| run(s, false)).collect();
-    let warm_rows = vec![
-        run(Strategy::BeeHiveOpenWhisk, true),
-        run(Strategy::BeeHiveLambda, true),
-    ];
+    let experiments: Vec<BurstExperiment> = Strategy::fig7_set()
+        .iter()
+        .map(|&s| experiment(s, false))
+        .chain([
+            experiment(Strategy::BeeHiveOpenWhisk, true),
+            experiment(Strategy::BeeHiveLambda, true),
+        ])
+        .collect();
+    let outcomes = run_all(
+        experiments
+            .iter()
+            .map(|e| Scenario::new(e.strategy.label(), e.config()))
+            .collect(),
+    );
+    let mut reports: Vec<BurstReport> = experiments
+        .iter()
+        .zip(outcomes)
+        .map(|(e, o)| e.report(o.result))
+        .collect();
+    let warm_rows = reports.split_off(Strategy::fig7_set().len());
     Fig7Report {
         app: kind,
-        rows,
+        rows: reports,
         warm_rows,
+    }
+}
+
+impl ToJson for Fig7Report {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("app".into(), Json::from(self.app.name())),
+            ("rows".into(), Json::arr(self.rows.iter())),
+            ("warm_rows".into(), Json::arr(self.warm_rows.iter())),
+        ])
     }
 }
 

@@ -5,9 +5,11 @@
 use std::fmt;
 
 use beehive_apps::{App, AppKind, Fidelity};
+use beehive_sim::json::{Json, ToJson};
 use beehive_sim::Duration;
 
-use crate::driver::{ArrivalPattern, Sim, SimConfig};
+use crate::driver::{ArrivalPattern, SimConfig};
+use crate::engine::{run_all, Scenario};
 use crate::strategy::Strategy;
 
 use super::{vanilla_capacity, Profile};
@@ -36,13 +38,18 @@ pub struct Fig8Curve {
 
 impl Fig8Curve {
     /// The saturated throughput: the highest offered rate the system still
-    /// serves with at least 90% goodput and sub-second p99.
-    pub fn saturated_rps(&self) -> f64 {
+    /// serves with at least 90% goodput and sub-second p99. `None` when no
+    /// measured point meets the gate (the curve never reaches a usable
+    /// operating point, e.g. the system is overloaded at every sampled
+    /// rate) — distinct from a genuine 0 rps measurement.
+    pub fn saturated_rps(&self) -> Option<f64> {
         self.points
             .iter()
             .filter(|p| p.achieved_rps >= 0.9 * p.offered_rps && p.p99_ms < 1000.0)
             .map(|p| p.achieved_rps)
-            .fold(0.0, f64::max)
+            .fold(None, |best: Option<f64>, rps| {
+                Some(best.map_or(rps, |b| b.max(rps)))
+            })
     }
 }
 
@@ -92,15 +99,22 @@ pub fn fig8(kind: AppKind, profile: Profile) -> Fig8Report {
             .collect()
     };
 
-    let mut curves = Vec::new();
+    // Flatten the strategies × rate grid into one scenario list so every
+    // point of every curve runs concurrently, then regroup per strategy.
+    let mut plan: Vec<(Strategy, f64)> = Vec::new();
     for strategy in Strategy::fig8_set() {
         let grid = if strategy.offloads() {
             &offload_grid
         } else {
             &server_grid
         };
-        let mut points = Vec::new();
         for &rate in grid {
+            plan.push((strategy, rate));
+        }
+    }
+    let scenarios = plan
+        .iter()
+        .map(|&(strategy, rate)| {
             let mut cfg = SimConfig::new(app.clone(), strategy);
             cfg.arrivals = ArrivalPattern::constant(rate);
             cfg.horizon = horizon;
@@ -123,30 +137,73 @@ pub fn fig8(kind: AppKind, profile: Profile) -> Fig8Report {
                 cfg.prewarm_ready = expect.clamp(1, 128);
                 cfg.max_instances = 512;
             }
-            let mut r = Sim::new(cfg).run();
-            let window = (horizon - record_from).as_secs_f64();
-            points.push(Fig8Point {
-                offered_rps: rate,
-                achieved_rps: r.steady.len() as f64 / window,
-                mean_ms: r.steady.mean().as_millis_f64(),
-                p99_ms: r.steady.percentile(0.99).as_millis_f64(),
-            });
+            Scenario::new(format!("{} rps={rate}", strategy.label()), cfg)
+        })
+        .collect();
+    let window = (horizon - record_from).as_secs_f64();
+    let mut curves: Vec<Fig8Curve> = Vec::new();
+    for ((strategy, rate), mut o) in plan.into_iter().zip(run_all(scenarios)) {
+        let point = Fig8Point {
+            offered_rps: rate,
+            achieved_rps: o.result.steady.len() as f64 / window,
+            mean_ms: o.result.steady.mean().as_millis_f64(),
+            p99_ms: o.result.steady.percentile(0.99).as_millis_f64(),
+        };
+        match curves.last_mut() {
+            Some(c) if c.strategy == strategy => c.points.push(point),
+            _ => curves.push(Fig8Curve {
+                strategy,
+                points: vec![point],
+            }),
         }
-        curves.push(Fig8Curve { strategy, points });
     }
     Fig8Report { app: kind, curves }
+}
+
+impl ToJson for Fig8Point {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("offered_rps".into(), Json::from(self.offered_rps)),
+            ("achieved_rps".into(), Json::from(self.achieved_rps)),
+            ("mean_ms".into(), Json::from(self.mean_ms)),
+            ("p99_ms".into(), Json::from(self.p99_ms)),
+        ])
+    }
+}
+
+impl ToJson for Fig8Curve {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("strategy".into(), Json::from(self.strategy.label())),
+            ("saturated_rps".into(), Json::from(self.saturated_rps())),
+            ("points".into(), Json::arr(self.points.iter())),
+        ])
+    }
+}
+
+impl ToJson for Fig8Report {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("app".into(), Json::from(self.app.name())),
+            ("curves".into(), Json::arr(self.curves.iter())),
+        ])
+    }
 }
 
 impl fmt::Display for Fig8Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Figure 8 — {} latency vs throughput", self.app.name())?;
         for c in &self.curves {
-            writeln!(
-                f,
-                "  {} (saturates ~{:.0} rps)",
-                c.strategy.label(),
-                c.saturated_rps()
-            )?;
+            match c.saturated_rps() {
+                Some(rps) => {
+                    writeln!(f, "  {} (saturates ~{:.0} rps)", c.strategy.label(), rps)?
+                }
+                None => writeln!(
+                    f,
+                    "  {} (no point met the 90% goodput / sub-second p99 gate)",
+                    c.strategy.label()
+                )?,
+            }
             writeln!(
                 f,
                 "    {:>10} {:>10} {:>10} {:>10}",
@@ -171,13 +228,54 @@ mod tests {
     #[test]
     fn offloading_scales_throughput_beyond_vanilla() {
         let r = fig8(AppKind::Pybbs, Profile::quick());
-        let vanilla = r.curve(Strategy::Vanilla).saturated_rps();
-        let beehive = r.curve(Strategy::BeeHiveOpenWhisk).saturated_rps();
+        let vanilla = r
+            .curve(Strategy::Vanilla)
+            .saturated_rps()
+            .expect("vanilla reaches a usable operating point");
+        let beehive = r
+            .curve(Strategy::BeeHiveOpenWhisk)
+            .saturated_rps()
+            .expect("BeeHiveO reaches a usable operating point");
         assert!(vanilla > 0.0);
         assert!(
             beehive > vanilla * 3.0,
             "BeeHiveO {beehive:.0} rps should dwarf vanilla {vanilla:.0} rps"
         );
+    }
+
+    #[test]
+    fn saturated_rps_is_none_when_no_point_passes_the_gate() {
+        let melted = Fig8Curve {
+            strategy: Strategy::Vanilla,
+            points: vec![
+                // Goodput collapse: achieving far less than offered.
+                Fig8Point {
+                    offered_rps: 100.0,
+                    achieved_rps: 40.0,
+                    mean_ms: 900.0,
+                    p99_ms: 800.0,
+                },
+                // Latency melt: goodput fine but p99 over a second.
+                Fig8Point {
+                    offered_rps: 50.0,
+                    achieved_rps: 50.0,
+                    mean_ms: 1200.0,
+                    p99_ms: 4000.0,
+                },
+            ],
+        };
+        assert_eq!(melted.saturated_rps(), None);
+        // A genuine zero-rps point still counts as Some(0.0), not None.
+        let idle = Fig8Curve {
+            strategy: Strategy::Vanilla,
+            points: vec![Fig8Point {
+                offered_rps: 0.0,
+                achieved_rps: 0.0,
+                mean_ms: 0.0,
+                p99_ms: 0.0,
+            }],
+        };
+        assert_eq!(idle.saturated_rps(), Some(0.0));
     }
 
     #[test]

@@ -11,9 +11,11 @@ use std::fmt;
 
 use beehive_apps::{App, AppKind, Fidelity};
 use beehive_scaling::ScalingKind;
+use beehive_sim::json::{Json, ToJson};
 use beehive_sim::Duration;
 
-use crate::driver::{ArrivalPattern, Sim, SimConfig};
+use crate::driver::{ArrivalPattern, SimConfig};
+use crate::engine::{run_all, Scenario};
 use crate::strategy::Strategy;
 
 use super::{base_rate, Profile};
@@ -82,7 +84,7 @@ pub fn fig9(kind: AppKind, profile: Profile) -> Fig9Report {
     // request, from which the per-burst-second bill follows analytically.
     let app = App::build(kind, Fidelity::fast());
     let rate = base_rate(&app); // the forwarded half of a 2x burst
-    let measure = |strategy: Strategy| {
+    let measure_cfg = |strategy: Strategy| {
         let mut cfg = SimConfig::new(app.clone(), strategy);
         cfg.arrivals = ArrivalPattern::constant(rate);
         cfg.horizon = Duration::from_secs(horizon);
@@ -91,10 +93,14 @@ pub fn fig9(kind: AppKind, profile: Profile) -> Fig9Report {
         cfg.offload_ratio = 1.0; // the scaled capacity takes the burst share
         cfg.engage_at = Duration::ZERO;
         cfg.prewarm_ready = ((rate * 0.25).ceil() as usize).clamp(1, 64);
-        Sim::new(cfg).run()
+        cfg
     };
-    let ow = measure(Strategy::BeeHiveOpenWhisk);
-    let la = measure(Strategy::BeeHiveLambda);
+    let mut outcomes = run_all(vec![
+        Scenario::new("BeeHiveO", measure_cfg(Strategy::BeeHiveOpenWhisk)),
+        Scenario::new("BeeHiveL", measure_cfg(Strategy::BeeHiveLambda)),
+    ]);
+    let la = outcomes.pop().expect("lambda outcome").result;
+    let ow = outcomes.pop().expect("openwhisk outcome").result;
     let _ = window;
     // Lambda bills usage: GB-seconds + requests, normalized over the whole
     // run (offloading is engaged from t = 0).
@@ -147,6 +153,41 @@ pub fn fig9(kind: AppKind, profile: Profile) -> Fig9Report {
         app: kind,
         ratios,
         curves,
+    }
+}
+
+impl ToJson for Fig9Curve {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("label".into(), Json::from(self.label)),
+            (
+                "points".into(),
+                Json::Arr(
+                    self.points
+                        .iter()
+                        .map(|&(r, c)| {
+                            Json::obj([
+                                ("burst_ratio".into(), Json::from(r)),
+                                ("dollars_per_hour".into(), Json::from(c)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl ToJson for Fig9Report {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("app".into(), Json::from(self.app.name())),
+            (
+                "ratios".into(),
+                Json::Arr(self.ratios.iter().map(|&r| Json::from(r)).collect()),
+            ),
+            ("curves".into(), Json::arr(self.curves.iter())),
+        ])
     }
 }
 

@@ -13,14 +13,16 @@
 use std::fmt;
 
 use beehive_apps::{App, AppKind, Fidelity};
+use beehive_sim::json::{Json, ToJson};
 use beehive_sim::Duration;
 
-use crate::driver::{ArrivalPattern, Sim, SimConfig};
+use crate::driver::{ArrivalPattern, SimConfig};
+use crate::engine::{run_all, RunOutcome, Scenario};
 use crate::strategy::Strategy;
 
 use super::{vanilla_capacity, Profile};
 
-fn p99_at(app: &App, strategy: Strategy, rate: f64, ratio: f64, profile: Profile) -> f64 {
+fn cfg_at(app: &App, strategy: Strategy, rate: f64, ratio: f64, profile: Profile) -> SimConfig {
     let (horizon, record_from) = if profile.quick {
         (Duration::from_secs(16), Duration::from_secs(8))
     } else {
@@ -36,8 +38,11 @@ fn p99_at(app: &App, strategy: Strategy, rate: f64, ratio: f64, profile: Profile
     if strategy.offloads() && ratio > 0.0 {
         cfg.prewarm_ready = ((rate * ratio * 0.25).ceil() as usize).clamp(1, 64);
     }
-    let mut r = Sim::new(cfg).run();
-    r.steady.percentile(0.99).as_millis_f64()
+    cfg
+}
+
+fn p99_of(outcome: &mut RunOutcome) -> f64 {
+    outcome.result.steady.percentile(0.99).as_millis_f64()
 }
 
 fn ratio_grid(profile: Profile) -> &'static [f64] {
@@ -71,27 +76,79 @@ pub struct Table4Report {
 }
 
 /// Run Table 4 for the given applications.
+///
+/// The whole apps × (vanilla + two strategies × ratio grid) matrix is one
+/// flat scenario list through the parallel engine.
 pub fn table4(apps: &[AppKind], profile: Profile) -> Table4Report {
-    let mut rows = Vec::new();
+    let grid = ratio_grid(profile);
+    let per_app = 1 + 2 * grid.len();
+    let mut scenarios = Vec::new();
+    let mut rates = Vec::new();
     for &kind in apps {
         let app = App::build(kind, Fidelity::fast());
         let rate = 0.15 * vanilla_capacity(&app);
-        let vanilla_ms = p99_at(&app, Strategy::Vanilla, rate, 0.0, profile);
-        let min_over = |s: Strategy| {
-            ratio_grid(profile)
-                .iter()
-                .map(|&r| p99_at(&app, s, rate, r, profile))
-                .fold(f64::INFINITY, f64::min)
-        };
-        rows.push(Table4Row {
-            app: kind,
-            rps: rate,
-            vanilla_ms,
-            beehive_o_ms: min_over(Strategy::BeeHiveOpenWhisk),
-            beehive_l_ms: min_over(Strategy::BeeHiveLambda),
-        });
+        rates.push(rate);
+        scenarios.push(Scenario::new(
+            format!("{} vanilla", kind.name()),
+            cfg_at(&app, Strategy::Vanilla, rate, 0.0, profile),
+        ));
+        for s in [Strategy::BeeHiveOpenWhisk, Strategy::BeeHiveLambda] {
+            for &r in grid {
+                scenarios.push(Scenario::new(
+                    format!("{} {} ratio={r}", kind.name(), s.label()),
+                    cfg_at(&app, s, rate, r, profile),
+                ));
+            }
+        }
     }
+    let mut outcomes = run_all(scenarios);
+    let rows = apps
+        .iter()
+        .zip(rates)
+        .enumerate()
+        .map(|(i, (&kind, rate))| {
+            let chunk = &mut outcomes[i * per_app..(i + 1) * per_app];
+            let vanilla_ms = p99_of(&mut chunk[0]);
+            let mut min_over = |offset: usize| {
+                chunk[offset..offset + grid.len()]
+                    .iter_mut()
+                    .map(p99_of)
+                    .fold(f64::INFINITY, f64::min)
+            };
+            let beehive_o_ms = min_over(1);
+            let beehive_l_ms = min_over(1 + grid.len());
+            Table4Row {
+                app: kind,
+                rps: rate,
+                vanilla_ms,
+                beehive_o_ms,
+                beehive_l_ms,
+            }
+        })
+        .collect();
     Table4Report { rows }
+}
+
+impl ToJson for Table4Report {
+    fn to_json(&self) -> Json {
+        Json::obj([(
+            "rows".into(),
+            Json::Arr(
+                self.rows
+                    .iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("app".into(), Json::from(r.app.name())),
+                            ("rps".into(), Json::from(r.rps)),
+                            ("vanilla_ms".into(), Json::from(r.vanilla_ms)),
+                            ("beehive_o_ms".into(), Json::from(r.beehive_o_ms)),
+                            ("beehive_l_ms".into(), Json::from(r.beehive_l_ms)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        )])
+    }
 }
 
 impl fmt::Display for Table4Report {
@@ -145,16 +202,26 @@ pub fn fig10(profile: Profile) -> Fig10Report {
         &[30.0, 40.0, 50.0, 60.0, 80.0, 100.0]
     };
 
-    // Pre-compute each strategy's p99 across the ratio grid once.
-    let vanilla = vec![p99_at(&app, Strategy::Vanilla, rate, 0.0, profile)];
+    // Pre-compute each strategy's p99 across the ratio grid once, all
+    // configurations concurrently.
     let grid = ratio_grid(profile);
-    let sweep = |s: Strategy| -> Vec<f64> {
-        grid.iter()
-            .map(|&r| p99_at(&app, s, rate, r, profile))
-            .collect()
-    };
-    let bo = sweep(Strategy::BeeHiveOpenWhisk);
-    let bl = sweep(Strategy::BeeHiveLambda);
+    let mut scenarios = vec![Scenario::new(
+        "vanilla",
+        cfg_at(&app, Strategy::Vanilla, rate, 0.0, profile),
+    )];
+    for s in [Strategy::BeeHiveOpenWhisk, Strategy::BeeHiveLambda] {
+        for &r in grid {
+            scenarios.push(Scenario::new(
+                format!("{} ratio={r}", s.label()),
+                cfg_at(&app, s, rate, r, profile),
+            ));
+        }
+    }
+    let mut outcomes = run_all(scenarios);
+    let mut p99s = outcomes.iter_mut().map(p99_of);
+    let vanilla: Vec<f64> = p99s.by_ref().take(1).collect();
+    let bo: Vec<f64> = p99s.by_ref().take(grid.len()).collect();
+    let bl: Vec<f64> = p99s.collect();
 
     // For each SLO pick the least-offloading configuration that satisfies
     // it, or the best achievable if none does.
@@ -189,6 +256,33 @@ impl Fig10Report {
             .find(|(l, _)| *l == label)
             .map(|(_, v)| *v <= p.slo_ms)
             .unwrap_or(false)
+    }
+}
+
+impl ToJson for Fig10Report {
+    fn to_json(&self) -> Json {
+        Json::obj([(
+            "points".into(),
+            Json::Arr(
+                self.points
+                    .iter()
+                    .map(|p| {
+                        Json::obj([
+                            ("slo_ms".into(), Json::from(p.slo_ms)),
+                            (
+                                "achieved_ms".into(),
+                                Json::Obj(
+                                    p.achieved_ms
+                                        .iter()
+                                        .map(|&(l, v)| (l.to_string(), Json::from(v)))
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        )])
     }
 }
 

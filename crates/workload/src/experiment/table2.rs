@@ -4,6 +4,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use beehive_apps::{App, AppKind, Fidelity};
+use beehive_sim::json::{Json, ToJson};
 use beehive_core::config::BeeHiveConfig;
 use beehive_core::{ServerRuntime, ServerSession, SessionStep};
 use beehive_db::Database;
@@ -33,6 +34,29 @@ impl Table2Report {
     /// Total native invocations per request.
     pub fn total(&self) -> u64 {
         self.rows.iter().map(|r| r.invocations).sum()
+    }
+}
+
+impl ToJson for Table2Report {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("total".into(), Json::from(self.total())),
+            (
+                "rows".into(),
+                Json::Arr(
+                    self.rows
+                        .iter()
+                        .map(|r| {
+                            Json::obj([
+                                ("category".into(), Json::from(r.category)),
+                                ("invocations".into(), Json::from(r.invocations)),
+                                ("representative".into(), Json::from(r.representative)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
     }
 }
 

@@ -4,9 +4,11 @@
 use std::fmt;
 
 use beehive_apps::{App, AppKind, Fidelity};
+use beehive_sim::json::{Json, ToJson};
 use beehive_sim::Duration;
 
-use crate::driver::{ArrivalPattern, Sim, SimConfig};
+use crate::driver::{ArrivalPattern, SimConfig};
+use crate::engine::{run_all, Scenario};
 use crate::strategy::Strategy;
 
 use super::{base_rate, Profile};
@@ -40,9 +42,10 @@ pub struct Table5Report {
     pub columns: Vec<Table5Column>,
 }
 
-/// Run Table 5 for the given applications on the OpenWhisk deployment.
+/// Run Table 5 for the given applications on the OpenWhisk deployment (one
+/// concurrent simulation per application).
 pub fn table5(apps: &[AppKind], profile: Profile) -> Table5Report {
-    let columns = apps
+    let scenarios = apps
         .iter()
         .map(|&kind| {
             let app = App::build(kind, Fidelity::fast());
@@ -59,7 +62,14 @@ pub fn table5(apps: &[AppKind], profile: Profile) -> Table5Report {
             cfg.seed = profile.seed;
             cfg.offload_ratio = 0.5;
             cfg.engage_at = Duration::ZERO;
-            let r = Sim::new(cfg).run();
+            Scenario::new(kind.name(), cfg)
+        })
+        .collect();
+    let columns = apps
+        .iter()
+        .zip(run_all(scenarios))
+        .map(|(&kind, o)| {
+            let r = o.result;
             let n = r.steady_offload_count.max(1) as f64;
             let sh = r.shadows.max(1) as f64;
             Table5Column {
@@ -75,6 +85,39 @@ pub fn table5(apps: &[AppKind], profile: Profile) -> Table5Report {
         })
         .collect();
     Table5Report { columns }
+}
+
+impl ToJson for Table5Column {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("app".into(), Json::from(self.app.name())),
+            ("fallbacks".into(), Json::from(self.fallbacks)),
+            (
+                "fallback_overhead_ms".into(),
+                Json::from(self.fallback_overhead_ms),
+            ),
+            ("remote_fetching".into(), Json::from(self.remote_fetching)),
+            (
+                "synchronized_objects".into(),
+                Json::from(self.synchronized_objects),
+            ),
+            ("fallbacks_shadow".into(), Json::from(self.fallbacks_shadow)),
+            (
+                "remote_fetching_shadow".into(),
+                Json::from(self.remote_fetching_shadow),
+            ),
+            (
+                "fetching_overhead_shadow_ms".into(),
+                Json::from(self.fetching_overhead_shadow_ms),
+            ),
+        ])
+    }
+}
+
+impl ToJson for Table5Report {
+    fn to_json(&self) -> Json {
+        Json::obj([("columns".into(), Json::arr(self.columns.iter()))])
+    }
 }
 
 impl fmt::Display for Table5Report {

@@ -10,8 +10,10 @@
 #![warn(missing_docs)]
 
 pub mod driver;
+pub mod engine;
 pub mod experiment;
 pub mod strategy;
 
 pub use driver::{ArrivalPattern, Sim, SimConfig, SimResult};
+pub use engine::{run_all, RunOutcome, RunReport, Scenario};
 pub use strategy::Strategy;

@@ -142,7 +142,7 @@ fn barrier_overhead_is_fidelity_invariant() {
         cfg.arrivals = ArrivalPattern::constant(40.0);
         cfg.horizon = Duration::from_secs(12);
         cfg.record_from = Duration::from_secs(6);
-        let mut r = Sim::new(cfg).run();
+        let r = Sim::new(cfg).run();
         r.steady.mean().as_millis_f64()
     };
     for fidelity in [Fidelity::Scaled(1024), Fidelity::Scaled(4096)] {

@@ -1,0 +1,49 @@
+//! Determinism regression: the parallel scenario engine must produce
+//! byte-identical reports regardless of worker count. Same seed at 1, 2, and
+//! 8 workers → the rendered `RunReport` JSON matches exactly.
+
+use beehive_apps::AppKind;
+use beehive_sim::json::{Json, ToJson};
+use beehive_workload::engine::{run_all_with_workers, RunReport, Scenario};
+use beehive_workload::experiment::fig7::BurstExperiment;
+use beehive_workload::Strategy;
+
+/// Run two short burst experiments through the engine at the given worker
+/// count and render the combined report.
+fn report_at(workers: usize) -> String {
+    let experiments: Vec<BurstExperiment> = [Strategy::Vanilla, Strategy::BeeHiveOpenWhisk]
+        .into_iter()
+        .map(|s| {
+            BurstExperiment::new(AppKind::Pybbs, s)
+                .horizon_secs(20)
+                .burst_at_secs(5)
+                .seed(42)
+        })
+        .collect();
+    let scenarios: Vec<Scenario> = experiments
+        .iter()
+        .map(|e| Scenario::new(e.strategy().label(), e.config()))
+        .collect();
+    let outcomes = run_all_with_workers(scenarios, workers);
+    let body = Json::Arr(
+        experiments
+            .iter()
+            .zip(outcomes)
+            .map(|(e, o)| e.report(o.result).to_json())
+            .collect(),
+    );
+    RunReport::new("determinism", body).render()
+}
+
+#[test]
+fn same_seed_is_byte_identical_at_any_worker_count() {
+    let serial = report_at(1);
+    assert!(serial.contains("\"title\":\"determinism\""));
+    for workers in [2, 8] {
+        let parallel = report_at(workers);
+        assert_eq!(
+            serial, parallel,
+            "worker count {workers} changed the rendered report"
+        );
+    }
+}

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Repo verification: tier-1 build + tests, a quick full reproduction pass,
+# and a golden-file check of one machine-readable report. Everything runs
+# offline — the workspace has no external dependencies.
+#
+#   scripts/verify.sh
+#
+# Exits non-zero on the first failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> tier-1: cargo build --release"
+cargo build --release --offline
+
+echo "==> tier-1: cargo test -q"
+cargo test -q --offline
+
+echo "==> repro all --quick (smoke: every table and figure regenerates)"
+./target/release/repro all --quick --seed 42 > /dev/null
+
+echo "==> golden: repro fig9 --quick --seed 42 --json is byte-stable"
+./target/release/repro fig9 --quick --seed 42 --json > /tmp/beehive_fig9_quick.json
+diff -u scripts/golden/fig9_quick.json /tmp/beehive_fig9_quick.json
+rm -f /tmp/beehive_fig9_quick.json
+
+echo "OK: build, tests, quick repro, and golden report all pass."

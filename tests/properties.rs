@@ -1,7 +1,11 @@
-//! Property-based tests (proptest) on the core data structures and
-//! invariants: value encoding, heap/GC reachability preservation, object
-//! graph copies with remote marking, processor-sharing work conservation,
-//! percentile monotonicity and controller exactness.
+//! Randomized property tests on the core data structures and invariants:
+//! value encoding, heap/GC reachability preservation, object graph copies
+//! with remote marking, processor-sharing work conservation, percentile
+//! monotonicity and controller exactness.
+//!
+//! Cases are generated with the workspace's own seeded [`Rng`] (fixed seeds,
+//! so every run exercises the same inputs — failures reproduce exactly),
+//! replacing the external `proptest` dependency.
 
 use std::collections::HashSet;
 
@@ -14,39 +18,63 @@ use beehive::sim::{Duration, Rng, SimTime};
 use beehive::vm::heap::Space;
 use beehive::vm::program::ProgramBuilder;
 use beehive::vm::{Addr, ClassId, CostModel, Value, VmInstance};
-use proptest::prelude::*;
+
+const CASES: usize = 64;
+
+/// A random graph description: `edges[i]` lists, for object `i`, which other
+/// objects its fields point at (by index).
+fn random_graph(rng: &mut Rng) -> Vec<Vec<usize>> {
+    let nodes = 1 + rng.gen_range(23) as usize;
+    (0..nodes)
+        .map(|_| {
+            let degree = rng.gen_range(4) as usize;
+            (0..degree).map(|_| rng.gen_range(24) as usize).collect()
+        })
+        .collect()
+}
+
+fn random_mask(rng: &mut Rng, len: usize) -> Vec<bool> {
+    (0..len).map(|_| rng.chance(0.5)).collect()
+}
 
 // ---------------------------------------------------------------------------
 // Value encoding
 // ---------------------------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn value_encoding_round_trips(x in -(1i64 << 62)..(1i64 << 62) - 1) {
+#[test]
+fn value_encoding_round_trips() {
+    let mut rng = Rng::new(0xE4C0);
+    for case in 0..1000 {
+        // Cover the payload boundaries, zero, and a spread of random values.
+        let x = match case {
+            0 => -(1i64 << 62),
+            1 => (1i64 << 62) - 2,
+            2 => 0,
+            _ => (rng.next_u64() as i64) >> 2,
+        };
         let v = Value::I64(x);
-        prop_assert_eq!(Value::decode(v.encode()), v);
+        assert_eq!(Value::decode(v.encode()), v, "payload {x}");
     }
+}
 
-    #[test]
-    fn ref_encoding_round_trips(offset in 1u64..1_000_000, remote: bool) {
+#[test]
+fn ref_encoding_round_trips() {
+    let mut rng = Rng::new(0x5EF);
+    for _ in 0..1000 {
+        let offset = 1 + rng.gen_range(999_999);
+        let remote = rng.chance(0.5);
         let addr = Addr(0x1000_0000_0000 + offset * 8);
         let addr = if remote { addr.to_remote() } else { addr };
         let v = Value::Ref(addr);
-        prop_assert_eq!(Value::decode(v.encode()), v);
-        prop_assert_eq!(addr.is_remote(), remote);
-        prop_assert_eq!(addr.to_local().is_remote(), false);
+        assert_eq!(Value::decode(v.encode()), v);
+        assert_eq!(addr.is_remote(), remote);
+        assert!(!addr.to_local().is_remote());
     }
 }
 
 // ---------------------------------------------------------------------------
 // Heap + GC: random object graphs survive collection intact
 // ---------------------------------------------------------------------------
-
-/// A random graph description: `edges[i]` lists, for object `i`, which other
-/// objects its fields point at (by index).
-fn graph_strategy() -> impl Strategy<Value = Vec<Vec<usize>>> {
-    prop::collection::vec(prop::collection::vec(0usize..24, 0..4), 1..24)
-}
 
 fn tiny_vm() -> (VmInstance, ClassId) {
     let mut pb = ProgramBuilder::new();
@@ -56,11 +84,14 @@ fn tiny_vm() -> (VmInstance, ClassId) {
     (VmInstance::function(&p, CostModel::default()), c)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn gc_preserves_reachable_graphs() {
+    let mut master = Rng::new(0x6C_6C);
+    for case in 0..CASES {
+        let mut rng = master.split();
+        let edges = random_graph(&mut rng);
+        let keep_mask = random_mask(&mut rng, 24);
 
-    #[test]
-    fn gc_preserves_reachable_graphs(edges in graph_strategy(), keep_mask in prop::collection::vec(any::<bool>(), 24)) {
         let (mut vm, class) = tiny_vm();
         let n = edges.len();
         // Allocate nodes; field 0 holds the node's id, fields 1..4 its edges.
@@ -73,7 +104,8 @@ proptest! {
             .collect();
         for (i, out) in edges.iter().enumerate() {
             for (slot, &target) in out.iter().enumerate().take(3) {
-                vm.heap.set(addrs[i], (slot + 1) as u32, Value::Ref(addrs[target % n]));
+                vm.heap
+                    .set(addrs[i], (slot + 1) as u32, Value::Ref(addrs[target % n]));
             }
         }
         // Roots: a random subset.
@@ -89,8 +121,9 @@ proptest! {
         }
 
         let before = vm.heap.used_alloc_bytes();
-        vm.heap.collect(&mut |visit| roots.iter_mut().for_each(&mut *visit));
-        prop_assert!(vm.heap.used_alloc_bytes() <= before);
+        vm.heap
+            .collect(&mut |visit| roots.iter_mut().for_each(&mut *visit));
+        assert!(vm.heap.used_alloc_bytes() <= before, "case {case}");
 
         // Every root's transitive graph must be intact: ids and edge shape.
         let mut stack: Vec<(Addr, usize)> = Vec::new();
@@ -109,13 +142,17 @@ proptest! {
             if !seen.insert(a) {
                 continue;
             }
-            prop_assert_eq!(vm.heap.get(a, 0), Value::I64(i as i64), "node id preserved");
+            assert_eq!(
+                vm.heap.get(a, 0),
+                Value::I64(i as i64),
+                "case {case}: node id preserved"
+            );
             for slot in 0..3usize {
                 let expect = edges[i].get(slot).map(|&t| t % edges.len());
                 match (vm.heap.get(a, (slot + 1) as u32), expect) {
                     (Value::Ref(next), Some(t)) => stack.push((next, t)),
                     (Value::Null, None) => {}
-                    (got, want) => prop_assert!(false, "slot mismatch: {got:?} vs {want:?}"),
+                    (got, want) => panic!("case {case}: slot mismatch: {got:?} vs {want:?}"),
                 }
             }
         }
@@ -126,15 +163,15 @@ proptest! {
 // Object-graph copy: remote marking + dirty write-back round trip
 // ---------------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn copy_and_writeback_round_trip() {
+    let mut master = Rng::new(0xC0_57);
+    for case in 0..CASES {
+        let mut rng = master.split();
+        let edges = random_graph(&mut rng);
+        let include_mask = random_mask(&mut rng, 24);
+        let new_values: Vec<i64> = (0..24).map(|_| rng.gen_range(1_000_000) as i64).collect();
 
-    #[test]
-    fn copy_and_writeback_round_trip(
-        edges in graph_strategy(),
-        include_mask in prop::collection::vec(any::<bool>(), 24),
-        new_values in prop::collection::vec(0i64..1_000_000, 24),
-    ) {
         let mut pb = ProgramBuilder::new();
         let class = pb.user_class("Node", 4, None);
         pb.method(class, "noop", 0, 0, vec![beehive::vm::Op::Return]);
@@ -152,7 +189,9 @@ proptest! {
             .collect();
         for (i, out) in edges.iter().enumerate() {
             for (slot, &t) in out.iter().enumerate().take(3) {
-                server.heap.set(addrs[i], (slot + 1) as u32, Value::Ref(addrs[t % n]));
+                server
+                    .heap
+                    .set(addrs[i], (slot + 1) as u32, Value::Ref(addrs[t % n]));
             }
         }
 
@@ -163,23 +202,32 @@ proptest! {
             .map(|(_, &a)| a)
             .collect();
         let mut mapping = MappingTable::new();
-        let report = copy_to_function(&server, &mut func, &mut mapping, &program, &include, &mut |_, _, _| None);
-        prop_assert_eq!(report.objects, include.len() as u64);
-        prop_assert_eq!(mapping.len(), include.len());
+        let report = copy_to_function(
+            &server,
+            &mut func,
+            &mut mapping,
+            &program,
+            &include,
+            &mut |_, _, _| None,
+        );
+        assert_eq!(report.objects, include.len() as u64, "case {case}");
+        assert_eq!(mapping.len(), include.len());
 
         // Invariant: copied fields either point at copied objects (local) or
         // carry the remote mark with the exact canonical address.
         for (i, &a) in addrs.iter().enumerate() {
-            let Some(local) = mapping.local_of(a) else { continue };
-            prop_assert_eq!(func.heap.get(local, 0), Value::I64(i as i64));
+            let Some(local) = mapping.local_of(a) else {
+                continue;
+            };
+            assert_eq!(func.heap.get(local, 0), Value::I64(i as i64));
             for slot in 0..3usize {
                 if let Value::Ref(r) = func.heap.get(local, (slot + 1) as u32) {
                     let target = addrs[edges[i][slot] % n];
                     if include.contains(&target) {
-                        prop_assert_eq!(r, mapping.local_of(target).unwrap());
+                        assert_eq!(r, mapping.local_of(target).unwrap());
                     } else {
-                        prop_assert!(r.is_remote());
-                        prop_assert_eq!(r.to_local(), target);
+                        assert!(r.is_remote(), "case {case}");
+                        assert_eq!(r.to_local(), target);
                     }
                 }
             }
@@ -196,7 +244,7 @@ proptest! {
             }
         }
         let dirty_list = func.take_dirty();
-        prop_assert_eq!(dirty_list.len(), dirty.len());
+        assert_eq!(dirty_list.len(), dirty.len());
         apply_dirty_to_server(&func, &mut server, &mut mapping, &program, &dirty_list);
         for (i, &a) in addrs.iter().enumerate() {
             let expect = if mapping.local_of(a).is_some() {
@@ -204,7 +252,7 @@ proptest! {
             } else {
                 i as i64
             };
-            prop_assert_eq!(server.heap.get(a, 0), Value::I64(expect));
+            assert_eq!(server.heap.get(a, 0), Value::I64(expect), "case {case}");
         }
     }
 }
@@ -213,42 +261,52 @@ proptest! {
 // Processor sharing: work conservation and completion correctness
 // ---------------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn ps_pool_conserves_work() {
+    let mut master = Rng::new(0x90_01);
+    for case in 0..CASES {
+        let mut rng = master.split();
+        let jobs: Vec<(u64, u64)> = (0..1 + rng.gen_range(19) as usize)
+            .map(|_| (1 + rng.gen_range(49_999), rng.gen_range(100_000)))
+            .collect();
+        let capacity = 1 + rng.gen_range(7) as usize;
 
-    #[test]
-    fn ps_pool_conserves_work(
-        jobs in prop::collection::vec((1u64..50_000, 0u64..100_000), 1..20),
-        capacity in 1usize..8,
-    ) {
         let mut pool = PsPool::new(capacity as f64);
-        let mut inserted = std::collections::HashMap::new();
-        for (id, (work, at)) in jobs.iter().enumerate() {
-            let t = SimTime::from_nanos(*at);
-            // Arrival times must be non-decreasing for the fluid model.
-            let t = inserted
-                .values()
-                .copied()
-                .fold(t, |acc: SimTime, prev: SimTime| acc.max(prev));
-            pool.add(t, id as u64, Duration::from_micros(*work));
-            inserted.insert(id as u64, t);
-        }
-        // Drain everything; completions must be non-decreasing in time.
         let mut last = SimTime::ZERO;
         let mut completed = HashSet::new();
+        let mut arrival = SimTime::ZERO;
+        for (id, (work, at)) in jobs.iter().enumerate() {
+            // Arrival times must be non-decreasing for the fluid model, and
+            // the event loop always hands the pool completions due before a
+            // later arrival first — mirror that ordering here.
+            arrival = arrival.max(SimTime::from_nanos(*at));
+            while let Some((t, done)) = pool.next_completion() {
+                if t > arrival {
+                    break;
+                }
+                assert!(t >= last, "case {case}: completions move forward");
+                last = t;
+                pool.remove(t, done);
+                assert!(completed.insert(done), "case {case}: each job completes once");
+            }
+            pool.add(arrival, id as u64, Duration::from_micros(*work));
+        }
+        // Drain the rest; completions must be non-decreasing in time.
         while let Some((t, id)) = pool.next_completion() {
-            prop_assert!(t >= last, "completions move forward");
+            assert!(t >= last, "case {case}: completions move forward");
             last = t;
             pool.remove(t, id);
-            prop_assert!(completed.insert(id), "each job completes once");
+            assert!(completed.insert(id), "case {case}: each job completes once");
         }
-        prop_assert_eq!(completed.len(), jobs.len());
+        assert_eq!(completed.len(), jobs.len());
         // Work conservation: total busy time equals total submitted work
         // (within rounding).
         let total: u64 = jobs.iter().map(|(w, _)| w * 1_000).sum();
         let busy = pool.busy_core_nanos();
-        prop_assert!((busy - total as f64).abs() < jobs.len() as f64 * 10.0,
-            "busy {busy} vs submitted {total}");
+        assert!(
+            (busy - total as f64).abs() < jobs.len() as f64 * 10.0,
+            "case {case}: busy {busy} vs submitted {total}"
+        );
     }
 }
 
@@ -256,9 +314,14 @@ proptest! {
 // Statistics and controller
 // ---------------------------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn percentiles_are_monotone(mut xs in prop::collection::vec(0u64..10_000_000, 1..200)) {
+#[test]
+fn percentiles_are_monotone() {
+    let mut master = Rng::new(0x9E_2C);
+    for case in 0..CASES {
+        let mut rng = master.split();
+        let mut xs: Vec<u64> = (0..1 + rng.gen_range(199) as usize)
+            .map(|_| rng.gen_range(10_000_000))
+            .collect();
         let mut s = LatencySampler::new();
         for &x in &xs {
             s.record(Duration::from_nanos(x));
@@ -266,29 +329,42 @@ proptest! {
         let p50 = s.percentile(0.5);
         let p90 = s.percentile(0.9);
         let p99 = s.percentile(0.99);
-        prop_assert!(p50 <= p90 && p90 <= p99);
+        assert!(p50 <= p90 && p90 <= p99, "case {case}");
         xs.sort_unstable();
-        prop_assert_eq!(s.percentile(1.0).as_nanos(), *xs.last().unwrap());
-        prop_assert!(s.mean().as_nanos() <= *xs.last().unwrap());
-        prop_assert!(s.mean().as_nanos() >= *xs.first().unwrap());
+        assert_eq!(s.percentile(1.0).as_nanos(), *xs.last().unwrap());
+        assert!(s.mean().as_nanos() <= *xs.last().unwrap());
+        assert!(s.mean().as_nanos() >= *xs.first().unwrap());
     }
+}
 
-    #[test]
-    fn controller_offloads_exact_share(ratio in 0.0f64..1.0, n in 100usize..2000) {
+#[test]
+fn controller_offloads_exact_share() {
+    let mut master = Rng::new(0x0F_F1);
+    for case in 0..CASES {
+        let mut rng = master.split();
+        let ratio = rng.next_f64();
+        let n = 100 + rng.gen_range(1900) as usize;
         let mut c = OffloadController::new(ratio);
         let offloaded = (0..n).filter(|_| c.decide()).count();
         let expected = (ratio * n as f64).floor();
-        prop_assert!((offloaded as f64 - expected).abs() <= 1.0,
-            "ratio {ratio}: {offloaded} of {n}");
+        assert!(
+            (offloaded as f64 - expected).abs() <= 1.0,
+            "case {case}: ratio {ratio}: {offloaded} of {n}"
+        );
     }
+}
 
-    #[test]
-    fn rng_exponential_is_positive_and_seeded(seed: u64, mean_us in 1u64..100_000) {
+#[test]
+fn rng_exponential_is_positive_and_seeded() {
+    let mut master = Rng::new(0xD15);
+    for _ in 0..CASES {
+        let seed = master.next_u64();
+        let mean_us = 1 + master.gen_range(99_999);
         let mut a = Rng::new(seed);
         let mut b = Rng::new(seed);
         for _ in 0..50 {
             let d = a.exponential(Duration::from_micros(mean_us));
-            prop_assert_eq!(d, b.exponential(Duration::from_micros(mean_us)));
+            assert_eq!(d, b.exponential(Duration::from_micros(mean_us)));
         }
     }
 }
