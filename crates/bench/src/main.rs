@@ -1,16 +1,24 @@
 //! `repro` — regenerate every table and figure of the BeeHive paper.
 //!
 //! ```text
-//! repro [--quick] [--seed N] [--json] [all|fig2|table1|table2|fig7|table3|fig8|
-//!                             fig9|table4|fig10|table5|gcstats|shadow|ablations|combination]
+//! repro [--quick] [--seed N] [--json] [--trace DIR]
+//!       [list|all|fig2|table1|table2|fig7|table3|fig8|
+//!        fig9|table4|fig10|table5|gcstats|shadow|ablations|combination]
 //! ```
 //!
-//! Without a subcommand, everything runs in paper order. `--quick` shortens
-//! horizons (the same mode the test suite and benches use); the default
-//! horizons match the paper's (e.g. 180 s burst windows). `--json` replaces
-//! the Display tables with one machine-readable JSON document: an array of
-//! `{"title": ..., "body": ...}` reports, rendered deterministically (the
-//! same seed yields byte-identical output at any worker count).
+//! Without a subcommand, everything runs in paper order; `repro list`
+//! prints every runnable item with a one-line description. `--quick`
+//! shortens horizons (the same mode the test suite and benches use); the
+//! default horizons match the paper's (e.g. 180 s burst windows). `--json`
+//! replaces the Display tables with one machine-readable JSON document: an
+//! array of `{"title": ..., "body": ...}` reports, rendered
+//! deterministically (the same seed yields byte-identical output at any
+//! worker count). `--trace DIR` additionally records a virtual-time trace
+//! of every simulation and writes, per experiment, a Chrome trace-event
+//! file (`DIR/<item>.trace.json`, loadable in `chrome://tracing` or
+//! Perfetto) plus a per-request critical-path summary
+//! (`DIR/<item>.summary.json`); for a fixed seed these files are
+//! byte-identical at any `BEEHIVE_WORKERS`.
 //!
 //! Every driver fans its independent simulations out over the parallel
 //! scenario engine (`beehive_workload::engine`); pin the worker count with
@@ -38,6 +46,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut profile = Profile::full();
     let mut json = false;
+    let mut trace_dir: Option<std::path::PathBuf> = None;
     let mut cmds: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -50,9 +59,13 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| die("--seed needs an integer"));
             }
+            "--trace" => {
+                let dir = it.next().unwrap_or_else(|| die("--trace needs a directory"));
+                trace_dir = Some(std::path::PathBuf::from(dir));
+            }
             "--help" | "-h" => {
                 println!(
-                    "repro [--quick] [--seed N] [--json] [all|fig2|table1|table2|fig7|table3|fig8|fig9|table4|fig10|table5|gcstats|shadow|ablations|combination]"
+                    "repro [--quick] [--seed N] [--json] [--trace DIR] [list|all|fig2|table1|table2|fig7|table3|fig8|fig9|table4|fig10|table5|gcstats|shadow|ablations|combination]"
                 );
                 return;
             }
@@ -62,14 +75,25 @@ fn main() {
     if cmds.is_empty() {
         cmds.push("all".into());
     }
+    if cmds.iter().any(|c| c == "list") {
+        list_items();
+        return;
+    }
     const KNOWN: [&str; 15] = [
         "all", "fig2", "table1", "table2", "fig7", "table3", "fig8", "fig9", "table4", "fig10",
         "table5", "gcstats", "shadow", "ablations", "combination",
     ];
     for c in &cmds {
         if !KNOWN.contains(&c.as_str()) {
-            die(&format!("unknown item {c:?} (run with --help for the list)"));
+            die(&format!(
+                "unknown item {c:?} (run `repro list` for the available items)"
+            ));
         }
+    }
+    if let Some(dir) = &trace_dir {
+        std::fs::create_dir_all(dir)
+            .unwrap_or_else(|e| die(&format!("creating {}: {e}", dir.display())));
+        beehive_workload::engine::set_trace_default(true);
     }
 
     let all = cmds.iter().any(|c| c == "all");
@@ -113,6 +137,7 @@ fn main() {
             banner("Figure 2");
             println!("{rep}");
         }
+        flush_traces(trace_dir.as_deref(), "fig2");
     }
 
     if want("table2") {
@@ -193,6 +218,7 @@ fn main() {
                 }
             }
         }
+        flush_traces(trace_dir.as_deref(), "fig7");
     }
 
     if want("fig8") {
@@ -208,6 +234,7 @@ fn main() {
                 println!("{}", fig8(kind, profile));
             }
         }
+        flush_traces(trace_dir.as_deref(), "fig8");
     }
 
     if want("fig9") {
@@ -227,6 +254,7 @@ fn main() {
                 println!("{}", fig9(kind, profile));
             }
         }
+        flush_traces(trace_dir.as_deref(), "fig9");
     }
 
     if want("table4") {
@@ -237,6 +265,7 @@ fn main() {
             banner("Table 4");
             println!("{rep}");
         }
+        flush_traces(trace_dir.as_deref(), "table4");
     }
 
     if want("fig10") {
@@ -247,6 +276,7 @@ fn main() {
             banner("Figure 10");
             println!("{rep}");
         }
+        flush_traces(trace_dir.as_deref(), "fig10");
     }
 
     if want("table5") {
@@ -257,6 +287,7 @@ fn main() {
             banner("Table 5");
             println!("{rep}");
         }
+        flush_traces(trace_dir.as_deref(), "table5");
     }
 
     if want("gcstats") {
@@ -267,6 +298,7 @@ fn main() {
             banner("§5.6 — memory consumption and GC");
             println!("{rep}");
         }
+        flush_traces(trace_dir.as_deref(), "gcstats");
     }
 
     if want("shadow") {
@@ -285,6 +317,7 @@ fn main() {
                 println!("{}", shadow_breakdown(kind, profile));
             }
         }
+        flush_traces(trace_dir.as_deref(), "shadow");
     }
 
     if want("ablations") {
@@ -295,6 +328,7 @@ fn main() {
             banner("Ablations");
             println!("{rep}");
         }
+        flush_traces(trace_dir.as_deref(), "ablations");
     }
 
     if want("combination") {
@@ -305,6 +339,7 @@ fn main() {
             banner("§5.7 — combination mode");
             println!("{rep}");
         }
+        flush_traces(trace_dir.as_deref(), "combination");
     }
 
     if json {
@@ -321,6 +356,60 @@ fn main() {
         );
         println!("{}", doc.render());
     }
+}
+
+/// `repro list`: every runnable item with a one-line description.
+fn list_items() {
+    let items: [(&str, &str); 15] = [
+        ("all", "every item below, in paper order"),
+        ("fig2", "motivation: closed-loop latency of a vanilla server under load"),
+        ("table1", "scaling solutions compared (billing, preparation, granularity)"),
+        ("table2", "application suite and workload characteristics"),
+        ("fig7", "burst latency timelines for every scaling strategy"),
+        ("table3", "financial cost of the scaling in Figure 7"),
+        ("fig8", "sub-second elasticity around the scaling trigger"),
+        ("fig9", "offload-ratio sweep: latency vs offloaded fraction"),
+        ("table4", "SLO-driven offloading controller outcomes per app"),
+        ("fig10", "SLO controller timeline under a burst"),
+        ("table5", "fallback and synchronization counts per offloaded request"),
+        ("gcstats", "§5.6 memory consumption and GC pauses"),
+        ("shadow", "§5.6 shadow-execution warm-up breakdown"),
+        ("ablations", "feature ablations (shadowing, proxy, refinement) on pybbs"),
+        ("combination", "§5.7 Semi-FaaS bridging an on-demand instance boot"),
+    ];
+    println!("Runnable items (repro [flags] <item>...):");
+    for (name, desc) in items {
+        println!("  {name:<12} {desc}");
+    }
+}
+
+/// Write the traces drained from the engine as `DIR/<name>.trace.json`
+/// (Chrome trace-event format) plus `DIR/<name>.summary.json` (per-request
+/// critical-path summary). No-op when tracing is off or nothing ran.
+fn flush_traces(dir: Option<&std::path::Path>, name: &str) {
+    let Some(dir) = dir else { return };
+    let traces = beehive_workload::engine::drain_traces();
+    if traces.is_empty() {
+        return;
+    }
+    let trace_path = dir.join(format!("{name}.trace.json"));
+    std::fs::write(
+        &trace_path,
+        beehive_telemetry::chrome::chrome_trace_string(&traces),
+    )
+    .unwrap_or_else(|e| die(&format!("writing {}: {e}", trace_path.display())));
+    let summary_path = dir.join(format!("{name}.summary.json"));
+    std::fs::write(
+        &summary_path,
+        beehive_telemetry::summary::critical_path(&traces).render(),
+    )
+    .unwrap_or_else(|e| die(&format!("writing {}: {e}", summary_path.display())));
+    eprintln!(
+        "trace: wrote {} ({} scenarios) and {}",
+        trace_path.display(),
+        traces.len(),
+        summary_path.display()
+    );
 }
 
 fn banner(title: &str) {

@@ -30,9 +30,11 @@ impl FunctionRuntime {
     /// template: "only contains BeeHive's JVM for the function to connect
     /// with the server", §5.1).
     pub fn new(id: u32, program: &Program, cost: CostModel) -> Self {
+        let mut vm = VmInstance::function(program, cost);
+        vm.set_trace_id(id);
         FunctionRuntime {
             id,
-            vm: VmInstance::function(program, cost),
+            vm,
             instantiated_for: None,
             attached: HashMap::new(),
         }

@@ -304,6 +304,20 @@ impl ServerRuntime {
         let compute = config.closure_base_cost
             + config.closure_per_object_cost * report.objects
             + config.closure_per_class_cost * classes.max(1);
+        if beehive_telemetry::enabled() {
+            use beehive_telemetry::Arg;
+            beehive_telemetry::complete(
+                beehive_telemetry::Track::Server,
+                "closure:build",
+                compute,
+                &[
+                    ("instance", Arg::UInt(func_id as u64)),
+                    ("objects", Arg::UInt(report.objects)),
+                    ("classes", Arg::UInt(classes)),
+                    ("bytes", Arg::UInt(bytes + report.bytes)),
+                ],
+            );
+        }
         ClosureStats {
             objects: report.objects,
             classes,

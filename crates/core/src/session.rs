@@ -33,6 +33,7 @@
 use std::collections::VecDeque;
 
 use beehive_db::WriteKey;
+use beehive_telemetry as tele;
 use beehive_proxy::{ConnId, Origin};
 use beehive_sim::Duration;
 use beehive_vm::interp::{Block, Execution, Outcome, Provenance};
@@ -134,6 +135,13 @@ enum Pending {
     Gc,
 }
 
+/// The telemetry track of a request (sessions emit on their server-issued
+/// request id; the driver uses [`ServerSession::request_id`] /
+/// [`OffloadSession::request_id`] to land resource spans on the same track).
+fn treq(request: u64) -> tele::Track {
+    tele::Track::Request(request)
+}
+
 // ---------------------------------------------------------------------------
 // Server-side session
 // ---------------------------------------------------------------------------
@@ -176,6 +184,7 @@ impl ServerSession {
     pub fn start(server: &mut ServerRuntime, root: MethodId, args: Vec<Value>) -> Self {
         let request = server.next_request_id();
         server.stats.requests_local += 1;
+        tele::begin(treq(request), "req:server", &[]);
         ServerSession {
             exec: Execution::call(root, args, &server.program),
             root,
@@ -192,6 +201,11 @@ impl ServerSession {
     /// The wrapped execution (server GC roots).
     pub fn execution_mut(&mut self) -> &mut Execution {
         &mut self.exec
+    }
+
+    /// The server-issued request id (also this request's telemetry track).
+    pub fn request_id(&self) -> u64 {
+        self.request
     }
 
     /// Total interpreter CPU time the request consumed (excludes GC pauses
@@ -237,6 +251,7 @@ impl ServerSession {
                 self.finished = true;
                 server.stats.sessions.absorb(&self.stats);
                 server.record_profile(self.root, self.exec.total_cpu());
+                tele::end(treq(self.request), "req:server", &[]);
                 return SessionStep::Finished(v);
             }
 
@@ -307,9 +322,17 @@ impl ServerSession {
                 };
                 if !server.begin_lock_transfer(obj) {
                     self.fix = Some(ServerFix::MonitorBegin { obj });
+                    tele::instant(treq(self.request), "sync:lock_wait", &[]);
                     return Some(SessionStep::AwaitLock { canonical: obj });
                 }
                 self.stats.fallbacks_sync += 1;
+                if tele::enabled() {
+                    tele::begin(
+                        treq(self.request),
+                        "sync:monitor",
+                        &[("prev_owner", tele::Arg::UInt(peer as u64))],
+                    );
+                }
                 let net = server.config.net.function_server;
                 self.queue
                     .push_back(Pending::Need(Need::new(Resource::Net, net).fb()));
@@ -346,6 +369,7 @@ impl ServerSession {
             ServerFix::Monitor { obj } => {
                 server.set_monitor_owner(obj, EndpointId::Server);
                 server.end_lock_transfer(obj);
+                tele::end(treq(self.request), "sync:monitor", &[]);
                 self.exec.resume();
             }
             ServerFix::AfterGc => {
@@ -483,6 +507,7 @@ impl OffloadSession {
     ) -> Self {
         let request = server.next_request_id();
         server.stats.requests_offloaded += 1;
+        let warm = func.instantiated_for == Some(root);
         let mut queue = VecDeque::new();
         let mut stats = SessionStats::default();
         if !dispatch_cost.is_zero() {
@@ -517,6 +542,16 @@ impl OffloadSession {
             server.proxy.shadow_begin(func.id);
             server.stats.shadows += 1;
         }
+        if tele::enabled() {
+            tele::begin(
+                treq(request),
+                if shadow { "req:shadow" } else { "req:offload" },
+                &[
+                    ("instance", tele::Arg::UInt(func.id as u64)),
+                    ("warm", tele::Arg::Bool(warm)),
+                ],
+            );
+        }
         OffloadSession {
             exec: Execution::call(root, args.clone(), &server.program),
             root,
@@ -541,6 +576,19 @@ impl OffloadSession {
     /// `true` while this is a shadow execution.
     pub fn is_shadow(&self) -> bool {
         self.shadow
+    }
+
+    /// The server-issued request id (also this request's telemetry track).
+    pub fn request_id(&self) -> u64 {
+        self.request
+    }
+
+    fn span_name(&self) -> &'static str {
+        if self.shadow {
+            "req:shadow"
+        } else {
+            "req:offload"
+        }
     }
 
     /// Deliver the object list returned by
@@ -581,6 +629,7 @@ impl OffloadSession {
             if let Some(v) = self.done {
                 self.finished = true;
                 server.stats.sessions.absorb(&self.stats);
+                tele::end(treq(self.request), self.span_name(), &[]);
                 return SessionStep::Finished(v);
             }
 
@@ -605,12 +654,20 @@ impl OffloadSession {
                 }
                 Outcome::Blocked(Block::MissingClass { class }) => {
                     self.stats.fallbacks_code += 1;
+                    if tele::enabled() {
+                        tele::begin(
+                            treq(self.request),
+                            "fallback:code",
+                            &[("class", tele::Arg::UInt(class.0 as u64))],
+                        );
+                    }
                     let bytes = program.class_bytes(class) as u64;
                     self.fallback_round_trip(server, self.net.transfer(bytes));
                     self.fix = Some(OffloadFix::FetchClass(class));
                 }
                 Outcome::Blocked(Block::RemoteRef { addr, prov }) => {
                     self.stats.fallbacks_data += 1;
+                    tele::begin(treq(self.request), "fallback:data", &[]);
                     self.fallback_round_trip(server, self.net.transfer(256));
                     self.fix = Some(OffloadFix::FetchObject {
                         canonical: addr.to_local(),
@@ -619,6 +676,7 @@ impl OffloadSession {
                 }
                 Outcome::Blocked(Block::RemoteStatic { slot }) => {
                     self.stats.fallbacks_data += 1;
+                    tele::begin(treq(self.request), "fallback:static", &[]);
                     self.fallback_round_trip(server, Duration::ZERO);
                     self.fix = Some(OffloadFix::FetchStatic(slot));
                 }
@@ -636,6 +694,7 @@ impl OffloadSession {
                 }
                 Outcome::Blocked(Block::VolatileSync { slot, .. }) => {
                     self.stats.fallbacks_sync += 1;
+                    tele::begin(treq(self.request), "sync:volatile", &[]);
                     self.queue
                         .push_back(Pending::Need(Need::new(Resource::Net, f_s).fb()));
                     self.queue.push_back(Pending::Need(
@@ -679,6 +738,13 @@ impl OffloadSession {
                             // Connection not packaged (or proxy disabled):
                             // fall back through the server.
                             self.stats.fallbacks_db += 1;
+                            if tele::enabled() {
+                                tele::begin(
+                                    treq(self.request),
+                                    "fallback:db",
+                                    &[("query", tele::Arg::UInt(query as u64))],
+                                );
+                            }
                             let server_conn = server
                                 .mapping(func.id)
                                 .and_then(|m| m.server_of(conn))
@@ -729,6 +795,13 @@ impl OffloadSession {
                 }
                 Outcome::Blocked(Block::NativeFallback { native, args }) => {
                     self.stats.fallbacks_native += 1;
+                    if tele::enabled() {
+                        tele::begin(
+                            treq(self.request),
+                            "fallback:native",
+                            &[("native", tele::Arg::UInt(native.0 as u64))],
+                        );
+                    }
                     let cost = server.program.native(native).cost;
                     self.queue
                         .push_back(Pending::Need(Need::new(Resource::Net, f_s).fb()));
@@ -777,10 +850,22 @@ impl OffloadSession {
                 if !server.begin_lock_transfer(canonical) {
                     // Hand-off in flight: park until the driver wakes us.
                     self.fix = Some(OffloadFix::MonitorBegin { obj, canonical });
+                    tele::instant(treq(self.request), "sync:lock_wait", &[]);
                     return Some(SessionStep::AwaitLock { canonical });
                 }
                 let prev = server.monitor_owner(canonical);
                 self.stats.fallbacks_sync += 1;
+                if tele::enabled() {
+                    let prev_arg = match prev {
+                        EndpointId::Server => -1i64,
+                        EndpointId::Function(f) => f as i64,
+                    };
+                    tele::begin(
+                        treq(self.request),
+                        "sync:monitor",
+                        &[("prev_owner", tele::Arg::Int(prev_arg))],
+                    );
+                }
                 let f_s = self.net.function_server;
                 self.queue
                     .push_back(Pending::Need(Need::new(Resource::Net, f_s).fb()));
@@ -805,6 +890,14 @@ impl OffloadSession {
             OffloadFix::FetchClass(class) => {
                 server.fetch_class_for(func, class);
                 server.plan_mut(self.root).note_class(class);
+                if tele::enabled() {
+                    tele::end(treq(self.request), "fallback:code", &[]);
+                    tele::instant(
+                        treq(self.request),
+                        "closure:refine",
+                        &[("kind", tele::Arg::Str("class"))],
+                    );
+                }
                 self.exec.resume();
             }
             OffloadFix::FetchObject { canonical, prov } => {
@@ -828,11 +921,27 @@ impl OffloadSession {
                         func.vm.install_static(slot, Value::Ref(local));
                     }
                 }
+                if tele::enabled() {
+                    tele::end(treq(self.request), "fallback:data", &[]);
+                    tele::instant(
+                        treq(self.request),
+                        "closure:refine",
+                        &[("kind", tele::Arg::Str("object"))],
+                    );
+                }
                 self.exec.resume();
             }
             OffloadFix::FetchStatic(slot) => {
                 server.fetch_static_for(func, slot);
                 server.plan_mut(self.root).note_static(slot);
+                if tele::enabled() {
+                    tele::end(treq(self.request), "fallback:static", &[]);
+                    tele::instant(
+                        treq(self.request),
+                        "closure:refine",
+                        &[("kind", tele::Arg::Str("static"))],
+                    );
+                }
                 self.exec.resume();
             }
             OffloadFix::Monitor {
@@ -848,6 +957,15 @@ impl OffloadSession {
                 }
                 let n = server.push_recent_writes_to(func, &extra);
                 self.stats.synchronized_objects += n;
+                if tele::enabled() {
+                    // The monitor hand-off is complete; `dirty` is the size
+                    // of the synchronized dirty set shipped with the lock.
+                    tele::end(
+                        treq(self.request),
+                        "sync:monitor",
+                        &[("dirty", tele::Arg::UInt(n))],
+                    );
+                }
                 server.set_monitor_owner(canonical, EndpointId::Function(func.id));
                 server.end_lock_transfer(canonical);
                 func.vm.grant_monitor(obj);
@@ -860,6 +978,13 @@ impl OffloadSession {
             OffloadFix::Volatile(slot) => {
                 let (objs, _) = server.pull_dirty_from(func);
                 self.stats.synchronized_objects += objs.len() as u64;
+                if tele::enabled() {
+                    tele::end(
+                        treq(self.request),
+                        "sync:volatile",
+                        &[("dirty", tele::Arg::UInt(objs.len() as u64))],
+                    );
+                }
                 server.fetch_static_for(func, slot);
                 self.exec.grant_sync_permit();
                 self.exec.resume();
@@ -881,6 +1006,7 @@ impl OffloadSession {
                 } else {
                     None
                 };
+                let fell_back = matches!(route, DbRoute::ServerFallback(_));
                 let conn = match route {
                     DbRoute::Proxy(c) | DbRoute::ServerFallback(c) => c,
                 };
@@ -888,10 +1014,14 @@ impl OffloadSession {
                     .proxy
                     .execute(conn, Origin::Function(func.id), query, arg, key)
                     .expect("connection is registered with the proxy");
+                if fell_back && tele::enabled() {
+                    tele::end(treq(self.request), "fallback:db", &[]);
+                }
                 self.exec.resume_with(Value::I64(out.result));
             }
             OffloadFix::Native { native, args } => {
                 let v = server.execute_native_fallback(func.id, native, &args);
+                tele::end(treq(self.request), "fallback:native", &[]);
                 self.exec.resume_with(v);
             }
             OffloadFix::Complete => {
@@ -954,6 +1084,11 @@ impl OffloadSession {
         // The wire cost of the snapshot: stack + referenced objects
         // ("several KBs", §4.5).
         let bytes = self.exec.stack_bytes() + 64 * func.vm.dirty_len() as u64;
+        tele::instant(
+            treq(self.request),
+            "snapshot",
+            &[("bytes", tele::Arg::UInt(bytes))],
+        );
         self.queue.push_back(Pending::Need(
             Need::new(
                 Resource::Net,
@@ -975,6 +1110,17 @@ impl OffloadSession {
         replacement: &mut FunctionRuntime,
     ) -> SessionStep {
         self.stats.recoveries += 1;
+        if tele::enabled() {
+            tele::instant(
+                treq(self.request),
+                "recovery",
+                &[
+                    ("from", tele::Arg::UInt(self.function_id as u64)),
+                    ("to", tele::Arg::UInt(replacement.id as u64)),
+                    ("snapshot", tele::Arg::Bool(self.snapshot.is_some())),
+                ],
+            );
+        }
         self.queue.clear();
         self.peer_objects.clear();
         match self.fix.take() {

@@ -1,6 +1,7 @@
 //! Instance lifecycle: provisioning (cold boot), warm cache, expiry.
 
 use beehive_sim::{Duration, Rng, SimTime};
+use beehive_telemetry as tele;
 
 use crate::billing::{Billing, CostLedger};
 
@@ -175,6 +176,11 @@ impl FaasPlatform {
         if let Some((idx, _)) = warm {
             self.instances[idx].state = InstanceState::Busy;
             self.warm_starts += 1;
+            tele::instant(
+                tele::Track::Instance(idx as u32),
+                "instance:warm_start",
+                &[],
+            );
             return (idx as InstanceId, now, BootKind::Warm);
         }
         let boot = self
@@ -188,6 +194,13 @@ impl FaasPlatform {
             retired_at: None,
         });
         self.cold_boots += 1;
+        if tele::enabled() {
+            tele::instant(
+                tele::Track::Instance(id),
+                "instance:cold_boot",
+                &[("boot_us", tele::Arg::UInt(boot.as_nanos() / 1000))],
+            );
+        }
         (id, ready, BootKind::Cold)
     }
 
@@ -199,6 +212,7 @@ impl FaasPlatform {
         if matches!(inst.state, InstanceState::Warm(_)) {
             inst.state = InstanceState::Busy;
             self.warm_starts += 1;
+            tele::instant(tele::Track::Instance(id), "instance:warm_start", &[]);
             true
         } else {
             false
@@ -217,6 +231,7 @@ impl FaasPlatform {
             InstanceState::Booting(ready) => {
                 assert!(now >= ready, "boot_complete before ready time");
                 inst.state = InstanceState::Busy;
+                tele::instant(tele::Track::Instance(id), "instance:ready", &[]);
             }
             ref s => panic!("boot_complete on instance in state {s:?}"),
         }
@@ -232,6 +247,13 @@ impl FaasPlatform {
         let inst = &mut self.instances[id as usize];
         assert_eq!(inst.state, InstanceState::Busy, "release of non-busy instance");
         inst.state = InstanceState::Warm(now);
+        if tele::enabled() {
+            tele::instant(
+                tele::Track::Instance(id),
+                "instance:release",
+                &[("busy_us", tele::Arg::UInt(busy_time.as_nanos() / 1000))],
+            );
+        }
         self.ledger
             .record_use(busy_time, self.config.memory_gb, 1);
     }
@@ -249,6 +271,13 @@ impl FaasPlatform {
                 }
             }
         }
+        if n > 0 {
+            tele::instant(
+                tele::Track::Platform,
+                "instance:expire",
+                &[("count", tele::Arg::UInt(n as u64))],
+            );
+        }
         n
     }
 
@@ -257,6 +286,7 @@ impl FaasPlatform {
         let inst = &mut self.instances[id as usize];
         inst.state = InstanceState::Dead;
         inst.retired_at = Some(now);
+        tele::instant(tele::Track::Instance(id), "instance:kill", &[]);
     }
 
     /// `true` if the instance is alive (booting, warm or busy).
@@ -285,6 +315,13 @@ impl FaasPlatform {
     /// Pre-provision `n` warm instances at `now` (used to model platform
     /// caches that already hold instances, the "warm boot" case of §5.2).
     pub fn prewarm(&mut self, now: SimTime, n: usize) {
+        if n > 0 {
+            tele::instant(
+                tele::Track::Platform,
+                "instance:prewarm",
+                &[("count", tele::Arg::UInt(n as u64))],
+            );
+        }
         for _ in 0..n {
             self.instances.push(Instance {
                 state: InstanceState::Warm(now),

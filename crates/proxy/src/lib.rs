@@ -210,6 +210,23 @@ impl Proxy {
                 self.is_shadowing(f)
             }
         };
+        // Function-origin rounds only: they carry the proxied-vs-fallen-back
+        // story the trace exists to tell, while server rounds are ordinary
+        // background traffic (~100 per request on db-heavy apps).
+        if let Origin::Function(f) = origin {
+            if beehive_telemetry::enabled() {
+                use beehive_telemetry as tele;
+                tele::instant(
+                    tele::Track::Db,
+                    "db:execute",
+                    &[
+                        ("query", tele::Arg::UInt(query as u64)),
+                        ("function", tele::Arg::UInt(f as u64)),
+                        ("suppressed", tele::Arg::Bool(suppress)),
+                    ],
+                );
+            }
+        }
         Ok(self.db.execute(query, arg, write_key, suppress))
     }
 

@@ -1,0 +1,263 @@
+//! Chrome trace-event exporter.
+//!
+//! Renders labelled [`Trace`]s as one Chrome/Perfetto trace document
+//! (`chrome://tracing` → Load, or <https://ui.perfetto.dev>). The mapping:
+//!
+//! * each scenario gets a block of four `pid`s — one per endpoint
+//!   (server, FaaS fleet, database, sim kernel) — named via
+//!   `process_name` metadata events,
+//! * within the server process, `tid 0` is the server runtime and each
+//!   request gets its own `tid` (its server request id + 1); within the
+//!   FaaS process, `tid 0` is the platform and each instance its own `tid`,
+//! * [`EventKind`] maps onto phases `B`/`E`/`X`/`i`/`C`, with timestamps in
+//!   microseconds of virtual time.
+//!
+//! Rendering goes through `beehive_sim::json`, so the output is
+//! deterministic: the same traces render to the same bytes.
+
+use beehive_sim::json::Json;
+
+use crate::{Arg, EventKind, Trace, TraceEvent, Track};
+
+/// `pid`s per scenario (server / faas / db / sim).
+const PIDS_PER_SCENARIO: u64 = 4;
+
+fn pid_tid(track: Track, base: u64) -> (u64, u64) {
+    match track {
+        Track::Server => (base, 0),
+        Track::Request(r) => (base, r + 1),
+        Track::Platform => (base + 1, 0),
+        Track::Instance(i) => (base + 1, i as u64 + 1),
+        Track::Db => (base + 2, 0),
+        Track::Sim => (base + 3, 0),
+    }
+}
+
+fn arg_json(a: &Arg) -> Json {
+    match *a {
+        Arg::Int(v) => Json::Int(v as i128),
+        Arg::UInt(v) => Json::Int(v as i128),
+        Arg::Float(v) => Json::Num(v),
+        Arg::Bool(v) => Json::Bool(v),
+        Arg::Str(v) => Json::from(v),
+    }
+}
+
+fn micros(nanos: u64) -> Json {
+    // Chrome timestamps are microseconds; keep sub-µs precision as a
+    // fraction. f64 division is deterministic (IEEE-754), so rendering is
+    // byte-stable.
+    Json::Num(nanos as f64 / 1000.0)
+}
+
+fn event_json(e: &TraceEvent, base: u64) -> Json {
+    let (pid, tid) = pid_tid(e.track, base);
+    let ph = match e.kind {
+        EventKind::Begin => "B",
+        EventKind::End => "E",
+        EventKind::Complete(_) => "X",
+        EventKind::Instant => "i",
+        EventKind::Counter(_) => "C",
+    };
+    let cat = e.name.split(':').next().unwrap_or(e.name);
+    let mut fields: Vec<(String, Json)> = vec![
+        ("name".into(), Json::from(e.name)),
+        ("cat".into(), Json::from(cat)),
+        ("ph".into(), Json::from(ph)),
+        ("ts".into(), micros(e.at.as_nanos())),
+        ("pid".into(), Json::Int(pid as i128)),
+        ("tid".into(), Json::Int(tid as i128)),
+    ];
+    match e.kind {
+        EventKind::Complete(d) => fields.push(("dur".into(), micros(d.as_nanos()))),
+        EventKind::Instant => fields.push(("s".into(), Json::from("t"))),
+        _ => {}
+    }
+    if let EventKind::Counter(v) = e.kind {
+        fields.push((
+            "args".into(),
+            Json::obj([("value".into(), Json::Int(v as i128))]),
+        ));
+    } else if !e.args.is_empty() {
+        fields.push((
+            "args".into(),
+            Json::Obj(
+                e.args
+                    .iter()
+                    .map(|(k, v)| ((*k).to_string(), arg_json(v)))
+                    .collect(),
+            ),
+        ));
+    }
+    Json::Obj(fields)
+}
+
+fn metadata_json(pid: u64, name: &str) -> Json {
+    Json::obj([
+        ("name".into(), Json::from("process_name")),
+        ("ph".into(), Json::from("M")),
+        ("pid".into(), Json::Int(pid as i128)),
+        ("tid".into(), Json::Int(0)),
+        (
+            "args".into(),
+            Json::obj([("name".into(), Json::from(name))]),
+        ),
+    ])
+}
+
+fn scenario_events(idx: usize, label: &str, trace: &Trace, out: &mut Vec<Json>) {
+    let base = 1 + idx as u64 * PIDS_PER_SCENARIO;
+    for (off, endpoint) in ["server", "faas", "db", "sim"].iter().enumerate() {
+        out.push(metadata_json(base + off as u64, &format!("{label} · {endpoint}")));
+    }
+    for e in &trace.events {
+        out.push(event_json(e, base));
+    }
+}
+
+/// Render labelled traces as a Chrome trace-event document (a `Json` tree:
+/// `{"traceEvents": [...], "displayTimeUnit": "ms"}`).
+pub fn chrome_trace(scenarios: &[(String, Trace)]) -> Json {
+    let mut events = Vec::new();
+    for (idx, (label, trace)) in scenarios.iter().enumerate() {
+        scenario_events(idx, label, trace, &mut events);
+    }
+    Json::obj([
+        ("traceEvents".into(), Json::Arr(events)),
+        ("displayTimeUnit".into(), Json::from("ms")),
+    ])
+}
+
+/// [`chrome_trace`], rendered straight to a string. Events are rendered one
+/// at a time, so the peak memory is one event's JSON rather than a second
+/// copy of the whole trace — traced full-length experiments run to millions
+/// of events.
+pub fn chrome_trace_string(scenarios: &[(String, Trace)]) -> String {
+    let total: usize = scenarios.iter().map(|(_, t)| t.events.len()).sum();
+    let mut out = String::with_capacity(64 + total * 96);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    let push = |j: Json, out: &mut String, first: &mut bool| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push_str(&j.render());
+    };
+    for (idx, (label, trace)) in scenarios.iter().enumerate() {
+        let base = 1 + idx as u64 * PIDS_PER_SCENARIO;
+        for (off, endpoint) in ["server", "faas", "db", "sim"].iter().enumerate() {
+            push(
+                metadata_json(base + off as u64, &format!("{label} · {endpoint}")),
+                &mut out,
+                &mut first,
+            );
+        }
+        for e in &trace.events {
+            push(event_json(e, base), &mut out, &mut first);
+        }
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beehive_sim::{Duration, SimTime};
+
+    fn sample() -> Vec<(String, Trace)> {
+        let at = |us: u64| SimTime::ZERO + Duration::from_micros(us);
+        let t = Trace {
+            events: vec![
+                TraceEvent {
+                    at: at(10),
+                    track: Track::Request(3),
+                    name: "req:offload",
+                    kind: EventKind::Begin,
+                    args: vec![("instance", Arg::UInt(2))],
+                },
+                TraceEvent {
+                    at: at(12),
+                    track: Track::Instance(2),
+                    name: "gc",
+                    kind: EventKind::Complete(Duration::from_micros(4)),
+                    args: vec![("copied_bytes", Arg::UInt(4096))],
+                },
+                TraceEvent {
+                    at: at(20),
+                    track: Track::Request(3),
+                    name: "req:offload",
+                    kind: EventKind::End,
+                    args: vec![],
+                },
+                TraceEvent {
+                    at: at(21),
+                    track: Track::Sim,
+                    name: "event_queue",
+                    kind: EventKind::Counter(17),
+                    args: vec![],
+                },
+                TraceEvent {
+                    at: at(22),
+                    track: Track::Db,
+                    name: "db:execute",
+                    kind: EventKind::Instant,
+                    args: vec![("query", Arg::Int(1))],
+                },
+            ],
+        };
+        vec![("BeeHive/OW".to_string(), t)]
+    }
+
+    #[test]
+    fn export_matches_chrome_schema() {
+        let doc = chrome_trace(&sample());
+        let Json::Obj(fields) = &doc else {
+            panic!("top level must be an object")
+        };
+        assert_eq!(fields[0].0, "traceEvents");
+        let Json::Arr(events) = &fields[0].1 else {
+            panic!("traceEvents must be an array")
+        };
+        // 4 process_name metadata records + 5 events.
+        assert_eq!(events.len(), 9);
+        let rendered = doc.render();
+        assert!(rendered.contains("\"ph\":\"B\""));
+        assert!(rendered.contains("\"ph\":\"E\""));
+        assert!(rendered.contains("\"ph\":\"X\""));
+        assert!(rendered.contains("\"ph\":\"i\""));
+        assert!(rendered.contains("\"ph\":\"C\""));
+        assert!(rendered.contains("\"name\":\"BeeHive/OW · server\""));
+        // Request 3 renders as tid 4 under the server pid 1.
+        assert!(rendered.contains("\"pid\":1,\"tid\":4"));
+        // Instance 2 renders as tid 3 under the faas pid 2.
+        assert!(rendered.contains("\"pid\":2,\"tid\":3"));
+    }
+
+    #[test]
+    fn string_rendering_equals_tree_rendering() {
+        let scenarios = sample();
+        assert_eq!(
+            chrome_trace_string(&scenarios),
+            chrome_trace(&scenarios).render()
+        );
+    }
+
+    #[test]
+    fn round_trips_through_the_strict_parser() {
+        let s = chrome_trace_string(&sample());
+        let parsed = Json::parse(&s).expect("exporter must emit valid RFC 8259 JSON");
+        assert_eq!(parsed.render(), s);
+    }
+
+    #[test]
+    fn second_scenario_gets_its_own_pid_block() {
+        let mut scenarios = sample();
+        scenarios.push(("Vanilla".to_string(), scenarios[0].1.clone()));
+        let rendered = chrome_trace(&scenarios).render();
+        assert!(rendered.contains("\"name\":\"Vanilla · server\""));
+        // Scenario 1's server pid is 1 + 1*4 = 5.
+        assert!(rendered.contains("\"pid\":5,\"tid\":4"));
+    }
+}

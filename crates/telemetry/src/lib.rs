@@ -1,0 +1,428 @@
+//! # beehive-telemetry — virtual-time tracing and metrics
+//!
+//! Spans, instant events and counters keyed to the simulation's virtual
+//! clock, recorded deterministically so that a traced run is byte-identical
+//! for a fixed seed at any worker count.
+//!
+//! The design is sink-per-thread: every [`Sim`](../beehive_workload/driver/struct.Sim.html)
+//! runs entirely on one worker thread, so the recording sink is a
+//! thread-local buffer. [`install`] arms it, the instrumented crates emit
+//! through the free functions below, and [`take`] hands the finished
+//! [`Trace`] back to the embedder. With no recorder installed every probe is
+//! a thread-local read plus a branch (the no-op sink); building with the
+//! `compile-off` feature removes even that, which is what the
+//! `telemetry` bench compares against.
+//!
+//! Probes never allocate or do work unless a recorder is armed; call sites
+//! that must build argument lists guard with [`enabled`].
+//!
+//! Exporters live in [`chrome`] (Chrome trace-event JSON for
+//! `chrome://tracing` / Perfetto) and [`summary`] (per-request critical-path
+//! tables), both rendered through the in-tree `beehive_sim::json`.
+//!
+//! # Example
+//!
+//! ```
+//! use beehive_sim::{Duration, SimTime};
+//! use beehive_telemetry as telemetry;
+//!
+//! telemetry::install();
+//! telemetry::set_now(SimTime::ZERO + Duration::from_millis(3));
+//! telemetry::begin(telemetry::Track::Request(7), "req:server", &[]);
+//! telemetry::set_now(SimTime::ZERO + Duration::from_millis(9));
+//! telemetry::end(telemetry::Track::Request(7), "req:server", &[]);
+//! let trace = telemetry::take().unwrap();
+//! assert_eq!(trace.events.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod summary;
+
+use std::cell::RefCell;
+
+use beehive_sim::{Duration, SimTime};
+
+/// `true` when the crate was built with the `compile-off` feature and every
+/// probe is an empty function.
+pub const COMPILED_OFF: bool = cfg!(feature = "compile-off");
+
+/// Which timeline an event belongs to. Tracks map to Chrome `pid`/`tid`
+/// pairs in the exporter: one process per endpoint, one thread per request
+/// or instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Track {
+    /// The monolith server endpoint (GC, closure builds, admission).
+    Server,
+    /// One request, identified by its server-issued request id. Request
+    /// spans (`req:*`, needs, fallbacks) live here.
+    Request(u64),
+    /// One FaaS instance (boot span, lifecycle, function-side GC).
+    Instance(u32),
+    /// The FaaS platform as a whole (acquire/expire/prewarm).
+    Platform,
+    /// The database endpoint (proxy rounds).
+    Db,
+    /// The simulation kernel itself (event-queue and pool-load counters).
+    Sim,
+}
+
+/// One event argument value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Arg {
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Float.
+    Float(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Static string (no allocation on the hot path).
+    Str(&'static str),
+}
+
+impl From<bool> for Arg {
+    fn from(v: bool) -> Arg {
+        Arg::Bool(v)
+    }
+}
+impl From<i64> for Arg {
+    fn from(v: i64) -> Arg {
+        Arg::Int(v)
+    }
+}
+impl From<u64> for Arg {
+    fn from(v: u64) -> Arg {
+        Arg::UInt(v)
+    }
+}
+impl From<u32> for Arg {
+    fn from(v: u32) -> Arg {
+        Arg::UInt(v as u64)
+    }
+}
+impl From<usize> for Arg {
+    fn from(v: usize) -> Arg {
+        Arg::UInt(v as u64)
+    }
+}
+impl From<f64> for Arg {
+    fn from(v: f64) -> Arg {
+        Arg::Float(v)
+    }
+}
+impl From<&'static str> for Arg {
+    fn from(v: &'static str) -> Arg {
+        Arg::Str(v)
+    }
+}
+
+/// The event kind (maps onto Chrome trace-event phases).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum EventKind {
+    /// Span open (`ph: "B"`).
+    Begin,
+    /// Span close (`ph: "E"`).
+    End,
+    /// Complete span of a known duration (`ph: "X"`).
+    Complete(Duration),
+    /// Instant event (`ph: "i"`).
+    Instant,
+    /// Counter sample (`ph: "C"`).
+    Counter(i64),
+}
+
+/// One recorded event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Virtual time of the event (for [`EventKind::Complete`], the start).
+    pub at: SimTime,
+    /// The timeline it belongs to.
+    pub track: Track,
+    /// Event name. Static by construction: names are a closed vocabulary,
+    /// and `&'static str` keeps the disabled path allocation-free.
+    pub name: &'static str,
+    /// The kind.
+    pub kind: EventKind,
+    /// Arguments (name/value pairs).
+    pub args: Vec<(&'static str, Arg)>,
+}
+
+/// A finished recording: every event one simulation emitted, in emission
+/// order (which is virtual-time order, since the driver advances the clock
+/// monotonically).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Trace {
+    /// The events.
+    pub events: Vec<TraceEvent>,
+}
+
+struct Recorder {
+    now: SimTime,
+    events: Vec<TraceEvent>,
+}
+
+thread_local! {
+    static RECORDER: RefCell<Option<Recorder>> = const { RefCell::new(None) };
+}
+
+#[inline]
+fn with_recorder(f: impl FnOnce(&mut Recorder)) {
+    if cfg!(feature = "compile-off") {
+        return;
+    }
+    RECORDER.with(|r| {
+        if let Some(rec) = r.borrow_mut().as_mut() {
+            f(rec);
+        }
+    });
+}
+
+/// Arm the recording sink on the current thread (idempotent: re-installing
+/// discards any previous buffer). Until this is called — or after [`take`] —
+/// every probe is a no-op.
+pub fn install() {
+    if cfg!(feature = "compile-off") {
+        return;
+    }
+    RECORDER.with(|r| {
+        *r.borrow_mut() = Some(Recorder {
+            now: SimTime::ZERO,
+            events: Vec::new(),
+        });
+    });
+}
+
+/// Disarm the sink and return what it recorded. `None` if no recorder was
+/// installed on this thread (or the crate is compiled off).
+pub fn take() -> Option<Trace> {
+    if cfg!(feature = "compile-off") {
+        return None;
+    }
+    RECORDER
+        .with(|r| r.borrow_mut().take())
+        .map(|rec| Trace { events: rec.events })
+}
+
+/// `true` while a recorder is armed on this thread. Call sites that build
+/// argument lists guard on this so the disabled path stays allocation-free.
+#[inline]
+pub fn enabled() -> bool {
+    if cfg!(feature = "compile-off") {
+        return false;
+    }
+    RECORDER.with(|r| r.borrow().is_some())
+}
+
+/// Advance the recorder's virtual clock; subsequent events are stamped with
+/// `now`. The driver calls this once per dispatched simulation event.
+#[inline]
+pub fn set_now(now: SimTime) {
+    with_recorder(|rec| rec.now = now);
+}
+
+#[inline]
+fn emit(track: Track, name: &'static str, kind: EventKind, args: &[(&'static str, Arg)]) {
+    with_recorder(|rec| {
+        let at = rec.now;
+        rec.events.push(TraceEvent {
+            at,
+            track,
+            name,
+            kind,
+            args: args.to_vec(),
+        });
+    });
+}
+
+/// Open a span on `track`.
+#[inline]
+pub fn begin(track: Track, name: &'static str, args: &[(&'static str, Arg)]) {
+    emit(track, name, EventKind::Begin, args);
+}
+
+/// Close the innermost open span named `name` on `track`.
+#[inline]
+pub fn end(track: Track, name: &'static str, args: &[(&'static str, Arg)]) {
+    emit(track, name, EventKind::End, args);
+}
+
+/// Record a complete span that started at the current virtual time and
+/// lasted `dur` (e.g. a GC pause measured by the collector itself).
+#[inline]
+pub fn complete(track: Track, name: &'static str, dur: Duration, args: &[(&'static str, Arg)]) {
+    emit(track, name, EventKind::Complete(dur), args);
+}
+
+/// Record an instant event.
+#[inline]
+pub fn instant(track: Track, name: &'static str, args: &[(&'static str, Arg)]) {
+    emit(track, name, EventKind::Instant, args);
+}
+
+/// Record a counter sample.
+#[inline]
+pub fn counter(track: Track, name: &'static str, value: i64) {
+    emit(track, name, EventKind::Counter(value), &[]);
+}
+
+// ---------------------------------------------------------------------------
+// Log-scale histogram
+// ---------------------------------------------------------------------------
+
+/// A power-of-two (log₂) duration histogram: bucket `i` counts durations in
+/// `[2^i, 2^(i+1))` nanoseconds (bucket 0 also takes zero). Sixty-four
+/// buckets cover the whole `u64` nanosecond range, recording is a
+/// leading-zeros instruction, and merging is element-wise — the shape the
+/// summary exporter uses for per-phase latency distributions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LogHistogram {
+    counts: [u64; 64],
+    total: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram {
+            counts: [0; 64],
+            total: 0,
+        }
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket(nanos: u64) -> usize {
+        63 - (nanos | 1).leading_zeros() as usize
+    }
+
+    /// Record one duration.
+    pub fn record(&mut self, d: Duration) {
+        self.counts[Self::bucket(d.as_nanos())] += 1;
+        self.total += 1;
+    }
+
+    /// Number of recorded durations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// `true` when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+
+    /// The upper bound (exclusive, in nanoseconds) of the bucket holding the
+    /// `q`-quantile, or `None` when empty. A bucketed quantile: exact to
+    /// within a factor of two, deterministic, and integer-valued — the form
+    /// the golden summary files store.
+    pub fn quantile_upper_bound(&self, q: f64) -> Option<Duration> {
+        if self.total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let bound = if i >= 63 { u64::MAX } else { 1u64 << (i + 1) };
+                return Some(Duration::from_nanos(bound));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probes_are_noops_without_a_recorder() {
+        assert!(take().is_none());
+        assert!(!enabled());
+        begin(Track::Server, "x", &[]);
+        instant(Track::Db, "y", &[("k", Arg::Int(1))]);
+        counter(Track::Sim, "z", 3);
+        assert!(take().is_none());
+    }
+
+    #[test]
+    fn recorder_buffers_in_order_with_timestamps() {
+        install();
+        assert!(enabled());
+        set_now(SimTime::ZERO + Duration::from_micros(5));
+        begin(Track::Request(1), "req:server", &[]);
+        complete(
+            Track::Server,
+            "gc",
+            Duration::from_micros(2),
+            &[("copied_bytes", Arg::UInt(128))],
+        );
+        set_now(SimTime::ZERO + Duration::from_micros(9));
+        end(Track::Request(1), "req:server", &[]);
+        let t = take().expect("recorder was installed");
+        assert!(!enabled());
+        assert_eq!(t.events.len(), 3);
+        assert_eq!(t.events[0].kind, EventKind::Begin);
+        assert_eq!(t.events[0].at.as_nanos(), 5_000);
+        assert_eq!(t.events[2].at.as_nanos(), 9_000);
+        assert_eq!(
+            t.events[1].args,
+            vec![("copied_bytes", Arg::UInt(128))]
+        );
+    }
+
+    #[test]
+    fn reinstall_discards_previous_buffer() {
+        install();
+        instant(Track::Server, "a", &[]);
+        install();
+        instant(Track::Server, "b", &[]);
+        let t = take().unwrap();
+        assert_eq!(t.events.len(), 1);
+        assert_eq!(t.events[0].name, "b");
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = LogHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile_upper_bound(0.5), None);
+        for micros in [1u64, 1, 1, 1, 1, 1, 1, 1, 1, 1000] {
+            h.record(Duration::from_micros(micros));
+        }
+        assert_eq!(h.count(), 10);
+        // 9 of 10 samples sit in the bucket [512, 1024) holding 1000 ns.
+        let p50 = h.quantile_upper_bound(0.5).unwrap().as_nanos();
+        assert_eq!(p50, 1024);
+        let p99 = h.quantile_upper_bound(0.99).unwrap().as_nanos();
+        assert!(p99 >= 1_000_000, "p99 bound {p99}");
+        let mut other = LogHistogram::new();
+        other.record(Duration::ZERO);
+        h.merge(&other);
+        assert_eq!(h.count(), 11);
+    }
+
+    #[test]
+    fn zero_duration_lands_in_bucket_zero() {
+        assert_eq!(LogHistogram::bucket(0), 0);
+        assert_eq!(LogHistogram::bucket(1), 0);
+        assert_eq!(LogHistogram::bucket(2), 1);
+        assert_eq!(LogHistogram::bucket(u64::MAX), 63);
+    }
+}

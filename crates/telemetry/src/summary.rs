@@ -1,0 +1,327 @@
+//! Per-request critical-path summary.
+//!
+//! Folds a trace down to the table the evaluation sections of the paper are
+//! built from: where did each request's latency go (CPU, network, database,
+//! fallbacks, synchronization), per scenario and for the slowest individual
+//! requests. All durations are integer microseconds and all aggregates use
+//! the log-scale [`LogHistogram`], so the rendered JSON is byte-stable — it
+//! is what `scripts/verify.sh` diffs against a golden file.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+use beehive_sim::json::Json;
+use beehive_sim::{Duration, SimTime};
+
+use crate::{EventKind, LogHistogram, Trace, Track};
+
+#[derive(Default)]
+struct PhaseAgg {
+    count: u64,
+    total_nanos: u64,
+    hist: LogHistogram,
+}
+
+impl PhaseAgg {
+    fn add(&mut self, d: Duration) {
+        self.count += 1;
+        self.total_nanos += d.as_nanos();
+        self.hist.record(d);
+    }
+
+    fn tick(&mut self) {
+        self.count += 1;
+    }
+}
+
+#[derive(Default)]
+struct ReqState {
+    kind: Option<&'static str>,
+    start: SimTime,
+    end: Option<SimTime>,
+    open: Vec<(&'static str, SimTime)>,
+    phases: BTreeMap<&'static str, (u64, u64)>, // name -> (count, nanos)
+}
+
+fn us(nanos: u64) -> Json {
+    Json::Int((nanos / 1_000) as i128)
+}
+
+fn hist_quantiles(h: &LogHistogram) -> Vec<(String, Json)> {
+    let q = |p: f64| {
+        h.quantile_upper_bound(p)
+            .map_or(Json::Null, |d| us(d.as_nanos()))
+    };
+    vec![("p50_us".into(), q(0.5)), ("p99_us".into(), q(0.99))]
+}
+
+/// Summarize labelled traces into one critical-path document:
+///
+/// ```text
+/// {"scenarios": [{"label", "requests", "phases", "endpoint_events", "slowest"}, ...]}
+/// ```
+///
+/// * `requests` — completed request counts and latency quantiles per session
+///   kind (`req:server` / `req:offload` / `req:shadow`),
+/// * `phases` — request-track spans aggregated by name (where the time of
+///   all requests went),
+/// * `endpoint_events` — server/instance/platform/db events (GC pauses,
+///   boots, proxy rounds) aggregated by name,
+/// * `slowest` — the slowest completed requests with their own breakdown.
+pub fn critical_path(scenarios: &[(String, Trace)]) -> Json {
+    let rendered: Vec<Json> = scenarios
+        .iter()
+        .map(|(label, trace)| scenario_summary(label, trace))
+        .collect();
+    Json::obj([("scenarios".into(), Json::Arr(rendered))])
+}
+
+fn scenario_summary(label: &str, trace: &Trace) -> Json {
+    let mut reqs: HashMap<u64, ReqState> = HashMap::new();
+    let mut phase_aggs: BTreeMap<&'static str, PhaseAgg> = BTreeMap::new();
+    // Open B/E spans on non-request tracks (e.g. instance boot spans).
+    let mut open_endpoint: HashMap<(Track, &'static str), Vec<SimTime>> = HashMap::new();
+    let mut endpoint_aggs: BTreeMap<&'static str, PhaseAgg> = BTreeMap::new();
+
+    for e in &trace.events {
+        match e.track {
+            Track::Request(rid) => {
+                let r = reqs.entry(rid).or_default();
+                match e.kind {
+                    EventKind::Begin if e.name.starts_with("req:") => {
+                        r.kind = Some(e.name);
+                        r.start = e.at;
+                    }
+                    EventKind::End if e.name.starts_with("req:") => {
+                        r.end = Some(e.at);
+                    }
+                    EventKind::Begin => r.open.push((e.name, e.at)),
+                    EventKind::End => {
+                        if let Some(pos) =
+                            r.open.iter().rposition(|(n, _)| *n == e.name)
+                        {
+                            let (_, began) = r.open.remove(pos);
+                            let d = e.at.saturating_since(began);
+                            let entry = r.phases.entry(e.name).or_default();
+                            entry.0 += 1;
+                            entry.1 += d.as_nanos();
+                            phase_aggs.entry(e.name).or_default().add(d);
+                        }
+                    }
+                    EventKind::Complete(d) => {
+                        let entry = r.phases.entry(e.name).or_default();
+                        entry.0 += 1;
+                        entry.1 += d.as_nanos();
+                        phase_aggs.entry(e.name).or_default().add(d);
+                    }
+                    EventKind::Instant => {
+                        r.phases.entry(e.name).or_default().0 += 1;
+                        phase_aggs.entry(e.name).or_default().tick();
+                    }
+                    EventKind::Counter(_) => {}
+                }
+            }
+            _ => match e.kind {
+                EventKind::Begin => open_endpoint
+                    .entry((e.track, e.name))
+                    .or_default()
+                    .push(e.at),
+                EventKind::End => {
+                    if let Some(stack) = open_endpoint.get_mut(&(e.track, e.name)) {
+                        if let Some(began) = stack.pop() {
+                            endpoint_aggs
+                                .entry(e.name)
+                                .or_default()
+                                .add(e.at.saturating_since(began));
+                        }
+                    }
+                }
+                EventKind::Complete(d) => endpoint_aggs.entry(e.name).or_default().add(d),
+                EventKind::Instant => endpoint_aggs.entry(e.name).or_default().tick(),
+                EventKind::Counter(_) => {}
+            },
+        }
+    }
+
+    // Completed requests by session kind.
+    let mut by_kind: BTreeMap<&'static str, (u64, LogHistogram)> = BTreeMap::new();
+    let mut completed: Vec<(u64, &ReqState, u64)> = Vec::new(); // (rid, state, latency)
+    for (&rid, r) in &reqs {
+        let (Some(kind), Some(end)) = (r.kind, r.end) else {
+            continue;
+        };
+        let latency = end.saturating_since(r.start);
+        let e = by_kind.entry(kind).or_default();
+        e.0 += 1;
+        e.1.record(latency);
+        completed.push((rid, r, latency.as_nanos()));
+    }
+    completed.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
+    completed.truncate(8);
+
+    let requests = Json::Obj(
+        by_kind
+            .iter()
+            .map(|(kind, (count, hist))| {
+                let mut fields = vec![("count".into(), Json::Int(*count as i128))];
+                fields.extend(hist_quantiles(hist));
+                ((*kind).to_string(), Json::Obj(fields))
+            })
+            .collect(),
+    );
+
+    let agg_json = |aggs: &BTreeMap<&'static str, PhaseAgg>| {
+        Json::Arr(
+            aggs.iter()
+                .map(|(name, a)| {
+                    let mut fields = vec![
+                        ("name".into(), Json::from(*name)),
+                        ("count".into(), Json::Int(a.count as i128)),
+                        ("total_us".into(), us(a.total_nanos)),
+                    ];
+                    if !a.hist.is_empty() {
+                        fields.extend(hist_quantiles(&a.hist));
+                    }
+                    Json::Obj(fields)
+                })
+                .collect(),
+        )
+    };
+
+    let slowest = Json::Arr(
+        completed
+            .iter()
+            .map(|(rid, r, latency)| {
+                let mut phases: Vec<(&'static str, (u64, u64))> =
+                    r.phases.iter().map(|(n, v)| (*n, *v)).collect();
+                phases.sort_by(|a, b| b.1 .1.cmp(&a.1 .1).then(a.0.cmp(b.0)));
+                Json::obj([
+                    ("request".into(), Json::Int(*rid as i128)),
+                    (
+                        "kind".into(),
+                        Json::from(r.kind.expect("completed requests have a kind")),
+                    ),
+                    ("total_us".into(), us(*latency)),
+                    (
+                        "phases".into(),
+                        Json::Arr(
+                            phases
+                                .iter()
+                                .map(|(n, (c, nanos))| {
+                                    Json::obj([
+                                        ("name".into(), Json::from(*n)),
+                                        ("count".into(), Json::Int(*c as i128)),
+                                        ("total_us".into(), us(*nanos)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect(),
+    );
+
+    Json::obj([
+        ("label".into(), Json::from(label)),
+        ("requests".into(), requests),
+        ("phases".into(), agg_json(&phase_aggs)),
+        ("endpoint_events".into(), agg_json(&endpoint_aggs)),
+        ("slowest".into(), slowest),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Arg, TraceEvent};
+
+    fn at(us: u64) -> SimTime {
+        SimTime::ZERO + Duration::from_micros(us)
+    }
+
+    fn ev(
+        t: u64,
+        track: Track,
+        name: &'static str,
+        kind: EventKind,
+    ) -> TraceEvent {
+        TraceEvent {
+            at: at(t),
+            track,
+            name,
+            kind,
+            args: vec![],
+        }
+    }
+
+    fn sample_trace() -> Trace {
+        Trace {
+            events: vec![
+                ev(0, Track::Request(1), "req:offload", EventKind::Begin),
+                ev(0, Track::Request(1), "net", EventKind::Begin),
+                ev(5, Track::Request(1), "net", EventKind::End),
+                ev(5, Track::Request(1), "fallback:data", EventKind::Begin),
+                ev(9, Track::Request(1), "fallback:data", EventKind::End),
+                ev(
+                    9,
+                    Track::Instance(0),
+                    "gc",
+                    EventKind::Complete(Duration::from_micros(2)),
+                ),
+                ev(12, Track::Request(1), "req:offload", EventKind::End),
+                ev(1, Track::Request(2), "req:server", EventKind::Begin),
+                ev(3, Track::Request(2), "req:server", EventKind::End),
+                // In flight at the horizon: excluded from request stats.
+                ev(2, Track::Request(3), "req:server", EventKind::Begin),
+                ev(2, Track::Db, "db:execute", EventKind::Instant),
+            ],
+        }
+    }
+
+    #[test]
+    fn summarizes_requests_phases_and_endpoints() {
+        let doc = critical_path(&[("s".into(), sample_trace())]);
+        let rendered = doc.render();
+        assert!(rendered.contains("\"label\":\"s\""));
+        // Two completed requests, one per kind.
+        assert!(rendered.contains("\"req:offload\":{\"count\":1"));
+        assert!(rendered.contains("\"req:server\":{\"count\":1"));
+        // The fallback span measured 4 µs.
+        assert!(
+            rendered.contains("{\"name\":\"fallback:data\",\"count\":1,\"total_us\":4"),
+            "{rendered}"
+        );
+        // Endpoint events carry the GC pause and the DB instant.
+        assert!(rendered.contains("{\"name\":\"db:execute\",\"count\":1,\"total_us\":0}"));
+        assert!(rendered.contains("\"name\":\"gc\",\"count\":1,\"total_us\":2"));
+        // Slowest list leads with the 12 µs offload request.
+        assert!(rendered.contains("\"request\":1,\"kind\":\"req:offload\",\"total_us\":12"));
+    }
+
+    #[test]
+    fn deterministic_rendering() {
+        let a = critical_path(&[("s".into(), sample_trace())]).render();
+        let b = critical_path(&[("s".into(), sample_trace())]).render();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn round_trips_through_the_parser() {
+        let s = critical_path(&[("s".into(), sample_trace())]).render();
+        let parsed = Json::parse(&s).expect("summary must be valid JSON");
+        assert_eq!(parsed.render(), s);
+    }
+
+    #[test]
+    fn args_do_not_affect_summaries() {
+        let mut t = sample_trace();
+        for e in &mut t.events {
+            e.args.push(("k", Arg::Int(1)));
+        }
+        assert_eq!(
+            critical_path(&[("s".into(), t)]).render(),
+            critical_path(&[("s".into(), sample_trace())]).render()
+        );
+    }
+}

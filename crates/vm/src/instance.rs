@@ -127,6 +127,7 @@ pub struct VmInstance {
     pub alloc_target: Space,
     gc_log: Vec<GcStats>,
     barriers: bool,
+    trace_id: Option<u32>,
 }
 
 /// Default allocation-space capacity for a server instance.
@@ -183,6 +184,7 @@ impl VmInstance {
             alloc_target: Space::Alloc,
             gc_log: Vec::new(),
             barriers: kind == EndpointKind::Function,
+            trace_id: None,
         }
     }
 
@@ -194,6 +196,22 @@ impl VmInstance {
     /// `true` on FaaS instances, where every reference load checks bit 63.
     pub fn checks_remote_refs(&self) -> bool {
         self.kind == EndpointKind::Function
+    }
+
+    /// Tag a function instance with its platform id so trace events land on
+    /// that instance's timeline (servers ignore this).
+    pub fn set_trace_id(&mut self, id: u32) {
+        self.trace_id = Some(id);
+    }
+
+    /// The telemetry track this instance's events belong to.
+    pub fn trace_track(&self) -> beehive_telemetry::Track {
+        match self.kind {
+            EndpointKind::Server => beehive_telemetry::Track::Server,
+            EndpointKind::Function => {
+                beehive_telemetry::Track::Instance(self.trace_id.unwrap_or(u32::MAX))
+            }
+        }
     }
 
     /// Enable/disable write barriers (dirty-object tracking). BeeHive servers
@@ -388,6 +406,20 @@ impl VmInstance {
             }
         });
         self.gc_log.push(stats);
+        if beehive_telemetry::enabled() {
+            use beehive_telemetry::Arg;
+            beehive_telemetry::complete(
+                self.trace_track(),
+                "gc",
+                stats.pause,
+                &[
+                    ("copied_bytes", Arg::UInt(stats.live_bytes)),
+                    ("copied_objects", Arg::UInt(stats.copied_objects)),
+                    ("cards_scanned", Arg::UInt(stats.cards_scanned)),
+                    ("freed_bytes", Arg::UInt(stats.freed_bytes)),
+                ],
+            );
+        }
         stats
     }
 

@@ -133,6 +133,20 @@ impl Block {
     pub fn is_retry(&self) -> bool {
         !matches!(self, Block::Db { .. } | Block::NativeFallback { .. })
     }
+
+    /// Stable short name of the block reason (trace-event vocabulary).
+    pub fn reason(&self) -> &'static str {
+        match self {
+            Block::RemoteRef { .. } => "remote_ref",
+            Block::RemoteStatic { .. } => "remote_static",
+            Block::MissingClass { .. } => "missing_class",
+            Block::MonitorAcquire { .. } => "monitor",
+            Block::VolatileSync { .. } => "volatile",
+            Block::Db { .. } => "db",
+            Block::NativeFallback { .. } => "native",
+            Block::GcNeeded { .. } => "gc",
+        }
+    }
 }
 
 /// How an interpreter run ended.
@@ -357,6 +371,16 @@ impl Execution {
                 StepOutcome::Continue => {}
                 StepOutcome::Done(v) => break Outcome::Done(v),
                 StepOutcome::Block(b) => {
+                    // Function-side only: a server VM blocks on DB/GC as part
+                    // of ordinary execution, but a function VM blocking is
+                    // the start of a Semi-FaaS fallback round trip.
+                    if vm.kind() == EndpointKind::Function && beehive_telemetry::enabled() {
+                        beehive_telemetry::instant(
+                            vm.trace_track(),
+                            "block",
+                            &[("reason", beehive_telemetry::Arg::Str(b.reason()))],
+                        );
+                    }
                     self.pending = Some(if b.is_retry() {
                         Pending::Retry
                     } else {

@@ -21,6 +21,7 @@ use beehive_scaling::{BurstHandler, InstanceScaler};
 use beehive_sim::pool::{FifoPool, PsPool};
 use beehive_sim::stats::{LatencySampler, Timeline};
 use beehive_sim::{Duration, EventQueue, Rng, SimTime};
+use beehive_telemetry as tele;
 use beehive_vm::{CostModel, Execution, Value};
 
 use crate::strategy::Strategy;
@@ -106,6 +107,10 @@ pub struct SimConfig {
     /// this is the warmup-hiding ablation: first invocations run for real on
     /// the cold instance and the client waits out the long tail.
     pub shadow_enabled: bool,
+    /// Record a virtual-time trace of this run ([`SimResult::trace`]).
+    /// Defaults to the engine-wide flag set by `repro --trace`
+    /// ([`crate::engine::set_trace_default`]).
+    pub trace: bool,
 }
 
 impl SimConfig {
@@ -128,6 +133,7 @@ impl SimConfig {
             max_server_concurrency: 256,
             beehive: BeeHiveConfig::default(),
             shadow_enabled: true,
+            trace: crate::engine::trace_default(),
         }
     }
 }
@@ -183,6 +189,8 @@ pub struct SimResult {
     pub mapping_bytes: u64,
     /// The virtual end time.
     pub end: SimTime,
+    /// The recorded trace, when [`SimConfig::trace`] was set.
+    pub trace: Option<tele::Trace>,
 }
 
 #[derive(Debug)]
@@ -220,7 +228,22 @@ struct Request {
     arrival: SimTime,
     record: bool,
     closed_loop: bool,
+    /// Name of the resource span opened when this request parked on a
+    /// [`beehive_core::Need`]; closed when the request resumes, so the span
+    /// covers true residence (service + queueing).
+    open_span: Option<&'static str>,
     kind: Kind,
+}
+
+impl Request {
+    /// The telemetry track this request's events land on.
+    fn track(&self) -> tele::Track {
+        match &self.kind {
+            Kind::Server { session, .. } => tele::Track::Request(session.request_id()),
+            Kind::Offload { session, .. } => tele::Track::Request(session.request_id()),
+            Kind::PendingBoot { instance, .. } => tele::Track::Instance(*instance),
+        }
+    }
 }
 
 /// The simulation engine. Build with a [`SimConfig`], call [`Sim::run`].
@@ -377,6 +400,11 @@ impl Sim {
 
     /// Run to the horizon and collect results.
     pub fn run(mut self) -> SimResult {
+        if self.cfg.trace {
+            // Installed here rather than in `new` so the prewarm warm-up
+            // shadow (which runs outside virtual time) is not recorded.
+            tele::install();
+        }
         match self.cfg.arrivals {
             ArrivalPattern::Open { .. } => {
                 self.events.schedule(SimTime::ZERO, Ev::Arrival);
@@ -402,6 +430,9 @@ impl Sim {
                 break;
             }
             self.now = t;
+            if self.cfg.trace {
+                tele::set_now(t);
+            }
             self.handle(ev);
             self.wake_lock_waiters();
         }
@@ -411,6 +442,10 @@ impl Sim {
     fn handle(&mut self, ev: Ev) {
         match ev {
             Ev::Arrival => {
+                if tele::enabled() {
+                    tele::counter(tele::Track::Sim, "event_queue", self.events.len() as i64);
+                    tele::counter(tele::Track::Sim, "server_pool", self.pools[0].len() as i64);
+                }
                 let (rate, next_rate_check) = self.current_rate();
                 let _ = next_rate_check;
                 let gap = self
@@ -510,7 +545,18 @@ impl Sim {
             Strategy::BeeHiveOpenWhisk
             | Strategy::BeeHiveOpenWhiskCrossAz
             | Strategy::BeeHiveLambda => {
-                if engaged && self.controller.decide() {
+                let offload = engaged && self.controller.decide();
+                if tele::enabled() {
+                    tele::instant(
+                        tele::Track::Server,
+                        "offload:decision",
+                        &[
+                            ("offload", tele::Arg::Bool(offload)),
+                            ("engaged", tele::Arg::Bool(engaged)),
+                        ],
+                    );
+                }
+                if offload {
                     self.dispatch_offload(args, closed_loop);
                 } else {
                     self.start_server_request(args, 0, true, closed_loop);
@@ -529,7 +575,18 @@ impl Sim {
                         self.start_server_request(args, 0, true, closed_loop);
                     }
                     _ => {
-                        if engaged && self.controller.decide() {
+                        let offload = engaged && self.controller.decide();
+                        if tele::enabled() {
+                            tele::instant(
+                                tele::Track::Server,
+                                "offload:decision",
+                                &[
+                                    ("offload", tele::Arg::Bool(offload)),
+                                    ("engaged", tele::Arg::Bool(engaged)),
+                                ],
+                            );
+                        }
+                        if offload {
                             self.dispatch_offload(args, closed_loop);
                         } else {
                             self.start_server_request(args, 0, true, closed_loop);
@@ -550,6 +607,7 @@ impl Sim {
         if self.pools[pool].len() >= self.cfg.max_server_concurrency {
             // Connection refused: the worker pool is saturated.
             self.rejected += 1;
+            tele::instant(tele::Track::Server, "rejected", &[]);
             if closed_loop {
                 let backoff = self.rng.exponential(Duration::from_millis(50));
                 self.events.schedule(self.now + backoff, Ev::ClientReissue);
@@ -565,6 +623,7 @@ impl Sim {
                 arrival: self.now,
                 record,
                 closed_loop,
+                open_span: None,
                 kind: Kind::Server { session, pool },
             },
         );
@@ -606,6 +665,7 @@ impl Sim {
                         arrival: self.now,
                         record: true,
                         closed_loop,
+                        open_span: None,
                         kind: Kind::Offload {
                             session,
                             instance: fid,
@@ -629,6 +689,13 @@ impl Sim {
         if can_spawn {
             let platform = self.platform.as_mut().expect("offload needs a platform");
             let (fid, ready, kind) = platform.acquire(self.now);
+            if tele::enabled() {
+                tele::begin(
+                    tele::Track::Instance(fid),
+                    "boot",
+                    &[("cold", tele::Arg::Bool(kind == BootKind::Cold))],
+                );
+            }
             self.booting += 1;
             let boot_rid = self.next_req;
             self.next_req += 1;
@@ -641,6 +708,7 @@ impl Sim {
                     // request and eats the cold-start tail (the ablation).
                     record: !shadow,
                     closed_loop: if shadow { false } else { closed_loop },
+                    open_span: None,
                     kind: Kind::PendingBoot {
                         args: args.clone(),
                         instance: fid,
@@ -677,6 +745,7 @@ impl Sim {
         let cold = *cold;
         let args = std::mem::take(args);
         self.booting = self.booting.saturating_sub(1);
+        tele::end(tele::Track::Instance(fid), "boot", &[]);
         if cold {
             self.platform
                 .as_mut()
@@ -715,6 +784,11 @@ impl Sim {
         let Some(mut req) = self.requests.remove(&rid) else {
             return; // already finished
         };
+        if let Some(name) = req.open_span.take() {
+            // The request resumes: close the resource span opened when it
+            // parked, so the span covers service plus queueing.
+            tele::end(req.track(), name, &[]);
+        }
         loop {
             let step = match &mut req.kind {
                 Kind::Server { session, .. } => session.next(&mut self.server),
@@ -729,6 +803,27 @@ impl Sim {
             match step {
                 SessionStep::Need(n) => {
                     use beehive_core::Resource;
+                    // Residence spans are recorded for offloaded sessions and
+                    // for fallback round trips only: plain server requests
+                    // park on the pool ~100× each, and recording every one
+                    // would dwarf the Semi-FaaS machinery the trace is for.
+                    let traced = n.fallback || matches!(req.kind, Kind::Offload { .. });
+                    if traced && tele::enabled() {
+                        // One static name per (resource, fallback-flag) pair:
+                        // no allocation on the hot path.
+                        let name = match (n.resource, n.fallback) {
+                            (Resource::ServerCpu, false) => "wait:server_cpu",
+                            (Resource::ServerCpu, true) => "wait:server_cpu:fb",
+                            (Resource::FunctionCpu, false) => "wait:function_cpu",
+                            (Resource::FunctionCpu, true) => "wait:function_cpu:fb",
+                            (Resource::Net, false) => "wait:net",
+                            (Resource::Net, true) => "wait:net:fb",
+                            (Resource::Db, false) => "wait:db",
+                            (Resource::Db, true) => "wait:db:fb",
+                        };
+                        tele::begin(req.track(), name, &[]);
+                        req.open_span = Some(name);
+                    }
                     match n.resource {
                         Resource::ServerCpu => {
                             if n.fallback {
@@ -777,6 +872,13 @@ impl Sim {
                         }
                         None => Vec::new(), // peer died; nothing to pull
                     };
+                    if tele::enabled() {
+                        tele::instant(
+                            req.track(),
+                            "sync:pull_dirty",
+                            &[("objects", tele::Arg::UInt(objs.len() as u64))],
+                        );
+                    }
                     if let Kind::Offload { session, .. } = &mut req.kind {
                         session.deliver_peer_objects(objs);
                     }
@@ -955,6 +1057,7 @@ impl Sim {
             function_peak_heap: peak,
             mapping_bytes: self.server.mapping_footprint_bytes(),
             end,
+            trace: if self.cfg.trace { tele::take() } else { None },
         }
     }
 }

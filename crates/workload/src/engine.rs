@@ -42,13 +42,50 @@
 //! assert_eq!(outcomes[0].label, "rps=4");
 //! ```
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
 
 use beehive_sim::json::Json;
+use beehive_telemetry::Trace;
 
 use crate::driver::{Sim, SimConfig, SimResult};
+
+/// Engine-wide default for [`SimConfig::trace`] (`repro --trace` sets it
+/// before building any scenario).
+static TRACE_DEFAULT: AtomicBool = AtomicBool::new(false);
+
+/// Traces harvested from completed runs, in [`run_all`] input order, each
+/// labelled with its scenario label. Drained by [`drain_traces`].
+static COLLECTED_TRACES: Mutex<Vec<(String, Trace)>> = Mutex::new(Vec::new());
+
+/// Set the engine-wide default for [`SimConfig::trace`]. Scenarios built
+/// *after* this call record traces; [`run_all`] harvests them in input
+/// order for [`drain_traces`].
+pub fn set_trace_default(on: bool) {
+    TRACE_DEFAULT.store(on, Ordering::Relaxed);
+}
+
+/// The engine-wide default for [`SimConfig::trace`].
+pub fn trace_default() -> bool {
+    TRACE_DEFAULT.load(Ordering::Relaxed)
+}
+
+/// Take every trace harvested since the last drain, in the input order of
+/// the [`run_all`] calls that produced them. Order is independent of the
+/// worker count, so exports are byte-identical under any `BEEHIVE_WORKERS`.
+pub fn drain_traces() -> Vec<(String, Trace)> {
+    std::mem::take(&mut *COLLECTED_TRACES.lock().unwrap())
+}
+
+fn harvest_traces(outcomes: &mut [RunOutcome]) {
+    let mut collected = COLLECTED_TRACES.lock().unwrap();
+    for o in outcomes.iter_mut() {
+        if let Some(trace) = o.result.trace.take() {
+            collected.push((o.label.clone(), trace));
+        }
+    }
+}
 
 /// One labelled simulation to run.
 #[derive(Debug, Clone)]
@@ -80,15 +117,35 @@ pub struct RunOutcome {
     pub result: SimResult,
 }
 
-/// Number of workers [`run_all`] uses: `BEEHIVE_WORKERS` when set (clamped
-/// to ≥ 1), else the machine's available parallelism.
+/// Number of workers [`run_all`] uses: `BEEHIVE_WORKERS` when set, else the
+/// machine's available parallelism.
+///
+/// An unparsable or zero `BEEHIVE_WORKERS` terminates the process with a
+/// clear error: a typo'd worker count silently falling back to "all cores"
+/// would invalidate the determinism experiments that pin it.
 pub fn default_workers() -> usize {
-    if let Ok(v) = std::env::var("BEEHIVE_WORKERS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            return n.max(1);
+    match std::env::var("BEEHIVE_WORKERS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            Ok(_) => {
+                eprintln!("error: BEEHIVE_WORKERS must be >= 1 (got \"{v}\")");
+                std::process::exit(2);
+            }
+            Err(_) => {
+                eprintln!(
+                    "error: BEEHIVE_WORKERS must be a positive integer (got \"{v}\")"
+                );
+                std::process::exit(2);
+            }
+        },
+        Err(std::env::VarError::NotUnicode(_)) => {
+            eprintln!("error: BEEHIVE_WORKERS must be a positive integer (got non-unicode value)");
+            std::process::exit(2);
+        }
+        Err(std::env::VarError::NotPresent) => {
+            thread::available_parallelism().map_or(1, |n| n.get())
         }
     }
-    thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 /// Run every scenario, fanning out over [`default_workers`] threads, and
@@ -106,13 +163,15 @@ pub fn run_all(scenarios: Vec<Scenario>) -> Vec<RunOutcome> {
 pub fn run_all_with_workers(scenarios: Vec<Scenario>, workers: usize) -> Vec<RunOutcome> {
     let workers = workers.min(scenarios.len()).max(1);
     if workers <= 1 {
-        return scenarios
+        let mut outcomes: Vec<RunOutcome> = scenarios
             .into_iter()
             .map(|s| RunOutcome {
                 label: s.label,
                 result: Sim::new(s.cfg).run(),
             })
             .collect();
+        harvest_traces(&mut outcomes);
+        return outcomes;
     }
 
     // Work-stealing by atomic index: each worker claims the next unstarted
@@ -146,7 +205,7 @@ pub fn run_all_with_workers(scenarios: Vec<Scenario>, workers: usize) -> Vec<Run
         }
     });
 
-    labels
+    let mut outcomes: Vec<RunOutcome> = labels
         .into_iter()
         .zip(slots)
         .map(|(label, slot)| RunOutcome {
@@ -156,7 +215,9 @@ pub fn run_all_with_workers(scenarios: Vec<Scenario>, workers: usize) -> Vec<Run
                 .unwrap()
                 .expect("worker pool exited with an unfilled slot"),
         })
-        .collect()
+        .collect();
+    harvest_traces(&mut outcomes);
+    outcomes
 }
 
 /// A structured experiment report: a title plus a JSON body.

@@ -9,8 +9,14 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> tier-1: cargo build --release"
-cargo build --release --offline
+echo "==> tier-1: cargo build --release --workspace"
+# --workspace: the root facade does not depend on beehive-bench, so a plain
+# build would leave target/release/repro stale. The touch forces a rebuild
+# of the telemetry crate with default features, in case a prior
+# `--features beehive-telemetry/compile-off` bench build left a probe-free
+# repro binary behind.
+touch crates/telemetry/src/lib.rs
+cargo build --release --offline --workspace
 
 echo "==> tier-1: cargo test -q"
 cargo test -q --offline
@@ -23,4 +29,14 @@ echo "==> golden: repro fig9 --quick --seed 42 --json is byte-stable"
 diff -u scripts/golden/fig9_quick.json /tmp/beehive_fig9_quick.json
 rm -f /tmp/beehive_fig9_quick.json
 
-echo "OK: build, tests, quick repro, and golden report all pass."
+echo "==> golden: traced quick repro critical-path summary is byte-stable"
+trace_dir="$(mktemp -d)"
+BEEHIVE_WORKERS=2 ./target/release/repro shadow --quick --seed 42 --trace "$trace_dir" > /dev/null
+diff -u scripts/golden/shadow_summary_quick.json "$trace_dir/shadow.summary.json"
+# The Chrome trace itself is too large for a golden file; check it is
+# well-formed where it counts instead.
+head -c 64 "$trace_dir/shadow.trace.json" | grep -q '^{"traceEvents":\[' \
+  || { echo "trace file is not a Chrome trace-event document"; exit 1; }
+rm -rf "$trace_dir"
+
+echo "OK: build, tests, quick repro, and golden reports all pass."

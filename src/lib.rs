@@ -8,6 +8,8 @@
 //! and downstream users can depend on a single crate:
 //!
 //! * [`sim`] — deterministic discrete-event simulation kernel,
+//! * [`telemetry`] — virtual-time tracing/metrics with Chrome-trace and
+//!   critical-path exporters,
 //! * [`vm`] — the managed runtime (bytecode, heap, GC, monitors, natives),
 //! * [`faas`] — simulated FaaS platforms (OpenWhisk-like, Lambda-like),
 //! * [`proxy`] — proxy-based connection management,
@@ -43,5 +45,6 @@ pub use beehive_faas as faas;
 pub use beehive_proxy as proxy;
 pub use beehive_scaling as scaling;
 pub use beehive_sim as sim;
+pub use beehive_telemetry as telemetry;
 pub use beehive_vm as vm;
 pub use beehive_workload as workload;
