@@ -403,10 +403,7 @@ fn measure_warm_cpu(app: &App) -> Duration {
             match s.next(&mut server) {
                 SessionStep::Need(_) => {}
                 SessionStep::ServerGc => {
-                    let pause = server
-                        .vm
-                        .collect(&mut [s.execution_mut()], &mut [])
-                        .pause;
+                    let pause = server.vm.collect(&mut [s.execution_mut()], &mut []).pause;
                     s.gc_done(pause);
                 }
                 SessionStep::SyncFromPeer { .. } => {
@@ -461,14 +458,12 @@ mod tests {
             // Warm up, then measure.
             let mut cpu = Duration::ZERO;
             for i in 0..=server.vm.cost.warm_threshold {
-                let mut s =
-                    ServerSession::start(&mut server, app.root, vec![Value::I64(i as i64)]);
+                let mut s = ServerSession::start(&mut server, app.root, vec![Value::I64(i as i64)]);
                 loop {
                     match s.next(&mut server) {
                         SessionStep::Need(_) => {}
                         SessionStep::ServerGc => {
-                            let pause =
-                                server.vm.collect(&mut [s.execution_mut()], &mut []).pause;
+                            let pause = server.vm.collect(&mut [s.execution_mut()], &mut []).pause;
                             s.gc_done(pause);
                         }
                         SessionStep::SyncFromPeer { .. } => unreachable!(),
@@ -507,10 +502,7 @@ mod tests {
         assert_eq!(server.proxy.db().table_len(1), 1);
         // Latency = CPU + db waits, so above the budget.
         assert!(latency > app.spec.cpu_budget);
-        assert_eq!(
-            server.stats.sessions.db_rounds,
-            app.spec.db_rounds() as u64
-        );
+        assert_eq!(server.stats.sessions.db_rounds, app.spec.db_rounds() as u64);
     }
 
     #[test]

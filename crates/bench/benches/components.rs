@@ -36,7 +36,10 @@ fn drive_server(server: &mut ServerRuntime, session: &mut ServerSession) -> Valu
         match session.next(server) {
             SessionStep::Need(_) => {}
             SessionStep::ServerGc => {
-                let pause = server.vm.collect(&mut [session.execution_mut()], &mut []).pause;
+                let pause = server
+                    .vm
+                    .collect(&mut [session.execution_mut()], &mut [])
+                    .pause;
                 session.gc_done(pause);
             }
             SessionStep::SyncFromPeer { peer, monitor } => {
@@ -98,7 +101,10 @@ fn bench_offload_request(h: &mut Harness) {
         let app = App::build(kind, Fidelity::Scaled(2048));
         let mut server = fresh_server(&app);
         let mut funcs = HashMap::new();
-        funcs.insert(0, FunctionRuntime::new(0, &app.program, CostModel::default()));
+        funcs.insert(
+            0,
+            FunctionRuntime::new(0, &app.program, CostModel::default()),
+        );
         // Warm the instance (closure + refinement) once.
         let net = server.config.net;
         let mut warm = OffloadSession::start(
@@ -116,7 +122,15 @@ fn bench_offload_request(h: &mut Harness) {
             arg = (arg + 1) % 997;
             let mut s = {
                 let f = funcs.get_mut(&0).unwrap();
-                OffloadSession::start(&mut server, f, app.root, vec![Value::I64(arg)], false, net, false)
+                OffloadSession::start(
+                    &mut server,
+                    f,
+                    app.root,
+                    vec![Value::I64(arg)],
+                    false,
+                    net,
+                    false,
+                )
             };
             drive_offload(&mut server, &mut s, &mut funcs)
         });
@@ -128,7 +142,10 @@ fn bench_closure_instantiation(h: &mut Harness) {
     let mut server = fresh_server(&app);
     // Refine the plan first so the closure is the steady-state one.
     let mut funcs = HashMap::new();
-    funcs.insert(0, FunctionRuntime::new(0, &app.program, CostModel::default()));
+    funcs.insert(
+        0,
+        FunctionRuntime::new(0, &app.program, CostModel::default()),
+    );
     let net = server.config.net;
     let mut warm = OffloadSession::start(
         &mut server,
@@ -162,11 +179,7 @@ fn bench_gc(h: &mut Harness) {
     h.bench("gc/collect", || {
         // Fill ~2 MB of young objects, then collect with no roots.
         for _ in 0..20_000 {
-            if vm
-                .heap
-                .alloc_object(churn_class, 9, Space::Alloc)
-                .is_none()
-            {
+            if vm.heap.alloc_object(churn_class, 9, Space::Alloc).is_none() {
                 break;
             }
         }
@@ -182,10 +195,21 @@ fn bench_sync_handoff(h: &mut Harness) {
     let mut funcs = HashMap::new();
     let net = server.config.net;
     for id in 0..2u32 {
-        funcs.insert(id, FunctionRuntime::new(id, &app.program, CostModel::default()));
+        funcs.insert(
+            id,
+            FunctionRuntime::new(id, &app.program, CostModel::default()),
+        );
         let mut warm = {
             let f = funcs.get_mut(&id).unwrap();
-            OffloadSession::start(&mut server, f, app.root, vec![Value::I64(1)], false, net, false)
+            OffloadSession::start(
+                &mut server,
+                f,
+                app.root,
+                vec![Value::I64(1)],
+                false,
+                net,
+                false,
+            )
         };
         drive_offload(&mut server, &mut warm, &mut funcs);
     }
@@ -194,7 +218,15 @@ fn bench_sync_handoff(h: &mut Harness) {
         which ^= 1; // alternate instances so the lock always moves
         let mut s = {
             let f = funcs.get_mut(&which).unwrap();
-            OffloadSession::start(&mut server, f, app.root, vec![Value::I64(2)], false, net, false)
+            OffloadSession::start(
+                &mut server,
+                f,
+                app.root,
+                vec![Value::I64(2)],
+                false,
+                net,
+                false,
+            )
         };
         drive_offload(&mut server, &mut s, &mut funcs)
     });

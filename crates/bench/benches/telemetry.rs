@@ -108,7 +108,10 @@ fn bench_offload_request(h: &mut Harness) {
     let app = App::build(AppKind::Pybbs, Fidelity::Scaled(2048));
     let mut server = fresh_server(&app);
     let mut funcs = HashMap::new();
-    funcs.insert(0, FunctionRuntime::new(0, &app.program, CostModel::default()));
+    funcs.insert(
+        0,
+        FunctionRuntime::new(0, &app.program, CostModel::default()),
+    );
     let net = server.config.net;
     let mut warm = OffloadSession::start(
         &mut server,
@@ -125,7 +128,15 @@ fn bench_offload_request(h: &mut Harness) {
         arg = (arg + 1) % 997;
         let mut s = {
             let f = funcs.get_mut(&0).unwrap();
-            OffloadSession::start(&mut server, f, app.root, vec![Value::I64(arg)], false, net, false)
+            OffloadSession::start(
+                &mut server,
+                f,
+                app.root,
+                vec![Value::I64(arg)],
+                false,
+                net,
+                false,
+            )
         };
         drive_offload(&mut server, &mut s, &mut funcs)
     });

@@ -1,9 +1,10 @@
 //! `repro` — regenerate every table and figure of the BeeHive paper.
 //!
 //! ```text
-//! repro [--quick] [--seed N] [--json] [--trace DIR]
+//! repro [--quick] [--seed N] [--json] [--trace DIR] [--metrics DIR]
 //!       [list|all|fig2|table1|table2|fig7|table3|fig8|
 //!        fig9|table4|fig10|table5|gcstats|shadow|ablations|combination]
+//! repro compare BASELINE CURRENT [--bench-out FILE]
 //! ```
 //!
 //! Without a subcommand, everything runs in paper order; `repro list`
@@ -20,6 +21,22 @@
 //! (`DIR/<item>.summary.json`); for a fixed seed these files are
 //! byte-identical at any `BEEHIVE_WORKERS`.
 //!
+//! `--metrics DIR` keeps a live virtual-time metrics registry in every
+//! simulation and writes, per experiment, a snapshot
+//! (`DIR/<item>.metrics.json`, the `beehive_metrics` JSON shape) plus a
+//! Prometheus text-exposition rendering (`DIR/<item>.prom`). These too are
+//! byte-identical at any worker count for a fixed seed.
+//!
+//! `repro compare BASELINE CURRENT` diffs two such snapshot directories
+//! over the watched-metric table (P50/P99 request latency, fallback count,
+//! cold-boot count, total GC pause) and exits non-zero when any watched
+//! metric regresses beyond its tolerance — the perf gate `scripts/verify.sh`
+//! runs against the checked-in golden baseline. `--bench-out FILE`
+//! additionally writes the full delta table as JSON.
+//!
+//! Unknown flags, unknown items and malformed arguments exit with status 2
+//! and a one-line error.
+//!
 //! Every driver fans its independent simulations out over the parallel
 //! scenario engine (`beehive_workload::engine`); pin the worker count with
 //! the `BEEHIVE_WORKERS` environment variable.
@@ -30,8 +47,8 @@ use beehive_sim::json::{Json, ToJson};
 use beehive_workload::engine::RunReport;
 use beehive_workload::experiment::{
     ablation::ablation,
-    combination::combination,
     breakdown::{gc_stats, shadow_breakdown},
+    combination::combination,
     fig2::fig2,
     fig7::fig7,
     fig8::fig8,
@@ -44,9 +61,13 @@ use beehive_workload::experiment::{
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("compare") {
+        run_compare(&args[1..]);
+    }
     let mut profile = Profile::full();
     let mut json = false;
     let mut trace_dir: Option<std::path::PathBuf> = None;
+    let mut metrics_dir: Option<std::path::PathBuf> = None;
     let mut cmds: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -60,14 +81,20 @@ fn main() {
                     .unwrap_or_else(|| die("--seed needs an integer"));
             }
             "--trace" => {
-                let dir = it.next().unwrap_or_else(|| die("--trace needs a directory"));
-                trace_dir = Some(std::path::PathBuf::from(dir));
+                trace_dir = Some(dir_value(&mut it, "--trace"));
+            }
+            "--metrics" => {
+                metrics_dir = Some(dir_value(&mut it, "--metrics"));
             }
             "--help" | "-h" => {
                 println!(
-                    "repro [--quick] [--seed N] [--json] [--trace DIR] [list|all|fig2|table1|table2|fig7|table3|fig8|fig9|table4|fig10|table5|gcstats|shadow|ablations|combination]"
+                    "repro [--quick] [--seed N] [--json] [--trace DIR] [--metrics DIR] [list|all|fig2|table1|table2|fig7|table3|fig8|fig9|table4|fig10|table5|gcstats|shadow|ablations|combination]"
                 );
+                println!("repro compare BASELINE CURRENT [--bench-out FILE]");
                 return;
+            }
+            other if other.starts_with('-') => {
+                die(&format!("unknown flag {other:?} (see `repro --help`)"))
             }
             other => cmds.push(other.to_string()),
         }
@@ -80,8 +107,21 @@ fn main() {
         return;
     }
     const KNOWN: [&str; 15] = [
-        "all", "fig2", "table1", "table2", "fig7", "table3", "fig8", "fig9", "table4", "fig10",
-        "table5", "gcstats", "shadow", "ablations", "combination",
+        "all",
+        "fig2",
+        "table1",
+        "table2",
+        "fig7",
+        "table3",
+        "fig8",
+        "fig9",
+        "table4",
+        "fig10",
+        "table5",
+        "gcstats",
+        "shadow",
+        "ablations",
+        "combination",
     ];
     for c in &cmds {
         if !KNOWN.contains(&c.as_str()) {
@@ -94,6 +134,11 @@ fn main() {
         std::fs::create_dir_all(dir)
             .unwrap_or_else(|e| die(&format!("creating {}: {e}", dir.display())));
         beehive_workload::engine::set_trace_default(true);
+    }
+    if let Some(dir) = &metrics_dir {
+        std::fs::create_dir_all(dir)
+            .unwrap_or_else(|e| die(&format!("creating {}: {e}", dir.display())));
+        beehive_workload::engine::set_metrics_default(true);
     }
 
     let all = cmds.iter().any(|c| c == "all");
@@ -112,8 +157,8 @@ fn main() {
         } else {
             banner("Table 1 — scaling solutions compared");
             println!(
-                "{:<14} {:<18} {:<14} {:<16} {:<12} {}",
-                "Solution", "Min running time", "Billing", "Preparation", "Config", "Auto-scaling"
+                "{:<14} {:<18} {:<14} {:<16} {:<12} Auto-scaling",
+                "Solution", "Min running time", "Billing", "Preparation", "Config"
             );
             for row in table1() {
                 println!(
@@ -138,6 +183,7 @@ fn main() {
             println!("{rep}");
         }
         flush_traces(trace_dir.as_deref(), "fig2");
+        flush_metrics(metrics_dir.as_deref(), "fig2");
     }
 
     if want("table2") {
@@ -219,6 +265,7 @@ fn main() {
             }
         }
         flush_traces(trace_dir.as_deref(), "fig7");
+        flush_metrics(metrics_dir.as_deref(), "fig7");
     }
 
     if want("fig8") {
@@ -235,6 +282,7 @@ fn main() {
             }
         }
         flush_traces(trace_dir.as_deref(), "fig8");
+        flush_metrics(metrics_dir.as_deref(), "fig8");
     }
 
     if want("fig9") {
@@ -255,6 +303,7 @@ fn main() {
             }
         }
         flush_traces(trace_dir.as_deref(), "fig9");
+        flush_metrics(metrics_dir.as_deref(), "fig9");
     }
 
     if want("table4") {
@@ -266,6 +315,7 @@ fn main() {
             println!("{rep}");
         }
         flush_traces(trace_dir.as_deref(), "table4");
+        flush_metrics(metrics_dir.as_deref(), "table4");
     }
 
     if want("fig10") {
@@ -277,6 +327,7 @@ fn main() {
             println!("{rep}");
         }
         flush_traces(trace_dir.as_deref(), "fig10");
+        flush_metrics(metrics_dir.as_deref(), "fig10");
     }
 
     if want("table5") {
@@ -288,6 +339,7 @@ fn main() {
             println!("{rep}");
         }
         flush_traces(trace_dir.as_deref(), "table5");
+        flush_metrics(metrics_dir.as_deref(), "table5");
     }
 
     if want("gcstats") {
@@ -299,6 +351,7 @@ fn main() {
             println!("{rep}");
         }
         flush_traces(trace_dir.as_deref(), "gcstats");
+        flush_metrics(metrics_dir.as_deref(), "gcstats");
     }
 
     if want("shadow") {
@@ -318,6 +371,7 @@ fn main() {
             }
         }
         flush_traces(trace_dir.as_deref(), "shadow");
+        flush_metrics(metrics_dir.as_deref(), "shadow");
     }
 
     if want("ablations") {
@@ -329,6 +383,7 @@ fn main() {
             println!("{rep}");
         }
         flush_traces(trace_dir.as_deref(), "ablations");
+        flush_metrics(metrics_dir.as_deref(), "ablations");
     }
 
     if want("combination") {
@@ -340,6 +395,7 @@ fn main() {
             println!("{rep}");
         }
         flush_traces(trace_dir.as_deref(), "combination");
+        flush_metrics(metrics_dir.as_deref(), "combination");
     }
 
     if json {
@@ -362,20 +418,38 @@ fn main() {
 fn list_items() {
     let items: [(&str, &str); 15] = [
         ("all", "every item below, in paper order"),
-        ("fig2", "motivation: closed-loop latency of a vanilla server under load"),
-        ("table1", "scaling solutions compared (billing, preparation, granularity)"),
+        (
+            "fig2",
+            "motivation: closed-loop latency of a vanilla server under load",
+        ),
+        (
+            "table1",
+            "scaling solutions compared (billing, preparation, granularity)",
+        ),
         ("table2", "application suite and workload characteristics"),
         ("fig7", "burst latency timelines for every scaling strategy"),
         ("table3", "financial cost of the scaling in Figure 7"),
         ("fig8", "sub-second elasticity around the scaling trigger"),
         ("fig9", "offload-ratio sweep: latency vs offloaded fraction"),
-        ("table4", "SLO-driven offloading controller outcomes per app"),
+        (
+            "table4",
+            "SLO-driven offloading controller outcomes per app",
+        ),
         ("fig10", "SLO controller timeline under a burst"),
-        ("table5", "fallback and synchronization counts per offloaded request"),
+        (
+            "table5",
+            "fallback and synchronization counts per offloaded request",
+        ),
         ("gcstats", "§5.6 memory consumption and GC pauses"),
         ("shadow", "§5.6 shadow-execution warm-up breakdown"),
-        ("ablations", "feature ablations (shadowing, proxy, refinement) on pybbs"),
-        ("combination", "§5.7 Semi-FaaS bridging an on-demand instance boot"),
+        (
+            "ablations",
+            "feature ablations (shadowing, proxy, refinement) on pybbs",
+        ),
+        (
+            "combination",
+            "§5.7 Semi-FaaS bridging an on-demand instance boot",
+        ),
     ];
     println!("Runnable items (repro [flags] <item>...):");
     for (name, desc) in items {
@@ -410,6 +484,174 @@ fn flush_traces(dir: Option<&std::path::Path>, name: &str) {
         traces.len(),
         summary_path.display()
     );
+}
+
+/// Pull the directory value of `flag` off the argument iterator; a missing
+/// value or one that looks like another flag is a usage error.
+fn dir_value(it: &mut impl Iterator<Item = String>, flag: &str) -> std::path::PathBuf {
+    match it.next() {
+        Some(v) if !v.starts_with('-') => std::path::PathBuf::from(v),
+        _ => die(&format!("{flag} needs a directory")),
+    }
+}
+
+/// Write the metrics snapshots drained from the engine as
+/// `DIR/<name>.metrics.json` (the `beehive_metrics` JSON shape) plus
+/// `DIR/<name>.prom` (Prometheus text exposition). No-op when metrics are
+/// off or nothing ran.
+fn flush_metrics(dir: Option<&std::path::Path>, name: &str) {
+    let Some(dir) = dir else { return };
+    let scenarios = beehive_workload::engine::drain_metrics();
+    if scenarios.is_empty() {
+        return;
+    }
+    let snap = beehive_metrics::MetricsSnapshot {
+        window: beehive_metrics::DEFAULT_WINDOW,
+        scenarios,
+    };
+    let json_path = dir.join(format!("{name}.metrics.json"));
+    std::fs::write(&json_path, snap.render())
+        .unwrap_or_else(|e| die(&format!("writing {}: {e}", json_path.display())));
+    let prom_path = dir.join(format!("{name}.prom"));
+    std::fs::write(&prom_path, beehive_metrics::prometheus(&snap, name))
+        .unwrap_or_else(|e| die(&format!("writing {}: {e}", prom_path.display())));
+    eprintln!(
+        "metrics: wrote {} ({} scenarios) and {}",
+        json_path.display(),
+        snap.scenarios.len(),
+        prom_path.display()
+    );
+}
+
+/// Load every `*.metrics.json` snapshot in `dir`, sorted by file name.
+fn load_snapshots(dir: &std::path::Path) -> Vec<(String, beehive_metrics::MetricsSnapshot)> {
+    let entries =
+        std::fs::read_dir(dir).unwrap_or_else(|e| die(&format!("reading {}: {e}", dir.display())));
+    let mut names: Vec<String> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.ends_with(".metrics.json"))
+        .collect();
+    names.sort();
+    names
+        .into_iter()
+        .map(|n| {
+            let path = dir.join(&n);
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| die(&format!("reading {}: {e}", path.display())));
+            let snap = beehive_metrics::MetricsSnapshot::parse(&text)
+                .unwrap_or_else(|e| die(&format!("parsing {}: {e}", path.display())));
+            let item = n.trim_end_matches(".metrics.json").to_string();
+            (item, snap)
+        })
+        .collect()
+}
+
+/// `repro compare BASELINE CURRENT [--bench-out FILE]`: diff every watched
+/// metric of the snapshots in two `--metrics` output directories. Exits 0
+/// when nothing regressed, 1 when something did, 2 on usage errors.
+fn run_compare(args: &[String]) -> ! {
+    let mut dirs: Vec<std::path::PathBuf> = Vec::new();
+    let mut bench_out: Option<std::path::PathBuf> = None;
+    let mut it = args.iter().cloned();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--bench-out" => match it.next() {
+                Some(v) if !v.starts_with('-') => bench_out = Some(std::path::PathBuf::from(v)),
+                _ => die("--bench-out needs a file"),
+            },
+            other if other.starts_with('-') => {
+                die(&format!("unknown flag {other:?} for `repro compare`"))
+            }
+            other => dirs.push(std::path::PathBuf::from(other)),
+        }
+    }
+    let [baseline_dir, current_dir] = dirs.as_slice() else {
+        die("usage: repro compare BASELINE CURRENT [--bench-out FILE]");
+    };
+
+    let baseline = load_snapshots(baseline_dir);
+    if baseline.is_empty() {
+        die(&format!(
+            "no *.metrics.json snapshots in {}",
+            baseline_dir.display()
+        ));
+    }
+    let mut regressed = false;
+    let mut file_reports: Vec<Json> = Vec::new();
+    for (item, base) in &baseline {
+        let current_path = current_dir.join(format!("{item}.metrics.json"));
+        let deltas = match std::fs::read_to_string(&current_path) {
+            Ok(text) => {
+                let cur = beehive_metrics::MetricsSnapshot::parse(&text)
+                    .unwrap_or_else(|e| die(&format!("parsing {}: {e}", current_path.display())));
+                beehive_metrics::compare(base, &cur)
+            }
+            Err(_) => {
+                println!("{item}: MISSING {}", current_path.display());
+                regressed = true;
+                file_reports.push(Json::obj([
+                    ("item".into(), Json::from(item.clone())),
+                    ("missing".into(), Json::from(true)),
+                ]));
+                continue;
+            }
+        };
+        let mut delta_json: Vec<Json> = Vec::new();
+        for d in &deltas {
+            let verdict = if d.regressed { "REGRESSED" } else { "ok" };
+            let rel = d.relative();
+            let change = if rel.is_finite() {
+                format!("{:+.1}%", rel * 100.0)
+            } else {
+                "n/a".to_string()
+            };
+            println!(
+                "{item}: {verdict:<9} {:<40} {:<28} {:>12} -> {:>12}  ({change}, tol +{:.0}%)",
+                d.metric,
+                d.scenario,
+                d.baseline.map_or("-".to_string(), |v| v.to_string()),
+                d.current.map_or("-".to_string(), |v| v.to_string()),
+                d.tolerance * 100.0
+            );
+            regressed |= d.regressed;
+            delta_json.push(Json::obj([
+                ("scenario".into(), Json::from(d.scenario.clone())),
+                ("metric".into(), Json::from(d.metric.clone())),
+                ("baseline".into(), Json::from(d.baseline)),
+                ("current".into(), Json::from(d.current)),
+                ("tolerance".into(), Json::from(d.tolerance)),
+                ("regressed".into(), Json::from(d.regressed)),
+            ]));
+        }
+        file_reports.push(Json::obj([
+            ("item".into(), Json::from(item.clone())),
+            ("deltas".into(), Json::Arr(delta_json)),
+        ]));
+    }
+    if let Some(path) = bench_out {
+        let doc = Json::obj([
+            (
+                "baseline".into(),
+                Json::from(baseline_dir.display().to_string()),
+            ),
+            (
+                "current".into(),
+                Json::from(current_dir.display().to_string()),
+            ),
+            ("regressed".into(), Json::from(regressed)),
+            ("files".into(), Json::Arr(file_reports)),
+        ]);
+        std::fs::write(&path, doc.render())
+            .unwrap_or_else(|e| die(&format!("writing {}: {e}", path.display())));
+        eprintln!("compare: wrote {}", path.display());
+    }
+    if regressed {
+        eprintln!("compare: REGRESSED (see deltas above)");
+        std::process::exit(1);
+    }
+    eprintln!("compare: ok — no watched metric regressed");
+    std::process::exit(0);
 }
 
 fn banner(title: &str) {

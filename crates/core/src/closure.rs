@@ -66,6 +66,11 @@ impl ClosurePlan {
         self.classes.len() + self.objects.len() + self.statics.len()
     }
 
+    /// `true` when the plan holds nothing at all (not even a root class).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
     /// `true` when only the root class is planned.
     pub fn is_minimal(&self) -> bool {
         self.classes.len() <= 1 && self.objects.is_empty() && self.statics.is_empty()

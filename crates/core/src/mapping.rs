@@ -31,7 +31,10 @@ impl MappingTable {
     /// Panics if either side is remote-marked or already mapped to a
     /// different address.
     pub fn insert(&mut self, server: Addr, local: Addr) {
-        assert!(!server.is_remote() && !local.is_remote(), "map raw addresses");
+        assert!(
+            !server.is_remote() && !local.is_remote(),
+            "map raw addresses"
+        );
         let prev = self.to_local.insert(server, local);
         assert!(
             prev.is_none() || prev == Some(local),

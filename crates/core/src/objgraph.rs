@@ -20,6 +20,13 @@ use beehive_vm::{Addr, Value, VmInstance};
 
 use crate::mapping::MappingTable;
 
+/// Hook invoked for every packageable native encountered during a copy:
+/// given the kind and the server-side native state, it marshals (or refuses
+/// to marshal) the state into the function VM, returning the function-side
+/// native id.
+pub type PackageHook<'a> = dyn FnMut(PackKind, Option<beehive_vm::natives::NativeState>, &mut VmInstance) -> Option<i64>
+    + 'a;
+
 /// Outcome of a copy into a function.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CopyReport {
@@ -62,11 +69,7 @@ pub fn copy_to_function(
     mapping: &mut MappingTable,
     program: &Program,
     include: &HashSet<Addr>,
-    on_packageable: &mut dyn FnMut(
-        PackKind,
-        Option<beehive_vm::natives::NativeState>,
-        &mut VmInstance,
-    ) -> Option<i64>,
+    on_packageable: &mut PackageHook,
 ) -> CopyReport {
     let mut report = CopyReport::default();
 
@@ -80,7 +83,10 @@ pub fn copy_to_function(
     };
     let mut seen: HashSet<Addr> = HashSet::new();
     while let Some(server_addr) = queue.pop_front() {
-        assert!(!server_addr.is_remote(), "include set must hold canonical addresses");
+        assert!(
+            !server_addr.is_remote(),
+            "include set must hold canonical addresses"
+        );
         if !seen.insert(server_addr) {
             continue;
         }
@@ -390,8 +396,22 @@ mod tests {
         let a = alloc_node(&mut w, Space::Closure);
         let include: HashSet<Addr> = [a].into_iter().collect();
         let mut mapping = MappingTable::new();
-        let r1 = copy_to_function(&w.server, &mut w.func, &mut mapping, &w.program, &include, &mut |_, _, _| None);
-        let r2 = copy_to_function(&w.server, &mut w.func, &mut mapping, &w.program, &include, &mut |_, _, _| None);
+        let r1 = copy_to_function(
+            &w.server,
+            &mut w.func,
+            &mut mapping,
+            &w.program,
+            &include,
+            &mut |_, _, _| None,
+        );
+        let r2 = copy_to_function(
+            &w.server,
+            &mut w.func,
+            &mut mapping,
+            &w.program,
+            &include,
+            &mut |_, _, _| None,
+        );
         assert_eq!(r1.objects, 1);
         assert_eq!(r2.objects, 0, "second copy reuses the mapping");
     }
@@ -399,7 +419,11 @@ mod tests {
     #[test]
     fn packageable_socket_is_marshalled() {
         let mut w = world();
-        let conn = w.server.heap.alloc_object(w.sock, 2, Space::Closure).unwrap();
+        let conn = w
+            .server
+            .heap
+            .alloc_object(w.sock, 2, Space::Closure)
+            .unwrap();
         let server_handle = w
             .server
             .register_native_state(NativeState::Socket { proxy_conn_id: 1 });
@@ -444,12 +468,18 @@ mod tests {
         w.server.heap.set(a, 0, Value::I64(1));
         let include: HashSet<Addr> = [a].into_iter().collect();
         let mut mapping = MappingTable::new();
-        copy_to_function(&w.server, &mut w.func, &mut mapping, &w.program, &include, &mut |_, _, _| None);
+        copy_to_function(
+            &w.server,
+            &mut w.func,
+            &mut mapping,
+            &w.program,
+            &include,
+            &mut |_, _, _| None,
+        );
         let la = mapping.local_of(a).unwrap();
         // The function mutates its copy.
         w.func.heap.set(la, 0, Value::I64(42));
-        let report =
-            apply_dirty_to_server(&w.func, &mut w.server, &mut mapping, &w.program, &[la]);
+        let report = apply_dirty_to_server(&w.func, &mut w.server, &mut mapping, &w.program, &[la]);
         assert_eq!(report.updated, 1);
         assert_eq!(w.server.heap.get(a, 0), Value::I64(42));
     }
@@ -460,7 +490,14 @@ mod tests {
         let shared = alloc_node(&mut w, Space::Closure);
         let include: HashSet<Addr> = [shared].into_iter().collect();
         let mut mapping = MappingTable::new();
-        copy_to_function(&w.server, &mut w.func, &mut mapping, &w.program, &include, &mut |_, _, _| None);
+        copy_to_function(
+            &w.server,
+            &mut w.func,
+            &mut mapping,
+            &w.program,
+            &include,
+            &mut |_, _, _| None,
+        );
         let lshared = mapping.local_of(shared).unwrap();
 
         // The function creates a new object and links it into shared state.
@@ -484,7 +521,14 @@ mod tests {
         let other = alloc_node(&mut w, Space::Closure); // never offloaded
         let include: HashSet<Addr> = [a].into_iter().collect();
         let mut mapping = MappingTable::new();
-        copy_to_function(&w.server, &mut w.func, &mut mapping, &w.program, &include, &mut |_, _, _| None);
+        copy_to_function(
+            &w.server,
+            &mut w.func,
+            &mut mapping,
+            &w.program,
+            &include,
+            &mut |_, _, _| None,
+        );
         let la = mapping.local_of(a).unwrap();
         // The function stores a remote ref (it never fetched `other`).
         w.func.heap.set(la, 2, Value::Ref(other.to_remote()));
@@ -502,7 +546,14 @@ mod tests {
             Value::Ref(a.to_remote())
         );
         let include: HashSet<Addr> = [a].into_iter().collect();
-        copy_to_function(&w.server, &mut w.func, &mut mapping, &w.program, &include, &mut |_, _, _| None);
+        copy_to_function(
+            &w.server,
+            &mut w.func,
+            &mut mapping,
+            &w.program,
+            &include,
+            &mut |_, _, _| None,
+        );
         let la = mapping.local_of(a).unwrap();
         assert_eq!(
             translate_value_to_function(Value::Ref(a), &mapping),
@@ -522,7 +573,14 @@ mod tests {
         w.server.heap.set(a, 0, Value::I64(1));
         let include: HashSet<Addr> = [a].into_iter().collect();
         let mut mapping = MappingTable::new();
-        copy_to_function(&w.server, &mut w.func, &mut mapping, &w.program, &include, &mut |_, _, _| None);
+        copy_to_function(
+            &w.server,
+            &mut w.func,
+            &mut mapping,
+            &w.program,
+            &include,
+            &mut |_, _, _| None,
+        );
         // Server-side state moves on.
         w.server.heap.set(a, 0, Value::I64(2));
         w.server.heap.set(b, 0, Value::I64(3));

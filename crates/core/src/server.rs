@@ -61,7 +61,12 @@ pub struct ServerRuntime {
 
 impl ServerRuntime {
     /// A server runtime for `program`, fronting `proxy`'s database.
-    pub fn new(program: Arc<Program>, config: BeeHiveConfig, proxy: Proxy, cost: CostModel) -> Self {
+    pub fn new(
+        program: Arc<Program>,
+        config: BeeHiveConfig,
+        proxy: Proxy,
+        cost: CostModel,
+    ) -> Self {
         ServerRuntime {
             vm: VmInstance::server(&program, cost),
             program,
@@ -102,7 +107,11 @@ impl ServerRuntime {
             .class(sock_class)
             .packageable
             .expect("connection class must be packageable");
-        assert_eq!(spec.kind, PackKind::Socket, "connection class must be a socket");
+        assert_eq!(
+            spec.kind,
+            PackKind::Socket,
+            "connection class must be a socket"
+        );
         let fields = self.program.class(sock_class).field_count as u32;
         let obj = self
             .vm
@@ -110,9 +119,9 @@ impl ServerRuntime {
             .alloc_object(sock_class, fields, Space::Closure)
             .expect("closure space is unbounded");
         let conn = self.proxy.connect_server();
-        let handle = self
-            .vm
-            .register_native_state(NativeState::Socket { proxy_conn_id: conn.0 });
+        let handle = self.vm.register_native_state(NativeState::Socket {
+            proxy_conn_id: conn.0,
+        });
         self.vm
             .heap
             .set(obj, spec.handle_slot as u32, Value::I64(handle as i64));
@@ -240,7 +249,11 @@ impl ServerRuntime {
     /// to a fresh instance): ships planned classes, copies planned objects
     /// (packing native state of packageable classes), installs planned
     /// statics, and builds the mapping table.
-    pub fn instantiate_closure(&mut self, func: &mut FunctionRuntime, root: MethodId) -> ClosureStats {
+    pub fn instantiate_closure(
+        &mut self,
+        func: &mut FunctionRuntime,
+        root: MethodId,
+    ) -> ClosureStats {
         let class = self.program.method(root).class;
         let ServerRuntime {
             program,
@@ -281,21 +294,15 @@ impl ServerRuntime {
             &include,
             &mut |kind, state, fvm| {
                 pack_native_state(
-                    kind,
-                    state,
-                    fvm,
-                    proxy,
-                    attached,
-                    func_id,
-                    pack_ok,
-                    proxy_ok,
+                    kind, state, fvm, proxy, attached, func_id, pack_ok, proxy_ok,
                 )
             },
         );
 
         for &slot in &plan.statics {
             let v = vm.static_value(slot);
-            func.vm.install_static(slot, translate_value_to_function(v, mapping));
+            func.vm
+                .install_static(slot, translate_value_to_function(v, mapping));
             bytes += 8;
         }
 
@@ -357,14 +364,7 @@ impl ServerRuntime {
             &include,
             &mut |kind, state, fvm| {
                 pack_native_state(
-                    kind,
-                    state,
-                    fvm,
-                    proxy,
-                    attached,
-                    func_id,
-                    pack_ok,
-                    proxy_ok,
+                    kind, state, fvm, proxy, attached, func_id, pack_ok, proxy_ok,
                 )
             },
         );
@@ -406,10 +406,7 @@ impl ServerRuntime {
         let program = Arc::clone(program);
         let mapping = mappings.entry(func.id).or_default();
         let report = apply_dirty_to_server(&func.vm, vm, mapping, &program, &dirty);
-        let canonical = dirty
-            .iter()
-            .filter_map(|&l| mapping.server_of(l))
-            .collect();
+        let canonical = dirty.iter().filter_map(|&l| mapping.server_of(l)).collect();
         (canonical, report)
     }
 
@@ -489,7 +486,10 @@ impl ServerRuntime {
     /// Total server-side memory devoted to mapping tables (§5.6 reports
     /// hundreds of KBs per function).
     pub fn mapping_footprint_bytes(&self) -> u64 {
-        self.mappings.values().map(MappingTable::footprint_bytes).sum()
+        self.mappings
+            .values()
+            .map(MappingTable::footprint_bytes)
+            .sum()
     }
 }
 
@@ -591,11 +591,7 @@ mod tests {
     fn refined_plan_ships_objects_and_packs_sockets() {
         let (mut server, mut func, root, app, sock) = world();
         let conn = server.create_connection(sock);
-        let shared = server
-            .vm
-            .heap
-            .alloc_object(app, 2, Space::Closure)
-            .unwrap();
+        let shared = server.vm.heap.alloc_object(app, 2, Space::Closure).unwrap();
         server.vm.heap.set(shared, 0, Value::I64(5));
         server.plan_mut(root).note_object(conn);
         server.plan_mut(root).note_object(shared);

@@ -33,9 +33,9 @@
 use std::collections::VecDeque;
 
 use beehive_db::WriteKey;
-use beehive_telemetry as tele;
 use beehive_proxy::{ConnId, Origin};
 use beehive_sim::Duration;
+use beehive_telemetry as tele;
 use beehive_vm::interp::{Block, Execution, Outcome, Provenance};
 use beehive_vm::natives::NativeState;
 use beehive_vm::{Addr, ClassId, EndpointId, MethodId, NativeId, StaticSlot, Value};
@@ -516,7 +516,10 @@ impl OffloadSession {
         if !net.dispatch_latency.is_zero() {
             // The platform's per-invocation path (controller/invoker on
             // OpenWhisk, the invoke API on Lambda).
-            queue.push_back(Pending::Need(Need::new(Resource::Net, net.dispatch_latency)));
+            queue.push_back(Pending::Need(Need::new(
+                Resource::Net,
+                net.dispatch_latency,
+            )));
         }
         if func.instantiated_for != Some(root) {
             let cs = server.instantiate_closure(func, root);
@@ -606,7 +609,10 @@ impl OffloadSession {
     /// the instance this session was started (or recovered) on.
     pub fn next(&mut self, server: &mut ServerRuntime, func: &mut FunctionRuntime) -> SessionStep {
         assert!(!self.finished, "session already finished");
-        assert_eq!(func.id, self.function_id, "session stepped on wrong instance");
+        assert_eq!(
+            func.id, self.function_id,
+            "session stepped on wrong instance"
+        );
         loop {
             if let Some(p) = self.queue.pop_front() {
                 match p {
@@ -681,9 +687,7 @@ impl OffloadSession {
                     self.fix = Some(OffloadFix::FetchStatic(slot));
                 }
                 Outcome::Blocked(Block::MonitorAcquire { obj }) => {
-                    let canonical = server
-                        .mapping(func.id)
-                        .and_then(|m| m.server_of(obj));
+                    let canonical = server.mapping(func.id).and_then(|m| m.server_of(obj));
                     let Some(canonical) = canonical else {
                         // Function-private object: grant locally, no sync.
                         func.vm.grant_monitor(obj);
@@ -1123,11 +1127,8 @@ impl OffloadSession {
         }
         self.queue.clear();
         self.peer_objects.clear();
-        match self.fix.take() {
-            Some(OffloadFix::Monitor { canonical, .. }) => {
-                server.end_lock_transfer(canonical);
-            }
-            _ => {}
+        if let Some(OffloadFix::Monitor { canonical, .. }) = self.fix.take() {
+            server.end_lock_transfer(canonical);
         }
         self.fix = None;
         let old_id = self.function_id;
@@ -1153,10 +1154,7 @@ impl OffloadSession {
                         replacement.attached.insert(offload, c);
                     }
                 }
-                let mapping = server
-                    .mapping(replacement.id)
-                    .cloned()
-                    .unwrap_or_default();
+                let mapping = server.mapping(replacement.id).cloned().unwrap_or_default();
                 self.snapshot = Some(Box::new(Snapshot::capture(
                     &self.exec,
                     replacement,
@@ -1165,11 +1163,7 @@ impl OffloadSession {
                     mapping,
                 )));
                 self.queue.push_back(Pending::Need(
-                    Need::new(
-                        Resource::Net,
-                        f_s + self.net.transfer(bytes),
-                    )
-                    .fb(),
+                    Need::new(Resource::Net, f_s + self.net.transfer(bytes)).fb(),
                 ));
             }
             None => {

@@ -67,7 +67,7 @@ fn build_app() -> (MiniApp, Database) {
     let mut a = Asm::new();
     a.load(0).call(helper_m).store(1); // base in local 1
     a.get_static(config_static).get_field(0).store(2); // cfg value in local 2
-    // synchronized counter increment
+                                                       // synchronized counter increment
     a.get_static(counter_static).store(3);
     a.load(3).monitor_enter();
     a.load(3).load(3).get_field(0).const_i(1).add().put_field(0);
@@ -76,7 +76,7 @@ fn build_app() -> (MiniApp, Database) {
     a.get_static(conn_static).store(4);
     a.load(0).db_call(4, 0).store(5); // read(topic) -> v1
     a.load(5).db_call(4, 1).pop(); // insert(v1)
-    // result
+                                   // result
     a.load(1).load(2).add().load(5).add();
     a.load(3).get_field(0).add().return_val();
     let root = pb.method_annotated(app, "comment", 1, 6, a.finish(), Some("@PostMapping"));
@@ -143,7 +143,9 @@ fn setup(config: BeeHiveConfig) -> (MiniApp, ServerRuntime) {
         .alloc_object(counter_class, 1, beehive_vm::heap::Space::Closure)
         .unwrap();
     server.vm.heap.set(counter, 0, Value::I64(0));
-    server.vm.set_static(app.counter_static, Value::Ref(counter));
+    server
+        .vm
+        .set_static(app.counter_static, Value::Ref(counter));
 
     let _ = (app.read_q, app.insert_q);
     (app, server)
@@ -234,7 +236,10 @@ fn server_execution_computes_the_reference_result() {
 fn offloaded_execution_matches_server_result_via_fallbacks() {
     let (app, mut server) = setup(BeeHiveConfig::default());
     let mut funcs = HashMap::new();
-    funcs.insert(0, FunctionRuntime::new(0, &app.program, CostModel::default()));
+    funcs.insert(
+        0,
+        FunctionRuntime::new(0, &app.program, CostModel::default()),
+    );
 
     let net = server.config.net;
     let mut s = OffloadSession::start(
@@ -254,7 +259,10 @@ fn offloaded_execution_matches_server_result_via_fallbacks() {
     assert!(s.stats.fallbacks_data >= 2, "statics/objects fetched");
     assert_eq!(s.stats.fallbacks_sync, 1, "one monitor hand-off");
     assert_eq!(s.stats.db_rounds, 2);
-    assert_eq!(s.stats.fallbacks_db, 0, "proxied connection, no DB fallback");
+    assert_eq!(
+        s.stats.fallbacks_db, 0,
+        "proxied connection, no DB fallback"
+    );
     assert!(s.stats.fallback_overhead > Duration::ZERO);
 
     // Side effects reached the server: counter incremented, insert landed.
@@ -267,7 +275,10 @@ fn offloaded_execution_matches_server_result_via_fallbacks() {
 fn warm_instance_has_no_fetch_fallbacks() {
     let (app, mut server) = setup(BeeHiveConfig::default());
     let mut funcs = HashMap::new();
-    funcs.insert(0, FunctionRuntime::new(0, &app.program, CostModel::default()));
+    funcs.insert(
+        0,
+        FunctionRuntime::new(0, &app.program, CostModel::default()),
+    );
 
     let net = server.config.net;
     let mut first = OffloadSession::start(
@@ -307,7 +318,10 @@ fn warm_instance_has_no_fetch_fallbacks() {
 fn refined_plan_makes_fresh_instances_fetch_free() {
     let (app, mut server) = setup(BeeHiveConfig::default());
     let mut funcs = HashMap::new();
-    funcs.insert(0, FunctionRuntime::new(0, &app.program, CostModel::default()));
+    funcs.insert(
+        0,
+        FunctionRuntime::new(0, &app.program, CostModel::default()),
+    );
     let net = server.config.net;
     let mut first = OffloadSession::start(
         &mut server,
@@ -322,7 +336,10 @@ fn refined_plan_makes_fresh_instances_fetch_free() {
 
     // A brand-new instance benefits from the refined plan (Table 5: steady
     // state fallbacks are sync-only).
-    funcs.insert(1, FunctionRuntime::new(1, &app.program, CostModel::default()));
+    funcs.insert(
+        1,
+        FunctionRuntime::new(1, &app.program, CostModel::default()),
+    );
     let net = server.config.net;
     let mut fresh = OffloadSession::start(
         &mut server,
@@ -336,7 +353,10 @@ fn refined_plan_makes_fresh_instances_fetch_free() {
     let (v, _) = drive_offload(&mut server, &mut fresh, &mut funcs);
     assert_eq!(v, Value::I64(expected_result(3, 2)));
     assert_eq!(fresh.stats.remote_fetches(), 0);
-    assert!(fresh.stats.closure_objects >= 3, "closure carries the data now");
+    assert!(
+        fresh.stats.closure_objects >= 3,
+        "closure carries the data now"
+    );
     assert!(fresh.stats.closure_bytes > 0);
 }
 
@@ -344,7 +364,10 @@ fn refined_plan_makes_fresh_instances_fetch_free() {
 fn shadow_execution_suppresses_all_side_effects() {
     let (app, mut server) = setup(BeeHiveConfig::default());
     let mut funcs = HashMap::new();
-    funcs.insert(0, FunctionRuntime::new(0, &app.program, CostModel::default()));
+    funcs.insert(
+        0,
+        FunctionRuntime::new(0, &app.program, CostModel::default()),
+    );
 
     let net = server.config.net;
     let mut shadow = OffloadSession::start(
@@ -392,7 +415,10 @@ fn shadow_execution_suppresses_all_side_effects() {
 fn db_fallback_when_proxy_disabled() {
     let (app, mut server) = setup(BeeHiveConfig::default().without_proxy());
     let mut funcs = HashMap::new();
-    funcs.insert(0, FunctionRuntime::new(0, &app.program, CostModel::default()));
+    funcs.insert(
+        0,
+        FunctionRuntime::new(0, &app.program, CostModel::default()),
+    );
     let net = server.config.net;
     let mut s = OffloadSession::start(
         &mut server,
@@ -406,15 +432,25 @@ fn db_fallback_when_proxy_disabled() {
     let (v, _) = drive_offload(&mut server, &mut s, &mut funcs);
     assert_eq!(v, Value::I64(expected_result(7, 1)));
     assert_eq!(s.stats.fallbacks_db, 2, "every DB round fell back");
-    assert_eq!(server.proxy.db().table_len(1), 1, "fallback writes still land");
+    assert_eq!(
+        server.proxy.db().table_len(1),
+        1,
+        "fallback writes still land"
+    );
 }
 
 #[test]
 fn cross_function_monitor_sync_ships_peer_state() {
     let (app, mut server) = setup(BeeHiveConfig::default());
     let mut funcs = HashMap::new();
-    funcs.insert(0, FunctionRuntime::new(0, &app.program, CostModel::default()));
-    funcs.insert(1, FunctionRuntime::new(1, &app.program, CostModel::default()));
+    funcs.insert(
+        0,
+        FunctionRuntime::new(0, &app.program, CostModel::default()),
+    );
+    funcs.insert(
+        1,
+        FunctionRuntime::new(1, &app.program, CostModel::default()),
+    );
 
     // Function 0 runs first and ends up owning the counter's monitor.
     let net = server.config.net;
@@ -453,7 +489,10 @@ fn cross_function_monitor_sync_ships_peer_state() {
 fn server_reacquires_monitor_from_function() {
     let (app, mut server) = setup(BeeHiveConfig::default());
     let mut funcs = HashMap::new();
-    funcs.insert(0, FunctionRuntime::new(0, &app.program, CostModel::default()));
+    funcs.insert(
+        0,
+        FunctionRuntime::new(0, &app.program, CostModel::default()),
+    );
     let net = server.config.net;
     let mut s0 = OffloadSession::start(
         &mut server,
@@ -497,7 +536,10 @@ fn server_reacquires_monitor_from_function() {
 fn failure_recovery_resumes_from_snapshot_exactly_once() {
     let (app, mut server) = setup(BeeHiveConfig::default().with_recovery());
     let mut funcs = HashMap::new();
-    funcs.insert(0, FunctionRuntime::new(0, &app.program, CostModel::default()));
+    funcs.insert(
+        0,
+        FunctionRuntime::new(0, &app.program, CostModel::default()),
+    );
 
     let net = server.config.net;
     let mut s = OffloadSession::start(
@@ -547,7 +589,11 @@ fn failure_recovery_resumes_from_snapshot_exactly_once() {
     funcs.insert(9, replacement);
 
     let (v, _) = drive_offload(&mut server, &mut s, &mut funcs);
-    assert_eq!(v, Value::I64(expected_result(7, 1)), "same result after recovery");
+    assert_eq!(
+        v,
+        Value::I64(expected_result(7, 1)),
+        "same result after recovery"
+    );
     assert_eq!(s.stats.recoveries, 1);
 
     // Exactly-once: the insert is in the table exactly once even though the
@@ -565,7 +611,10 @@ fn failure_recovery_resumes_from_snapshot_exactly_once() {
 fn recovery_without_snapshot_restarts_from_scratch() {
     let (app, mut server) = setup(BeeHiveConfig::default().with_recovery());
     let mut funcs = HashMap::new();
-    funcs.insert(0, FunctionRuntime::new(0, &app.program, CostModel::default()));
+    funcs.insert(
+        0,
+        FunctionRuntime::new(0, &app.program, CostModel::default()),
+    );
 
     let net = server.config.net;
     let mut s = OffloadSession::start(
@@ -591,7 +640,10 @@ fn recovery_without_snapshot_restarts_from_scratch() {
 fn fallback_overhead_is_attributed() {
     let (app, mut server) = setup(BeeHiveConfig::default());
     let mut funcs = HashMap::new();
-    funcs.insert(0, FunctionRuntime::new(0, &app.program, CostModel::default()));
+    funcs.insert(
+        0,
+        FunctionRuntime::new(0, &app.program, CostModel::default()),
+    );
     let net = server.config.net;
     let mut s = OffloadSession::start(
         &mut server,

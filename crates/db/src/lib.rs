@@ -181,7 +181,11 @@ impl Database {
             QueryKind::Scan { table, rows } => {
                 let t = self.tables.entry(table).or_default();
                 (0..rows as i64)
-                    .map(|i| t.get(&((arg + i) % (t.len().max(1) as i64))).copied().unwrap_or(0))
+                    .map(|i| {
+                        t.get(&((arg + i) % (t.len().max(1) as i64)))
+                            .copied()
+                            .unwrap_or(0)
+                    })
                     .sum()
             }
             QueryKind::Insert { table } => {
@@ -329,12 +333,7 @@ mod tests {
     fn update_increments() {
         let (mut db, _, _, _, update) = db_with_queries();
         let before = db.row(0, 3).unwrap();
-        let out = db.execute(
-            update,
-            3,
-            Some(WriteKey { request: 1, seq: 0 }),
-            false,
-        );
+        let out = db.execute(update, 3, Some(WriteKey { request: 1, seq: 0 }), false);
         assert_eq!(out.result, before + 1);
         assert!(out.wrote);
     }

@@ -245,7 +245,11 @@ impl FaasPlatform {
     /// Panics if the instance is not busy.
     pub fn release(&mut self, now: SimTime, id: InstanceId, busy_time: Duration) {
         let inst = &mut self.instances[id as usize];
-        assert_eq!(inst.state, InstanceState::Busy, "release of non-busy instance");
+        assert_eq!(
+            inst.state,
+            InstanceState::Busy,
+            "release of non-busy instance"
+        );
         inst.state = InstanceState::Warm(now);
         if tele::enabled() {
             tele::instant(
@@ -254,8 +258,7 @@ impl FaasPlatform {
                 &[("busy_us", tele::Arg::UInt(busy_time.as_nanos() / 1000))],
             );
         }
-        self.ledger
-            .record_use(busy_time, self.config.memory_gb, 1);
+        self.ledger.record_use(busy_time, self.config.memory_gb, 1);
     }
 
     /// Reclaim warm instances idle longer than the keep-alive; returns how

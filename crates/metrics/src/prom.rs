@@ -1,0 +1,195 @@
+//! Prometheus text exposition format (version 0.0.4) writer.
+//!
+//! Renders a [`MetricsSnapshot`] the way a scrape endpoint would expose it:
+//! counters as `beehive_<name>_total`, gauges as `beehive_<name>`, and
+//! histograms as `beehive_<name>_seconds` with cumulative `le` buckets
+//! (bucket upper bounds of the fixed log-linear layout, converted to
+//! seconds). Every sample carries `item` (the repro item that produced the
+//! file) and `scenario` labels. Output is deterministic: metric names render
+//! in sorted order and scenarios in snapshot order, so `.prom` files are
+//! byte-stable across worker counts.
+
+use std::collections::BTreeSet;
+use std::fmt::Write;
+
+use crate::hist::LogLinearHistogram;
+use crate::registry::MetricsSnapshot;
+
+/// One-line HELP text for the metric names the driver emits; empty for
+/// ad-hoc names.
+fn help(name: &str) -> &'static str {
+    match name {
+        "requests_completed" => "Recorded requests completed",
+        "requests_rejected" => "Arrivals refused by the saturated server worker pool",
+        "requests_offloaded" => "Completed non-shadow offloaded requests",
+        "shadow_executions" => "Shadow executions completed (cold-boot hiding, paper section 3.4)",
+        "boots_cold" => "Cold instance boots started",
+        "boots_warm" => "Warm instance starts",
+        "fallbacks" => "Fallback round trips (code/data/sync/native/db)",
+        "db_rounds_server" => "Database rounds issued by server-resident requests",
+        "db_rounds_function" => "Database rounds issued by offloaded requests",
+        "handoff_dirty_objects" => "Objects shipped by monitor hand-off dirty pulls",
+        "handoff_dirty_bytes" => "Bytes shipped by monitor hand-off dirty pulls",
+        "gc_pause_ns" => "Total GC pause time, nanoseconds of virtual time",
+        "event_queue" => "Pending simulation events at arrival sampling points",
+        "server_pool" => "Server processor-sharing pool occupancy (pool load)",
+        "inflight" => "Requests in flight",
+        "idle_instances" => "Idle warm FaaS instances",
+        "request_latency" => "End-to-end latency of recorded requests",
+        "gc_pause" => "GC pause durations (server and function endpoints)",
+        _ => "",
+    }
+}
+
+fn escape_label(v: &str, out: &mut String) {
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+fn labels(item: &str, scenario: &str, extra: Option<(&str, String)>) -> String {
+    let mut s = String::from("{item=\"");
+    escape_label(item, &mut s);
+    s.push_str("\",scenario=\"");
+    escape_label(scenario, &mut s);
+    s.push('"');
+    if let Some((k, v)) = extra {
+        let _ = write!(s, ",{k}=\"{v}\"");
+    }
+    s.push('}');
+    s
+}
+
+fn header(out: &mut String, full_name: &str, base_name: &str, kind: &str) {
+    let h = help(base_name);
+    if !h.is_empty() {
+        let _ = writeln!(out, "# HELP {full_name} {h}");
+    }
+    let _ = writeln!(out, "# TYPE {full_name} {kind}");
+}
+
+/// Render `snap` in the Prometheus text exposition format. `item` is the
+/// repro item the snapshot belongs to (e.g. `"shadow"`).
+pub fn prometheus(snap: &MetricsSnapshot, item: &str) -> String {
+    let mut out = String::new();
+
+    let counter_names: BTreeSet<&str> = snap
+        .scenarios
+        .iter()
+        .flat_map(|s| s.counters.iter().map(|c| c.name.as_str()))
+        .collect();
+    for name in counter_names {
+        let full = format!("beehive_{name}_total");
+        header(&mut out, &full, name, "counter");
+        for s in &snap.scenarios {
+            if let Some(c) = s.counter(name) {
+                let _ = writeln!(out, "{full}{} {}", labels(item, &s.label, None), c.total);
+            }
+        }
+    }
+
+    let gauge_names: BTreeSet<&str> = snap
+        .scenarios
+        .iter()
+        .flat_map(|s| s.gauges.iter().map(|g| g.name.as_str()))
+        .collect();
+    for name in gauge_names {
+        let full = format!("beehive_{name}");
+        header(&mut out, &full, name, "gauge");
+        for s in &snap.scenarios {
+            if let Some(g) = s.gauge(name) {
+                let _ = writeln!(out, "{full}{} {}", labels(item, &s.label, None), g.last);
+            }
+        }
+    }
+
+    let hist_names: BTreeSet<&str> = snap
+        .scenarios
+        .iter()
+        .flat_map(|s| s.histograms.iter().map(|h| h.name.as_str()))
+        .collect();
+    for name in hist_names {
+        let full = format!("beehive_{name}_seconds");
+        header(&mut out, &full, name, "histogram");
+        for s in &snap.scenarios {
+            let Some(h) = s.histogram(name) else { continue };
+            let mut cum = 0u64;
+            for &(bucket, count) in &h.buckets {
+                cum += count;
+                // The f64 division is exact enough for a label and renders
+                // deterministically (shortest round-trip Display).
+                let le = LogLinearHistogram::bucket_value(bucket as usize) as f64 / 1e9;
+                let _ = writeln!(
+                    out,
+                    "{full}_bucket{} {cum}",
+                    labels(item, &s.label, Some(("le", format!("{le}"))))
+                );
+            }
+            let _ = writeln!(
+                out,
+                "{full}_bucket{} {}",
+                labels(item, &s.label, Some(("le", "+Inf".to_string()))),
+                h.count
+            );
+            let _ = writeln!(
+                out,
+                "{full}_sum{} {}",
+                labels(item, &s.label, None),
+                h.sum_ns as f64 / 1e9
+            );
+            let _ = writeln!(
+                out,
+                "{full}_count{} {}",
+                labels(item, &s.label, None),
+                h.count
+            );
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{Registry, DEFAULT_WINDOW};
+    use beehive_sim::{Duration, SimTime};
+
+    fn sample() -> MetricsSnapshot {
+        let mut r = Registry::new(DEFAULT_WINDOW);
+        let at = SimTime::ZERO + Duration::from_millis(500);
+        r.add("boots_cold", at, 3);
+        r.set_gauge("inflight", at, 12);
+        r.observe("request_latency", at, Duration::from_millis(25));
+        r.observe("request_latency", at, Duration::from_millis(80));
+        MetricsSnapshot {
+            window: DEFAULT_WINDOW,
+            scenarios: vec![r.snapshot("BeeHive/OW \"q\"")],
+        }
+    }
+
+    #[test]
+    fn renders_counters_gauges_histograms() {
+        let text = prometheus(&sample(), "shadow");
+        assert!(text.contains("# TYPE beehive_boots_cold_total counter"));
+        assert!(text.contains(
+            "beehive_boots_cold_total{item=\"shadow\",scenario=\"BeeHive/OW \\\"q\\\"\"} 3"
+        ));
+        assert!(text.contains("# TYPE beehive_inflight gauge"));
+        assert!(text.contains("# TYPE beehive_request_latency_seconds histogram"));
+        assert!(text.contains("beehive_request_latency_seconds_count"));
+        assert!(text.contains("le=\"+Inf\"} 2"));
+        // Buckets are cumulative: the +Inf bucket equals the count.
+        assert!(text.contains("beehive_request_latency_seconds_sum"));
+    }
+
+    #[test]
+    fn output_is_deterministic() {
+        assert_eq!(prometheus(&sample(), "x"), prometheus(&sample(), "x"));
+    }
+}

@@ -1,0 +1,491 @@
+//! The deterministic metric registry and its snapshot document.
+//!
+//! A [`Registry`] belongs to one simulation: the driver feeds it counters,
+//! gauges and histogram observations stamped with the virtual clock, and
+//! [`Registry::snapshot`] freezes it into a [`ScenarioMetrics`] — plain
+//! owned data that renders through `beehive_sim::json` and parses back with
+//! [`MetricsSnapshot::from_json`]. Metric names iterate in `BTreeMap` order
+//! and window indices in ascending order, so rendering is byte-stable for a
+//! fixed seed at any worker count.
+
+use std::collections::BTreeMap;
+
+use beehive_sim::json::{Json, ToJson};
+use beehive_sim::{Duration, SimTime};
+
+use crate::hist::LogLinearHistogram;
+
+/// The default time-series window: one second of virtual time.
+pub const DEFAULT_WINDOW: Duration = Duration::from_secs(1);
+
+#[derive(Debug, Default)]
+struct CounterState {
+    total: u64,
+    windows: BTreeMap<u64, u64>,
+}
+
+#[derive(Debug, Default)]
+struct GaugeState {
+    last: i64,
+    windows: BTreeMap<u64, i64>,
+}
+
+/// A per-simulation metric registry on the virtual clock.
+#[derive(Debug)]
+pub struct Registry {
+    window: Duration,
+    counters: BTreeMap<&'static str, CounterState>,
+    gauges: BTreeMap<&'static str, GaugeState>,
+    hists: BTreeMap<&'static str, LogLinearHistogram>,
+}
+
+impl Registry {
+    /// A registry bucketing its time series into `window`-sized windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero window.
+    pub fn new(window: Duration) -> Registry {
+        assert!(!window.is_zero(), "metrics window must be non-zero");
+        Registry {
+            window,
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            hists: BTreeMap::new(),
+        }
+    }
+
+    /// The window size.
+    pub fn window(&self) -> Duration {
+        self.window
+    }
+
+    fn widx(&self, at: SimTime) -> u64 {
+        at.as_nanos() / self.window.as_nanos()
+    }
+
+    /// Add `delta` to counter `name` at virtual time `at`.
+    pub fn add(&mut self, name: &'static str, at: SimTime, delta: u64) {
+        let w = self.widx(at);
+        let c = self.counters.entry(name).or_default();
+        c.total += delta;
+        *c.windows.entry(w).or_insert(0) += delta;
+    }
+
+    /// Set gauge `name` to `value` at virtual time `at` (the window keeps the
+    /// last sample it saw).
+    pub fn set_gauge(&mut self, name: &'static str, at: SimTime, value: i64) {
+        let w = self.widx(at);
+        let g = self.gauges.entry(name).or_default();
+        g.last = value;
+        g.windows.insert(w, value);
+    }
+
+    /// Record duration `d` into histogram `name` (timestamped observations;
+    /// histograms aggregate over the whole run, not per window).
+    pub fn observe(&mut self, name: &'static str, _at: SimTime, d: Duration) {
+        self.hists.entry(name).or_default().record(d.as_nanos());
+    }
+
+    /// Freeze into the snapshot form under scenario `label`.
+    pub fn snapshot(&self, label: &str) -> ScenarioMetrics {
+        ScenarioMetrics {
+            label: label.to_string(),
+            counters: self
+                .counters
+                .iter()
+                .map(|(&name, c)| CounterSeries {
+                    name: name.to_string(),
+                    total: c.total,
+                    windows: c.windows.iter().map(|(&w, &v)| (w, v)).collect(),
+                })
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .map(|(&name, g)| GaugeSeries {
+                    name: name.to_string(),
+                    last: g.last,
+                    windows: g.windows.iter().map(|(&w, &v)| (w, v)).collect(),
+                })
+                .collect(),
+            histograms: self
+                .hists
+                .iter()
+                .map(|(&name, h)| HistogramSummary::of(name, h))
+                .collect(),
+        }
+    }
+}
+
+/// One counter's total plus its per-window sums.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CounterSeries {
+    /// Metric name.
+    pub name: String,
+    /// Sum over the whole run.
+    pub total: u64,
+    /// `(window index, sum within that window)`, ascending, empty windows
+    /// omitted.
+    pub windows: Vec<(u64, u64)>,
+}
+
+/// One gauge's final value plus the last sample of each window.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GaugeSeries {
+    /// Metric name.
+    pub name: String,
+    /// The last sample of the run.
+    pub last: i64,
+    /// `(window index, last sample in that window)`, ascending.
+    pub windows: Vec<(u64, i64)>,
+}
+
+/// One histogram's moments, quantiles and sparse buckets.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Metric name.
+    pub name: String,
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations, nanoseconds.
+    pub sum_ns: u64,
+    /// Largest observation, nanoseconds.
+    pub max_ns: u64,
+    /// Median (bucket upper bound), nanoseconds.
+    pub p50_ns: u64,
+    /// 90th percentile (bucket upper bound), nanoseconds.
+    pub p90_ns: u64,
+    /// 99th percentile (bucket upper bound), nanoseconds.
+    pub p99_ns: u64,
+    /// Sparse `(bucket index, count)` pairs in the fixed log-linear layout.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSummary {
+    fn of(name: &str, h: &LogLinearHistogram) -> HistogramSummary {
+        HistogramSummary {
+            name: name.to_string(),
+            count: h.count(),
+            sum_ns: h.sum(),
+            max_ns: h.max(),
+            p50_ns: h.quantile(0.50),
+            p90_ns: h.quantile(0.90),
+            p99_ns: h.quantile(0.99),
+            buckets: h.nonzero_buckets(),
+        }
+    }
+
+    /// Rebuild the underlying histogram (for re-aggregation after parsing).
+    pub fn to_histogram(&self) -> Option<LogLinearHistogram> {
+        LogLinearHistogram::from_parts(&self.buckets, self.count, self.sum_ns, self.max_ns)
+    }
+}
+
+/// Every metric of one scenario (one simulation run).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScenarioMetrics {
+    /// The scenario label (same label the engine attaches to traces).
+    pub label: String,
+    /// Counters, in name order.
+    pub counters: Vec<CounterSeries>,
+    /// Gauges, in name order.
+    pub gauges: Vec<GaugeSeries>,
+    /// Histograms, in name order.
+    pub histograms: Vec<HistogramSummary>,
+}
+
+impl ScenarioMetrics {
+    /// Look up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<&CounterSeries> {
+        self.counters.iter().find(|c| c.name == name)
+    }
+
+    /// Look up a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<&GaugeSeries> {
+        self.gauges.iter().find(|g| g.name == name)
+    }
+
+    /// Look up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+}
+
+/// The exported metrics document: one entry per scenario, all sharing one
+/// window size. This is what `repro --metrics DIR` writes per experiment as
+/// `<item>.metrics.json`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Window size shared by every time series.
+    pub window: Duration,
+    /// Per-scenario metrics, in engine input order.
+    pub scenarios: Vec<ScenarioMetrics>,
+}
+
+fn pairs_json<A: Copy + Into<i128>, B: Copy + Into<i128>>(pairs: &[(A, B)]) -> Json {
+    Json::Arr(
+        pairs
+            .iter()
+            .map(|&(a, b)| Json::Arr(vec![Json::Int(a.into()), Json::Int(b.into())]))
+            .collect(),
+    )
+}
+
+impl ToJson for CounterSeries {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name".into(), Json::from(self.name.clone())),
+            ("total".into(), Json::from(self.total)),
+            ("windows".into(), pairs_json(&self.windows)),
+        ])
+    }
+}
+
+impl ToJson for GaugeSeries {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name".into(), Json::from(self.name.clone())),
+            ("last".into(), Json::from(self.last)),
+            ("windows".into(), pairs_json(&self.windows)),
+        ])
+    }
+}
+
+impl ToJson for HistogramSummary {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name".into(), Json::from(self.name.clone())),
+            ("count".into(), Json::from(self.count)),
+            ("sum_ns".into(), Json::from(self.sum_ns)),
+            ("max_ns".into(), Json::from(self.max_ns)),
+            ("p50_ns".into(), Json::from(self.p50_ns)),
+            ("p90_ns".into(), Json::from(self.p90_ns)),
+            ("p99_ns".into(), Json::from(self.p99_ns)),
+            ("buckets".into(), pairs_json(&self.buckets)),
+        ])
+    }
+}
+
+impl ToJson for ScenarioMetrics {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("label".into(), Json::from(self.label.clone())),
+            ("counters".into(), Json::arr(self.counters.iter())),
+            ("gauges".into(), Json::arr(self.gauges.iter())),
+            ("histograms".into(), Json::arr(self.histograms.iter())),
+        ])
+    }
+}
+
+impl ToJson for MetricsSnapshot {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("window_ns".into(), Json::from(self.window.as_nanos())),
+            ("scenarios".into(), Json::arr(self.scenarios.iter())),
+        ])
+    }
+}
+
+// --- parsing -------------------------------------------------------------
+
+fn want_u64(j: &Json, what: &str) -> Result<u64, String> {
+    match j {
+        Json::Int(v) if *v >= 0 && *v <= u64::MAX as i128 => Ok(*v as u64),
+        _ => Err(format!("{what}: expected a non-negative integer")),
+    }
+}
+
+fn want_i64(j: &Json, what: &str) -> Result<i64, String> {
+    match j {
+        Json::Int(v) if *v >= i64::MIN as i128 && *v <= i64::MAX as i128 => Ok(*v as i64),
+        _ => Err(format!("{what}: expected an integer")),
+    }
+}
+
+fn want_str(j: &Json, what: &str) -> Result<String, String> {
+    match j {
+        Json::Str(s) => Ok(s.clone()),
+        _ => Err(format!("{what}: expected a string")),
+    }
+}
+
+fn want_arr<'a>(j: &'a Json, what: &str) -> Result<&'a [Json], String> {
+    match j {
+        Json::Arr(items) => Ok(items),
+        _ => Err(format!("{what}: expected an array")),
+    }
+}
+
+fn field<'a>(j: &'a Json, key: &str, what: &str) -> Result<&'a Json, String> {
+    j.get(key)
+        .ok_or_else(|| format!("{what}: missing field {key:?}"))
+}
+
+fn parse_u64_pairs(j: &Json, what: &str) -> Result<Vec<(u64, u64)>, String> {
+    want_arr(j, what)?
+        .iter()
+        .map(|p| {
+            let p = want_arr(p, what)?;
+            if p.len() != 2 {
+                return Err(format!("{what}: expected [index, value] pairs"));
+            }
+            Ok((want_u64(&p[0], what)?, want_u64(&p[1], what)?))
+        })
+        .collect()
+}
+
+fn parse_i64_pairs(j: &Json, what: &str) -> Result<Vec<(u64, i64)>, String> {
+    want_arr(j, what)?
+        .iter()
+        .map(|p| {
+            let p = want_arr(p, what)?;
+            if p.len() != 2 {
+                return Err(format!("{what}: expected [index, value] pairs"));
+            }
+            Ok((want_u64(&p[0], what)?, want_i64(&p[1], what)?))
+        })
+        .collect()
+}
+
+impl MetricsSnapshot {
+    /// Parse the document form emitted by [`ToJson`]. Inverse of
+    /// `to_json().render()` up to exact equality (the determinism test
+    /// asserts the round trip).
+    pub fn from_json(j: &Json) -> Result<MetricsSnapshot, String> {
+        let window =
+            Duration::from_nanos(want_u64(field(j, "window_ns", "snapshot")?, "window_ns")?);
+        let scenarios = want_arr(field(j, "scenarios", "snapshot")?, "scenarios")?
+            .iter()
+            .map(|s| {
+                let label = want_str(field(s, "label", "scenario")?, "label")?;
+                let counters = want_arr(field(s, "counters", &label)?, "counters")?
+                    .iter()
+                    .map(|c| {
+                        let name = want_str(field(c, "name", "counter")?, "counter name")?;
+                        Ok(CounterSeries {
+                            total: want_u64(field(c, "total", &name)?, "total")?,
+                            windows: parse_u64_pairs(field(c, "windows", &name)?, "windows")?,
+                            name,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                let gauges = want_arr(field(s, "gauges", &label)?, "gauges")?
+                    .iter()
+                    .map(|g| {
+                        let name = want_str(field(g, "name", "gauge")?, "gauge name")?;
+                        Ok(GaugeSeries {
+                            last: want_i64(field(g, "last", &name)?, "last")?,
+                            windows: parse_i64_pairs(field(g, "windows", &name)?, "windows")?,
+                            name,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                let histograms = want_arr(field(s, "histograms", &label)?, "histograms")?
+                    .iter()
+                    .map(|h| {
+                        let name = want_str(field(h, "name", "histogram")?, "histogram name")?;
+                        Ok(HistogramSummary {
+                            count: want_u64(field(h, "count", &name)?, "count")?,
+                            sum_ns: want_u64(field(h, "sum_ns", &name)?, "sum_ns")?,
+                            max_ns: want_u64(field(h, "max_ns", &name)?, "max_ns")?,
+                            p50_ns: want_u64(field(h, "p50_ns", &name)?, "p50_ns")?,
+                            p90_ns: want_u64(field(h, "p90_ns", &name)?, "p90_ns")?,
+                            p99_ns: want_u64(field(h, "p99_ns", &name)?, "p99_ns")?,
+                            buckets: parse_u64_pairs(field(h, "buckets", &name)?, "buckets")?,
+                            name,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                Ok(ScenarioMetrics {
+                    label,
+                    counters,
+                    gauges,
+                    histograms,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(MetricsSnapshot { window, scenarios })
+    }
+
+    /// Parse a rendered document (text → [`Json::parse`] → [`Self::from_json`]).
+    pub fn parse(text: &str) -> Result<MetricsSnapshot, String> {
+        let j = Json::parse(text).map_err(|e| e.to_string())?;
+        Self::from_json(&j)
+    }
+
+    /// Render the document (`to_json().render()`).
+    pub fn render(&self) -> String {
+        self.to_json().render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + Duration::from_millis(ms)
+    }
+
+    #[test]
+    fn counters_window_and_total() {
+        let mut r = Registry::new(Duration::from_secs(1));
+        r.add("reqs", t(100), 1);
+        r.add("reqs", t(900), 2);
+        r.add("reqs", t(2_500), 1);
+        let s = r.snapshot("x");
+        let c = s.counter("reqs").unwrap();
+        assert_eq!(c.total, 4);
+        assert_eq!(c.windows, vec![(0, 3), (2, 1)]);
+    }
+
+    #[test]
+    fn gauges_keep_last_sample_per_window() {
+        let mut r = Registry::new(Duration::from_secs(1));
+        r.set_gauge("load", t(100), 5);
+        r.set_gauge("load", t(800), 9);
+        r.set_gauge("load", t(1_200), 2);
+        let s = r.snapshot("x");
+        let g = s.gauge("load").unwrap();
+        assert_eq!(g.last, 2);
+        assert_eq!(g.windows, vec![(0, 9), (1, 2)]);
+    }
+
+    #[test]
+    fn snapshot_orders_metrics_by_name() {
+        let mut r = Registry::new(DEFAULT_WINDOW);
+        r.add("zeta", t(0), 1);
+        r.add("alpha", t(0), 1);
+        let s = r.snapshot("x");
+        let names: Vec<&str> = s.counters.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let mut r = Registry::new(DEFAULT_WINDOW);
+        r.add("boots_cold", t(10), 2);
+        r.set_gauge("pool", t(20), -3);
+        r.observe("lat", t(30), Duration::from_millis(7));
+        r.observe("lat", t(40), Duration::from_micros(9));
+        let snap = MetricsSnapshot {
+            window: DEFAULT_WINDOW,
+            scenarios: vec![r.snapshot("BeeHive/OW"), r.snapshot("Vanilla")],
+        };
+        let text = snap.render();
+        let back = MetricsSnapshot::parse(&text).expect("parses");
+        assert_eq!(back, snap);
+        assert_eq!(back.render(), text);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_documents() {
+        assert!(MetricsSnapshot::parse("{}").is_err());
+        assert!(MetricsSnapshot::parse(r#"{"window_ns":0,"scenarios":0}"#).is_err());
+        assert!(MetricsSnapshot::parse(
+            r#"{"window_ns":1,"scenarios":[{"label":"x","counters":[{"name":"c"}],"gauges":[],"histograms":[]}]}"#
+        )
+        .is_err());
+    }
+}

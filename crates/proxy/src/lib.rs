@@ -270,9 +270,7 @@ mod tests {
         assert_eq!(p.attached_functions(conn), &[3]);
         // Both sides execute over the same logical connection.
         let a = p.execute(conn, Origin::Server, read, 1, None).unwrap();
-        let b = p
-            .execute(conn, Origin::Function(3), read, 1, None)
-            .unwrap();
+        let b = p.execute(conn, Origin::Function(3), read, 1, None).unwrap();
         assert_eq!(a.result, b.result);
         assert_eq!(p.round_stats(), (1, 1));
     }
@@ -310,7 +308,8 @@ mod tests {
         assert!(p.is_shadowing(7));
 
         // Shadow function write: suppressed.
-        p.execute(conn, Origin::Function(7), insert, 5, None).unwrap();
+        p.execute(conn, Origin::Function(7), insert, 5, None)
+            .unwrap();
         assert_eq!(p.db().table_len(1), 0);
 
         // Server write during the same window: applied.

@@ -244,7 +244,10 @@ mod tests {
         let fargate = ScalingKind::Fargate.provisioning_time(&mut rng);
         let ondemand = ScalingKind::OnDemand.provisioning_time(&mut rng);
         assert_eq!(reserved, Duration::ZERO);
-        assert!(lambda < Duration::from_secs(3), "sub-second-ish: {lambda:?}");
+        assert!(
+            lambda < Duration::from_secs(3),
+            "sub-second-ish: {lambda:?}"
+        );
         assert!(fargate > Duration::from_secs(30));
         assert!(
             ondemand > fargate,

@@ -249,7 +249,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "JSON parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -396,8 +400,7 @@ impl<'a> Parser<'a> {
                                 if !(0xDC00..0xE000).contains(&lo) {
                                     return Err(self.err("invalid low surrogate"));
                                 }
-                                let combined =
-                                    0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                let combined = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
                                 char::from_u32(combined)
                                     .ok_or_else(|| self.err("invalid surrogate pair"))?
                             } else {
@@ -527,10 +530,7 @@ mod tests {
 
     #[test]
     fn object_keys_keep_insertion_order() {
-        let j = Json::obj([
-            ("z".into(), Json::Int(1)),
-            ("a".into(), Json::Int(2)),
-        ]);
+        let j = Json::obj([("z".into(), Json::Int(1)), ("a".into(), Json::Int(2))]);
         assert_eq!(j.render(), r#"{"z":1,"a":2}"#);
     }
 
@@ -539,7 +539,10 @@ mod tests {
         let j = Json::obj([
             ("label".into(), Json::from("fig8 — saturation")),
             ("rps".into(), Json::from(123.456)),
-            ("counts".into(), Json::Arr(vec![Json::from(0u64), Json::from(9u64)])),
+            (
+                "counts".into(),
+                Json::Arr(vec![Json::from(0u64), Json::from(9u64)]),
+            ),
             ("none".into(), Json::Null),
             ("ok".into(), Json::from(true)),
         ]);

@@ -308,7 +308,11 @@ mod tests {
         let mut pool = PsPool::new(1.0);
         pool.add(SimTime::ZERO, 1, Duration::from_millis(10));
         // After 5ms, job 1 has 5ms left. Job 2 arrives; both at half speed.
-        pool.add(SimTime::ZERO + Duration::from_millis(5), 2, Duration::from_millis(3));
+        pool.add(
+            SimTime::ZERO + Duration::from_millis(5),
+            2,
+            Duration::from_millis(3),
+        );
         let (t, id) = pool.next_completion().unwrap();
         // Job 2 (3ms left) finishes first: 5ms + 3/0.5 = 11ms.
         assert_eq!(id, 2);

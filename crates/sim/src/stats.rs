@@ -103,8 +103,7 @@ impl LatencySampler {
             return Duration::ZERO;
         }
         self.sort();
-        let rank = ((q * self.samples.len() as f64).ceil() as usize)
-            .clamp(1, self.samples.len());
+        let rank = ((q * self.samples.len() as f64).ceil() as usize).clamp(1, self.samples.len());
         Duration::from_nanos(self.samples[rank - 1])
     }
 
@@ -293,7 +292,12 @@ impl Histogram {
 
 impl fmt::Display for Histogram {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "histogram({} samples, median {})", self.total, self.median())
+        write!(
+            f,
+            "histogram({} samples, median {})",
+            self.total,
+            self.median()
+        )
     }
 }
 

@@ -108,7 +108,10 @@ fn metadata_json(pid: u64, name: &str) -> Json {
 fn scenario_events(idx: usize, label: &str, trace: &Trace, out: &mut Vec<Json>) {
     let base = 1 + idx as u64 * PIDS_PER_SCENARIO;
     for (off, endpoint) in ["server", "faas", "db", "sim"].iter().enumerate() {
-        out.push(metadata_json(base + off as u64, &format!("{label} · {endpoint}")));
+        out.push(metadata_json(
+            base + off as u64,
+            &format!("{label} · {endpoint}"),
+        ));
     }
     for e in &trace.events {
         out.push(event_json(e, base));
@@ -249,6 +252,67 @@ mod tests {
         let s = chrome_trace_string(&sample());
         let parsed = Json::parse(&s).expect("exporter must emit valid RFC 8259 JSON");
         assert_eq!(parsed.render(), s);
+    }
+
+    #[test]
+    fn empty_trace_is_well_formed() {
+        // A scenario with no events still gets its metadata block, and both
+        // renderers agree and emit valid JSON.
+        let scenarios = vec![("empty".to_string(), Trace { events: Vec::new() })];
+        let s = chrome_trace_string(&scenarios);
+        assert_eq!(s, chrome_trace(&scenarios).render());
+        let parsed = Json::parse(&s).expect("empty trace must render valid JSON");
+        assert_eq!(parsed.render(), s);
+        assert!(s.contains("\"name\":\"empty · server\""));
+        // No scenarios at all is also fine.
+        let none = chrome_trace_string(&[]);
+        assert_eq!(Json::parse(&none).expect("must parse").render(), none);
+        assert!(none.contains("\"traceEvents\":[]"));
+    }
+
+    #[test]
+    fn counter_only_track_is_well_formed() {
+        let at = |us: u64| SimTime::ZERO + Duration::from_micros(us);
+        let t = Trace {
+            events: (0..3)
+                .map(|i| TraceEvent {
+                    at: at(10 * (i + 1)),
+                    track: Track::Sim,
+                    name: "server_pool",
+                    kind: EventKind::Counter(i as i64 * 5),
+                    args: vec![],
+                })
+                .collect(),
+        };
+        let scenarios = vec![("counters".to_string(), t)];
+        let s = chrome_trace_string(&scenarios);
+        let parsed = Json::parse(&s).expect("counter-only trace must parse");
+        assert_eq!(parsed.render(), s);
+        // All three samples render as C-phase events with a value arg.
+        assert_eq!(s.matches("\"ph\":\"C\"").count(), 3);
+        assert!(s.contains("\"args\":{\"value\":10}"));
+    }
+
+    #[test]
+    fn unmatched_begin_is_well_formed() {
+        // A span still open at the end of the run (request in flight at the
+        // horizon) renders as a lone B event; viewers auto-close these, and
+        // the document must stay valid JSON.
+        let t = Trace {
+            events: vec![TraceEvent {
+                at: SimTime::ZERO + Duration::from_micros(7),
+                track: Track::Request(1),
+                name: "req:offload",
+                kind: EventKind::Begin,
+                args: vec![],
+            }],
+        };
+        let scenarios = vec![("open-span".to_string(), t)];
+        let s = chrome_trace_string(&scenarios);
+        let parsed = Json::parse(&s).expect("unmatched begin must render valid JSON");
+        assert_eq!(parsed.render(), s);
+        assert_eq!(s.matches("\"ph\":\"B\"").count(), 1);
+        assert_eq!(s.matches("\"ph\":\"E\"").count(), 0);
     }
 
     #[test]

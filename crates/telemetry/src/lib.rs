@@ -381,10 +381,7 @@ mod tests {
         assert_eq!(t.events[0].kind, EventKind::Begin);
         assert_eq!(t.events[0].at.as_nanos(), 5_000);
         assert_eq!(t.events[2].at.as_nanos(), 9_000);
-        assert_eq!(
-            t.events[1].args,
-            vec![("copied_bytes", Arg::UInt(128))]
-        );
+        assert_eq!(t.events[1].args, vec![("copied_bytes", Arg::UInt(128))]);
     }
 
     #[test]

@@ -97,9 +97,7 @@ fn scenario_summary(label: &str, trace: &Trace) -> Json {
                     }
                     EventKind::Begin => r.open.push((e.name, e.at)),
                     EventKind::End => {
-                        if let Some(pos) =
-                            r.open.iter().rposition(|(n, _)| *n == e.name)
-                        {
+                        if let Some(pos) = r.open.iter().rposition(|(n, _)| *n == e.name) {
                             let (_, began) = r.open.remove(pos);
                             let d = e.at.saturating_since(began);
                             let entry = r.phases.entry(e.name).or_default();
@@ -240,12 +238,7 @@ mod tests {
         SimTime::ZERO + Duration::from_micros(us)
     }
 
-    fn ev(
-        t: u64,
-        track: Track,
-        name: &'static str,
-        kind: EventKind,
-    ) -> TraceEvent {
+    fn ev(t: u64, track: Track, name: &'static str, kind: EventKind) -> TraceEvent {
         TraceEvent {
             at: at(t),
             track,

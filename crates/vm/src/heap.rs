@@ -54,6 +54,10 @@ const FLAG_DIRTY: u64 = 1 << 57;
 const LEN_SHIFT: u32 = 32;
 const LEN_MASK: u64 = 0xFF_FFFF;
 
+/// The visitor [`Heap::collect`] hands to its root walker; the walker must
+/// call it on every root slot so the collector can relocate references.
+pub type RootVisitor<'a> = dyn FnMut(&mut Value) + 'a;
+
 /// Statistics from one collection.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct GcStats {
@@ -116,7 +120,10 @@ impl Heap {
     /// Panics if the capacity is smaller than one object.
     pub fn new(alloc_capacity_bytes: u64, gc_costs: GcCosts) -> Self {
         assert!(alloc_capacity_bytes >= 64, "allocation space too small");
-        assert!(alloc_capacity_bytes < SPACE_SIZE, "allocation space too big");
+        assert!(
+            alloc_capacity_bytes < SPACE_SIZE,
+            "allocation space too big"
+        );
         Heap {
             closure: Vec::new(),
             alloc: Vec::new(),
@@ -142,7 +149,10 @@ impl Heap {
         } else if (self.alloc_base..self.alloc_base + SPACE_SIZE).contains(&a) {
             Space::Alloc
         } else {
-            panic!("address {addr:?} outside this heap (alloc base {:#x})", self.alloc_base)
+            panic!(
+                "address {addr:?} outside this heap (alloc base {:#x})",
+                self.alloc_base
+            )
         }
     }
 
@@ -201,7 +211,13 @@ impl Heap {
         self.alloc_raw(0, len, space, true)
     }
 
-    fn alloc_raw(&mut self, class_bits: u32, slots: u32, space: Space, array: bool) -> Option<Addr> {
+    fn alloc_raw(
+        &mut self,
+        class_bits: u32,
+        slots: u32,
+        space: Space,
+        array: bool,
+    ) -> Option<Addr> {
         assert!(slots as u64 <= LEN_MASK, "object too large: {slots} slots");
         let need = 1 + slots as usize;
         if space == Space::Alloc && self.alloc.len() + need > self.alloc_capacity_words {
@@ -215,7 +231,7 @@ impl Heap {
             header |= FLAG_ARRAY;
         }
         words.push(header);
-        words.extend(std::iter::repeat(0).take(slots as usize));
+        words.extend(std::iter::repeat_n(0, slots as usize));
         if space == Space::Closure {
             let cards_needed = (idx + need).div_ceil(CARD_WORDS);
             if self.cards.len() < cards_needed {
@@ -253,7 +269,10 @@ impl Heap {
     ///
     /// Panics if `slot` is out of bounds.
     pub fn get(&self, addr: Addr, slot: u32) -> Value {
-        assert!(slot < self.len_of(addr), "slot {slot} out of bounds at {addr:?}");
+        assert!(
+            slot < self.len_of(addr),
+            "slot {slot} out of bounds at {addr:?}"
+        );
         Value::decode(self.read_word(addr, 1 + slot as usize))
     }
 
@@ -263,12 +282,14 @@ impl Heap {
     ///
     /// Panics if `slot` is out of bounds.
     pub fn set(&mut self, addr: Addr, slot: u32, value: Value) {
-        assert!(slot < self.len_of(addr), "slot {slot} out of bounds at {addr:?}");
+        assert!(
+            slot < self.len_of(addr),
+            "slot {slot} out of bounds at {addr:?}"
+        );
         self.write_word(addr, 1 + slot as usize, value.encode());
         // Card marking: a reference stored into the closure space may create
         // a closure→alloc edge the next GC must treat as a root.
-        if matches!(value, Value::Ref(a) if !a.is_remote())
-            && self.space_of(addr) == Space::Closure
+        if matches!(value, Value::Ref(a) if !a.is_remote()) && self.space_of(addr) == Space::Closure
         {
             let (_, idx) = self.index(addr);
             self.cards[(idx + 1 + slot as usize) / CARD_WORDS] = true;
@@ -325,7 +346,7 @@ impl Heap {
     /// stacks and locals of live executions, statics, and any embedder
     /// tables (e.g. the server's object-mapping tables, §4.4). Closure-space
     /// objects are additional roots discovered through dirty cards.
-    pub fn collect(&mut self, each_root: &mut dyn FnMut(&mut dyn FnMut(&mut Value))) -> GcStats {
+    pub fn collect(&mut self, each_root: &mut dyn FnMut(&mut RootVisitor)) -> GcStats {
         self.peak_used_bytes = self
             .peak_used_bytes
             .max(self.used_alloc_bytes() + self.used_closure_bytes());
@@ -364,7 +385,10 @@ impl Heap {
         };
 
         let in_from = |w: u64| -> bool {
-            w != 0 && w & 1 == 0 && !Addr(w).is_remote() && (from_base..from_base + SPACE_SIZE).contains(&w)
+            w != 0
+                && w & 1 == 0
+                && !Addr(w).is_remote()
+                && (from_base..from_base + SPACE_SIZE).contains(&w)
         };
 
         // Phase 1: roots.
@@ -417,7 +441,7 @@ impl Heap {
         }
 
         let live_bytes = self.alloc.len() as u64 * 8;
-        let stats = GcStats {
+        GcStats {
             live_bytes,
             freed_bytes: old_used.saturating_sub(live_bytes),
             copied_objects,
@@ -427,8 +451,7 @@ impl Heap {
                     self.gc_costs.per_word.as_nanos() * (live_bytes / 8)
                         + self.gc_costs.per_card.as_nanos() * cards_scanned,
                 ),
-        };
-        stats
+        }
     }
 }
 
@@ -569,7 +592,10 @@ mod tests {
         let first = root.as_ref().unwrap();
         h.collect(&mut |v| v(&mut root));
         let second = root.as_ref().unwrap();
-        assert_ne!(first.raw() & 0xF000_0000_0000, second.raw() & 0xF000_0000_0000);
+        assert_ne!(
+            first.raw() & 0xF000_0000_0000,
+            second.raw() & 0xF000_0000_0000
+        );
         assert_eq!(h.get(second, 0), Value::I64(1));
     }
 

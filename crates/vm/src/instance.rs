@@ -500,7 +500,10 @@ mod tests {
     fn dirty_tracking_dedups_and_charges_barrier() {
         let p = tiny_program();
         let mut vm = VmInstance::function(&p, CostModel::default());
-        let obj = vm.heap.alloc_object(crate::ids::ClassId(0), 2, Space::Closure).unwrap();
+        let obj = vm
+            .heap
+            .alloc_object(crate::ids::ClassId(0), 2, Space::Closure)
+            .unwrap();
         let c1 = vm.note_write(obj);
         assert!(!c1.is_zero());
         vm.note_write(obj);
@@ -518,7 +521,10 @@ mod tests {
         let p = tiny_program();
         let mut vm = VmInstance::server(&p, CostModel::default());
         vm.set_barriers(false);
-        let obj = vm.heap.alloc_object(crate::ids::ClassId(0), 2, Space::Closure).unwrap();
+        let obj = vm
+            .heap
+            .alloc_object(crate::ids::ClassId(0), 2, Space::Closure)
+            .unwrap();
         assert_eq!(vm.note_write(obj), Duration::ZERO);
         assert_eq!(vm.dirty_len(), 0);
         assert_eq!(vm.counters.tracked_writes, 0);

@@ -1029,7 +1029,14 @@ mod tests {
         let c = pb.user_class("A", 0, None);
         let mut a = Asm::new();
         // (10 + 5) * 3 - 1 = 44
-        a.const_i(10).const_i(5).add().const_i(3).mul().const_i(1).sub().return_val();
+        a.const_i(10)
+            .const_i(5)
+            .add()
+            .const_i(3)
+            .mul()
+            .const_i(1)
+            .sub()
+            .return_val();
         let m = pb.method(c, "calc", 0, 0, a.finish());
         let p = pb.finish();
         let mut vm = VmInstance::server(&p, CostModel::default());
@@ -1071,7 +1078,13 @@ mod tests {
         inner.load(0).load(0).mul().return_val();
         let sq = pb.method(c, "sq", 1, 0, inner.finish());
         let mut outer = Asm::new();
-        outer.const_i(6).call(sq).const_i(4).call(sq).add().return_val();
+        outer
+            .const_i(6)
+            .call(sq)
+            .const_i(4)
+            .call(sq)
+            .add()
+            .return_val();
         let m = pb.method(c, "m", 0, 0, outer.finish());
         let p = pb.finish();
         let mut vm = VmInstance::server(&p, CostModel::default());
@@ -1089,7 +1102,13 @@ mod tests {
         a.new_obj(c).store(0);
         a.load(0).const_i(7).put_field(0);
         a.const_i(3).new_array().store(1);
-        a.load(1).const_i(2).load(0).get_field(0).const_i(1).add().arr_store();
+        a.load(1)
+            .const_i(2)
+            .load(0)
+            .get_field(0)
+            .const_i(1)
+            .add()
+            .arr_store();
         a.load(1).const_i(2).arr_load();
         a.load(1).arr_len().add().return_val();
         let m = pb.method(c, "m", 0, 2, a.finish());
@@ -1112,7 +1131,12 @@ mod tests {
         let t2 = pb.method(c, "t2", 0, 0, m2.finish());
         let stub = pb.stub("MethodInterceptor", vec![t1, t2]);
         let mut a = Asm::new();
-        a.const_i(1).call_stub(stub).const_i(0).call_stub(stub).add().return_val();
+        a.const_i(1)
+            .call_stub(stub)
+            .const_i(0)
+            .call_stub(stub)
+            .add()
+            .return_val();
         let m = pb.method(c, "m", 0, 0, a.finish());
         let p = pb.finish();
         let mut vm = VmInstance::server(&p, CostModel::default());
@@ -1174,7 +1198,13 @@ mod tests {
         };
         assert!(addr.is_remote());
         assert_eq!(addr.to_local(), remote_canonical);
-        assert_eq!(prov, Provenance::Field { obj: local, slot: 0 });
+        assert_eq!(
+            prov,
+            Provenance::Field {
+                obj: local,
+                slot: 0
+            }
+        );
 
         // "Server" ships the object; embedder copies it locally and clears
         // the remote bit in the provenance slot.
@@ -1381,7 +1411,13 @@ mod tests {
         a.const_i(4).new_array().store(1);
         a.load(0).const_i(0).const_i(21).arr_store();
         a.load(0).const_i(1).const_i(2).arr_store();
-        a.load(0).const_i(0).load(1).const_i(1).const_i(2).native(arraycopy).pop();
+        a.load(0)
+            .const_i(0)
+            .load(1)
+            .const_i(1)
+            .const_i(2)
+            .native(arraycopy)
+            .pop();
         a.native(file_read).pop();
         a.load(1).const_i(2).arr_load();
         a.native(current_thread).add().return_val();
@@ -1441,8 +1477,13 @@ mod tests {
         let mut vm = VmInstance::function(&p, CostModel::default());
         vm.load_class(c);
         vm.load_class(method_class);
-        let mobj = vm.heap.alloc_object(method_class, 1, Space::Closure).unwrap();
-        let h = vm.register_native_state(NativeState::MethodMeta { method: MethodId(9) });
+        let mobj = vm
+            .heap
+            .alloc_object(method_class, 1, Space::Closure)
+            .unwrap();
+        let h = vm.register_native_state(NativeState::MethodMeta {
+            method: MethodId(9),
+        });
         vm.heap.set(mobj, 0, Value::I64(h as i64));
         let mut e = Execution::call(m, vec![Value::Ref(mobj)], &p);
         let (v, _) = run_to_done(&mut e, &mut vm, &p);
@@ -1453,7 +1494,10 @@ mod tests {
         let mut vm2 = VmInstance::function(&p, CostModel::default());
         vm2.load_class(c);
         vm2.load_class(method_class);
-        let mobj2 = vm2.heap.alloc_object(method_class, 1, Space::Closure).unwrap();
+        let mobj2 = vm2
+            .heap
+            .alloc_object(method_class, 1, Space::Closure)
+            .unwrap();
         vm2.heap.set(mobj2, 0, Value::I64(42)); // dangling handle
         let mut e2 = Execution::call(m, vec![Value::Ref(mobj2)], &p);
         let r = e2.run(&mut vm2, &p);
@@ -1521,6 +1565,6 @@ mod tests {
         let m = pb.method(c, "m", 2, 3, a.finish());
         let p = pb.finish();
         let e = Execution::call(m, vec![Value::I64(1), Value::I64(2)], &p);
-        assert_eq!(e.stack_bytes(), (5 + 0 + 2) * 8);
+        assert_eq!(e.stack_bytes(), (5 + 2) * 8);
     }
 }

@@ -67,11 +67,7 @@ impl Profiler {
             .filter_map(|m| self.samples.get(&m).map(|p| (m, *p)))
             .filter(|(_, p)| p.average() >= min_average)
             .collect();
-        picks.sort_by(|(ma, a), (mb, b)| {
-            b.total_time
-                .cmp(&a.total_time)
-                .then_with(|| ma.cmp(mb))
-        });
+        picks.sort_by(|(ma, a), (mb, b)| b.total_time.cmp(&a.total_time).then_with(|| ma.cmp(mb)));
         picks.into_iter().map(|(m, _)| m).collect()
     }
 }

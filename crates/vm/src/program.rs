@@ -161,7 +161,12 @@ impl ProgramBuilder {
     }
 
     /// Add a user class, optionally annotated.
-    pub fn user_class(&mut self, name: &str, field_count: u16, annotation: Option<&str>) -> ClassId {
+    pub fn user_class(
+        &mut self,
+        name: &str,
+        field_count: u16,
+        annotation: Option<&str>,
+    ) -> ClassId {
         self.class(
             name,
             Origin::User {
@@ -319,8 +324,7 @@ mod tests {
         let mut pb = ProgramBuilder::new();
         let c = pb.user_class("App", 0, None);
         pb.method(c, "helper", 0, 0, vec![Op::Return]);
-        let hot =
-            pb.method_annotated(c, "comment", 0, 0, vec![Op::Return], Some("@PostMapping"));
+        let hot = pb.method_annotated(c, "comment", 0, 0, vec![Op::Return], Some("@PostMapping"));
         let p = pb.finish();
         let cands: Vec<_> = p.candidates().collect();
         assert_eq!(cands, vec![hot]);

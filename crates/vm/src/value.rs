@@ -202,6 +202,6 @@ mod tests {
     fn remote_refs_survive_encoding() {
         let remote = Value::Ref(Addr(0x4000).to_remote());
         let decoded = Value::decode(remote.encode());
-        assert_eq!(decoded.as_ref().unwrap().is_remote(), true);
+        assert!(decoded.as_ref().unwrap().is_remote());
     }
 }

@@ -38,7 +38,10 @@ fn volatile_statics_synchronize_on_functions() {
     let r = e.run(&mut vm, &p);
     assert_eq!(
         r.outcome,
-        Outcome::Blocked(Block::VolatileSync { slot: s, is_write: false })
+        Outcome::Blocked(Block::VolatileSync {
+            slot: s,
+            is_write: false
+        })
     );
     // The embedder performs the sync, installs the value, grants the
     // one-shot permit and resumes.
@@ -217,8 +220,14 @@ fn arraycopy_clamps_out_of_range_requests() {
     a.const_i(2).new_array().store(1);
     a.load(0).const_i(2).const_i(7).arr_store(); // src[2] = 7
     a.load(0).const_i(3).const_i(99).arr_store(); // src[3] = 99
-    // Ask for 10 elements from src[2] into dst[1]: only 1 fits (dst len 2).
-    a.load(0).const_i(2).load(1).const_i(1).const_i(10).native(copy).pop();
+                                                  // Ask for 10 elements from src[2] into dst[1]: only 1 fits (dst len 2).
+    a.load(0)
+        .const_i(2)
+        .load(1)
+        .const_i(1)
+        .const_i(10)
+        .native(copy)
+        .pop();
     a.load(1).const_i(1).arr_load().return_val();
     let m = pb.method(c, "m", 0, 2, a.finish());
     let p = pb.finish();

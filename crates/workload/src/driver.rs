@@ -11,8 +11,8 @@ use beehive_apps::App;
 use beehive_core::config::{BeeHiveConfig, NetProfile};
 use beehive_core::server::RuntimeStats;
 use beehive_core::{
-    FunctionRuntime, OffloadController, OffloadSession, ServerRuntime, ServerSession, SessionStep,
-    SessionStats,
+    FunctionRuntime, OffloadController, OffloadSession, ServerRuntime, ServerSession, SessionStats,
+    SessionStep,
 };
 use beehive_db::Database;
 use beehive_faas::{BootKind, FaasPlatform};
@@ -111,6 +111,12 @@ pub struct SimConfig {
     /// Defaults to the engine-wide flag set by `repro --trace`
     /// ([`crate::engine::set_trace_default`]).
     pub trace: bool,
+    /// Keep a live metrics registry for this run ([`SimResult::metrics`]).
+    /// Defaults to the engine-wide flag set by `repro --metrics`
+    /// ([`crate::engine::set_metrics_default`]). Costs nothing when off.
+    pub metrics: bool,
+    /// Time-series window of the metrics registry (virtual time).
+    pub metrics_window: Duration,
 }
 
 impl SimConfig {
@@ -134,6 +140,8 @@ impl SimConfig {
             beehive: BeeHiveConfig::default(),
             shadow_enabled: true,
             trace: crate::engine::trace_default(),
+            metrics: crate::engine::metrics_default(),
+            metrics_window: beehive_metrics::DEFAULT_WINDOW,
         }
     }
 }
@@ -191,6 +199,9 @@ pub struct SimResult {
     pub end: SimTime,
     /// The recorded trace, when [`SimConfig::trace`] was set.
     pub trace: Option<tele::Trace>,
+    /// The live metrics registry, when [`SimConfig::metrics`] was set.
+    /// Snapshot with [`beehive_metrics::Registry::snapshot`].
+    pub metrics: Option<beehive_metrics::Registry>,
 }
 
 #[derive(Debug)]
@@ -281,6 +292,11 @@ pub struct Sim {
     shadow_durations: LatencySampler,
     offload_latencies: LatencySampler,
     rejected: u64,
+    metrics: Option<beehive_metrics::Registry>,
+    /// GC-log entries per function instance already folded into the metrics
+    /// registry; seeded in `new` so pre-virtual-time collections (prewarm
+    /// warm-up) are excluded, matching what a trace of the run records.
+    gc_seen: HashMap<u32, usize>,
 }
 
 impl Sim {
@@ -288,10 +304,10 @@ impl Sim {
     pub fn new(cfg: SimConfig) -> Sim {
         let mut rng = Rng::new(cfg.seed);
         let db = Database::new(); // seeded by App::install through the proxy
-        // Scaled-fidelity apps execute 1/k of their tracked writes, so the
-        // per-write barrier is scaled by k to keep BeeHive's write-barrier
-        // overhead (the 7.14% pybbs throughput drop, §5.3) fidelity-
-        // invariant.
+                                  // Scaled-fidelity apps execute 1/k of their tracked writes, so the
+                                  // per-write barrier is scaled by k to keep BeeHive's write-barrier
+                                  // overhead (the 7.14% pybbs throughput drop, §5.3) fidelity-
+                                  // invariant.
         let mut cost = CostModel::default();
         cost.barrier = cost.barrier * cfg.app.fidelity.factor() as u64;
         let mut server = ServerRuntime::new(
@@ -361,6 +377,10 @@ impl Sim {
         let controller = OffloadController::new(cfg.offload_ratio);
         let burst = BurstHandler::new(cfg.offload_ratio);
         let server_cores = cfg.server_cores;
+        let gc_seen = funcs
+            .iter()
+            .map(|(&id, f)| (id, f.vm.gc_log().len()))
+            .collect();
 
         Sim {
             cfg,
@@ -395,6 +415,48 @@ impl Sim {
             shadow_durations: LatencySampler::new(),
             offload_latencies: LatencySampler::new(),
             rejected: 0,
+            metrics: None,
+            gc_seen,
+        }
+    }
+
+    fn m_add(&mut self, name: &'static str, delta: u64) {
+        if let Some(m) = self.metrics.as_mut() {
+            m.add(name, self.now, delta);
+        }
+    }
+
+    fn m_gauge(&mut self, name: &'static str, value: i64) {
+        if let Some(m) = self.metrics.as_mut() {
+            m.set_gauge(name, self.now, value);
+        }
+    }
+
+    fn m_observe(&mut self, name: &'static str, d: Duration) {
+        if let Some(m) = self.metrics.as_mut() {
+            m.observe(name, self.now, d);
+        }
+    }
+
+    /// Fold GC pauses `fid` accrued since the last note into the metrics
+    /// registry. The function VM emits its own `gc` trace events as it
+    /// collects mid-session; the driver only sees the log afterwards, at the
+    /// same virtual instant (pauses are charged to the session's budget, not
+    /// the clock).
+    fn note_function_gcs(&mut self, fid: u32) {
+        if self.metrics.is_none() {
+            return;
+        }
+        let Some(f) = self.funcs.get(&fid) else {
+            return;
+        };
+        let log = f.vm.gc_log();
+        let seen = self.gc_seen.entry(fid).or_insert(0);
+        let pauses: Vec<Duration> = log[*seen..].iter().map(|gc| gc.pause).collect();
+        *seen = log.len();
+        for p in pauses {
+            self.m_observe("gc_pause", p);
+            self.m_add("gc_pause_ns", p.as_nanos());
         }
     }
 
@@ -404,6 +466,9 @@ impl Sim {
             // Installed here rather than in `new` so the prewarm warm-up
             // shadow (which runs outside virtual time) is not recorded.
             tele::install();
+        }
+        if self.cfg.metrics {
+            self.metrics = Some(beehive_metrics::Registry::new(self.cfg.metrics_window));
         }
         match self.cfg.arrivals {
             ArrivalPattern::Open { .. } => {
@@ -442,10 +507,20 @@ impl Sim {
     fn handle(&mut self, ev: Ev) {
         match ev {
             Ev::Arrival => {
+                let queue = self.events.len() as i64;
+                let pool = self.pools[0].len() as i64;
+                let inflight = self.requests.len() as i64;
+                let idle = self.idle_funcs.len() as i64;
                 if tele::enabled() {
-                    tele::counter(tele::Track::Sim, "event_queue", self.events.len() as i64);
-                    tele::counter(tele::Track::Sim, "server_pool", self.pools[0].len() as i64);
+                    tele::counter(tele::Track::Sim, "event_queue", queue);
+                    tele::counter(tele::Track::Sim, "server_pool", pool);
+                    tele::counter(tele::Track::Sim, "inflight", inflight);
+                    tele::counter(tele::Track::Sim, "idle_instances", idle);
                 }
+                self.m_gauge("event_queue", queue);
+                self.m_gauge("server_pool", pool);
+                self.m_gauge("inflight", inflight);
+                self.m_gauge("idle_instances", idle);
                 let (rate, next_rate_check) = self.current_rate();
                 let _ = next_rate_check;
                 let gap = self
@@ -608,6 +683,7 @@ impl Sim {
             // Connection refused: the worker pool is saturated.
             self.rejected += 1;
             tele::instant(tele::Track::Server, "rejected", &[]);
+            self.m_add("requests_rejected", 1);
             if closed_loop {
                 let backoff = self.rng.exponential(Duration::from_millis(50));
                 self.events.schedule(self.now + backoff, Ev::ClientReissue);
@@ -659,6 +735,7 @@ impl Sim {
                     self.dispatch_cost,
                 );
                 self.funcs.insert(fid, func);
+                self.note_function_gcs(fid);
                 self.requests.insert(
                     rid,
                     Request {
@@ -684,8 +761,8 @@ impl Sim {
         // a burst doesn't over-provision instances it will never reuse.
         let busy = self.funcs.len().saturating_sub(self.idle_funcs.len());
         let ramp_cap = (busy * 2).max(4).min(self.cfg.max_concurrent_boots);
-        let can_spawn = self.booting < ramp_cap
-            && self.funcs.len() + self.booting < self.cfg.max_instances;
+        let can_spawn =
+            self.booting < ramp_cap && self.funcs.len() + self.booting < self.cfg.max_instances;
         if can_spawn {
             let platform = self.platform.as_mut().expect("offload needs a platform");
             let (fid, ready, kind) = platform.acquire(self.now);
@@ -696,6 +773,14 @@ impl Sim {
                     &[("cold", tele::Arg::Bool(kind == BootKind::Cold))],
                 );
             }
+            self.m_add(
+                if kind == BootKind::Cold {
+                    "boots_cold"
+                } else {
+                    "boots_warm"
+                },
+                1,
+            );
             self.booting += 1;
             let boot_rid = self.next_req;
             self.next_req += 1;
@@ -768,6 +853,7 @@ impl Sim {
             self.dispatch_cost,
         );
         self.funcs.insert(fid, func);
+        self.note_function_gcs(fid);
         if shadow {
             self.shadows += 1;
         }
@@ -793,9 +879,11 @@ impl Sim {
             let step = match &mut req.kind {
                 Kind::Server { session, .. } => session.next(&mut self.server),
                 Kind::Offload { session, instance } => {
-                    let mut func = self.funcs.remove(instance).expect("instance exists");
+                    let fid = *instance;
+                    let mut func = self.funcs.remove(&fid).expect("instance exists");
                     let s = session.next(&mut self.server, &mut func);
-                    self.funcs.insert(*instance, func);
+                    self.funcs.insert(fid, func);
+                    self.note_function_gcs(fid);
                     s
                 }
                 Kind::PendingBoot { .. } => return self.park(rid, req), // waits for Boot
@@ -823,6 +911,9 @@ impl Sim {
                         };
                         tele::begin(req.track(), name, &[]);
                         req.open_span = Some(name);
+                    }
+                    if n.fallback {
+                        self.m_add("fallbacks", 1);
                     }
                     match n.resource {
                         Resource::ServerCpu => {
@@ -855,6 +946,25 @@ impl Sim {
                             self.events.schedule(self.now + n.amount, Ev::Step(rid));
                         }
                         Resource::Db => {
+                            let origin = match &req.kind {
+                                Kind::Server { .. } => "server",
+                                _ => "function",
+                            };
+                            if tele::enabled() {
+                                tele::instant(
+                                    tele::Track::Db,
+                                    "db:round",
+                                    &[("origin", tele::Arg::Str(origin))],
+                                );
+                            }
+                            self.m_add(
+                                if origin == "server" {
+                                    "db_rounds_server"
+                                } else {
+                                    "db_rounds_function"
+                                },
+                                1,
+                            );
                             self.db_pool.add(self.now, rid, n.amount);
                             self.schedule_db_event();
                         }
@@ -862,23 +972,28 @@ impl Sim {
                     return self.park(rid, req);
                 }
                 SessionStep::SyncFromPeer { peer, monitor } => {
-                    let objs = match self.funcs.get_mut(&peer) {
+                    let (objs, report) = match self.funcs.get_mut(&peer) {
                         Some(p) => {
-                            let objs = self.server.pull_dirty_from(p).0;
+                            let (objs, report) = self.server.pull_dirty_from(p);
                             if let Some(canonical) = monitor {
                                 self.server.revoke_peer_monitor(p, canonical);
                             }
-                            objs
+                            (objs, report)
                         }
-                        None => Vec::new(), // peer died; nothing to pull
+                        None => (Vec::new(), Default::default()), // peer died; nothing to pull
                     };
                     if tele::enabled() {
                         tele::instant(
                             req.track(),
                             "sync:pull_dirty",
-                            &[("objects", tele::Arg::UInt(objs.len() as u64))],
+                            &[
+                                ("objects", tele::Arg::UInt(objs.len() as u64)),
+                                ("bytes", tele::Arg::UInt(report.bytes)),
+                            ],
                         );
                     }
+                    self.m_add("handoff_dirty_objects", objs.len() as u64);
+                    self.m_add("handoff_dirty_bytes", report.bytes);
                     if let Kind::Offload { session, .. } = &mut req.kind {
                         session.deliver_peer_objects(objs);
                     }
@@ -894,6 +1009,8 @@ impl Sim {
                         }
                     }
                     let pause = self.server.vm.collect(&mut execs, &mut []).pause;
+                    self.m_observe("gc_pause", pause);
+                    self.m_add("gc_pause_ns", pause.as_nanos());
                     if let Kind::Server { session, .. } = &mut req.kind {
                         session.gc_done(pause);
                     }
@@ -902,7 +1019,10 @@ impl Sim {
                     if std::env::var_os("BEEHIVE_DEBUG_SYNC").is_some() {
                         eprintln!("[lock] t={:?} park rid={rid} lock={canonical:?}", self.now);
                     }
-                    self.lock_waiters.entry(canonical).or_default().push_back(rid);
+                    self.lock_waiters
+                        .entry(canonical)
+                        .or_default()
+                        .push_back(rid);
                     return self.park(rid, req);
                 }
                 SessionStep::Finished(_v) => {
@@ -945,6 +1065,8 @@ impl Sim {
         let latency = self.now - req.arrival;
         if req.record {
             self.completed += 1;
+            self.m_add("requests_completed", 1);
+            self.m_observe("request_latency", latency);
             self.all.record(latency);
             self.timeline.record(self.now, latency);
             if self.now.saturating_since(SimTime::ZERO) >= self.cfg.record_from {
@@ -960,10 +1082,12 @@ impl Sim {
                 }
             }
             if session.is_shadow() {
+                self.m_add("shadow_executions", 1);
                 self.shadow_stats.absorb(&session.stats);
                 self.shadow_durations.record(latency);
             } else {
                 self.offloaded += 1;
+                self.m_add("requests_offloaded", 1);
                 if std::env::var_os("BEEHIVE_DEBUG_SYNC").is_some() {
                     eprintln!(
                         "[sync-dbg] t={:?} inst={} syncs={} enters_on_instance",
@@ -1058,6 +1182,7 @@ impl Sim {
             mapping_bytes: self.server.mapping_footprint_bytes(),
             end,
             trace: if self.cfg.trace { tele::take() } else { None },
+            metrics: self.metrics,
         }
     }
 }
@@ -1098,10 +1223,7 @@ mod tests {
             let mut r = Sim::new(cfg).run();
             lat.push(r.steady.percentile(0.5));
         }
-        assert!(
-            lat[1] > lat[0],
-            "latency should grow with load: {lat:?}"
-        );
+        assert!(lat[1] > lat[0], "latency should grow with load: {lat:?}");
     }
 
     #[test]
@@ -1144,7 +1266,10 @@ mod tests {
 
     #[test]
     fn scaled_instances_halve_load_after_ready() {
-        let mut cfg = SimConfig::new(quick_app(), Strategy::Scaled(beehive_scaling::ScalingKind::Burstable));
+        let mut cfg = SimConfig::new(
+            quick_app(),
+            Strategy::Scaled(beehive_scaling::ScalingKind::Burstable),
+        );
         cfg.arrivals = ArrivalPattern::Open {
             base_rps: 40.0,
             burst_mult: 2.0,

@@ -59,6 +59,14 @@ static TRACE_DEFAULT: AtomicBool = AtomicBool::new(false);
 /// labelled with its scenario label. Drained by [`drain_traces`].
 static COLLECTED_TRACES: Mutex<Vec<(String, Trace)>> = Mutex::new(Vec::new());
 
+/// Engine-wide default for [`SimConfig::metrics`] (`repro --metrics DIR`
+/// sets it before building any scenario).
+static METRICS_DEFAULT: AtomicBool = AtomicBool::new(false);
+
+/// Metrics snapshots harvested from completed runs, in [`run_all`] input
+/// order. Drained by [`drain_metrics`].
+static COLLECTED_METRICS: Mutex<Vec<beehive_metrics::ScenarioMetrics>> = Mutex::new(Vec::new());
+
 /// Set the engine-wide default for [`SimConfig::trace`]. Scenarios built
 /// *after* this call record traces; [`run_all`] harvests them in input
 /// order for [`drain_traces`].
@@ -83,6 +91,35 @@ fn harvest_traces(outcomes: &mut [RunOutcome]) {
     for o in outcomes.iter_mut() {
         if let Some(trace) = o.result.trace.take() {
             collected.push((o.label.clone(), trace));
+        }
+    }
+}
+
+/// Set the engine-wide default for [`SimConfig::metrics`]. Scenarios built
+/// *after* this call keep a live metrics registry; [`run_all`] harvests the
+/// snapshots in input order for [`drain_metrics`].
+pub fn set_metrics_default(on: bool) {
+    METRICS_DEFAULT.store(on, Ordering::Relaxed);
+}
+
+/// The engine-wide default for [`SimConfig::metrics`].
+pub fn metrics_default() -> bool {
+    METRICS_DEFAULT.load(Ordering::Relaxed)
+}
+
+/// Take every metrics snapshot harvested since the last drain, in the input
+/// order of the [`run_all`] calls that produced them. Order is independent
+/// of the worker count, so exported `.metrics.json` files are
+/// byte-identical under any `BEEHIVE_WORKERS`.
+pub fn drain_metrics() -> Vec<beehive_metrics::ScenarioMetrics> {
+    std::mem::take(&mut *COLLECTED_METRICS.lock().unwrap())
+}
+
+fn harvest_metrics(outcomes: &mut [RunOutcome]) {
+    let mut collected = COLLECTED_METRICS.lock().unwrap();
+    for o in outcomes.iter_mut() {
+        if let Some(reg) = o.result.metrics.take() {
+            collected.push(reg.snapshot(&o.label));
         }
     }
 }
@@ -132,9 +169,7 @@ pub fn default_workers() -> usize {
                 std::process::exit(2);
             }
             Err(_) => {
-                eprintln!(
-                    "error: BEEHIVE_WORKERS must be a positive integer (got \"{v}\")"
-                );
+                eprintln!("error: BEEHIVE_WORKERS must be a positive integer (got \"{v}\")");
                 std::process::exit(2);
             }
         },
@@ -171,6 +206,7 @@ pub fn run_all_with_workers(scenarios: Vec<Scenario>, workers: usize) -> Vec<Run
             })
             .collect();
         harvest_traces(&mut outcomes);
+        harvest_metrics(&mut outcomes);
         return outcomes;
     }
 
@@ -183,8 +219,7 @@ pub fn run_all_with_workers(scenarios: Vec<Scenario>, workers: usize) -> Vec<Run
         labels.push(s.label);
         configs.push(Mutex::new(Some(s.cfg)));
     }
-    let slots: Vec<Mutex<Option<SimResult>>> =
-        configs.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<SimResult>>> = configs.iter().map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
 
     thread::scope(|scope| {
@@ -217,6 +252,7 @@ pub fn run_all_with_workers(scenarios: Vec<Scenario>, workers: usize) -> Vec<Run
         })
         .collect();
     harvest_traces(&mut outcomes);
+    harvest_metrics(&mut outcomes);
     outcomes
 }
 
@@ -257,10 +293,10 @@ impl RunReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use beehive_apps::{App, AppKind, Fidelity};
-    use beehive_sim::Duration;
     use crate::driver::ArrivalPattern;
     use crate::Strategy;
+    use beehive_apps::{App, AppKind, Fidelity};
+    use beehive_sim::Duration;
 
     fn tiny_scenarios(n: usize) -> Vec<Scenario> {
         let app = App::build(AppKind::Thumbnail, Fidelity::Scaled(4096));

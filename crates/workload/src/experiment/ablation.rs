@@ -84,8 +84,7 @@ pub fn ablation(kind: AppKind, profile: Profile) -> AblationReport {
                 p99_ms: o.result.steady.percentile(0.99).as_millis_f64(),
                 native_fallbacks: o.result.steady_offload.fallbacks_native as f64 / n,
                 db_fallbacks: o.result.steady_offload.fallbacks_db as f64 / n,
-                fallback_overhead_ms: o.result.steady_offload.fallback_overhead.as_millis_f64()
-                    / n,
+                fallback_overhead_ms: o.result.steady_offload.fallback_overhead.as_millis_f64() / n,
             }
         })
         .collect();
@@ -122,7 +121,11 @@ impl ToJson for AblationReport {
 
 impl fmt::Display for AblationReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Ablations — {} (steady state, per offloaded request)", self.app.name())?;
+        writeln!(
+            f,
+            "Ablations — {} (steady state, per offloaded request)",
+            self.app.name()
+        )?;
         writeln!(
             f,
             "{:<30} {:>10} {:>12} {:>10} {:>14}",

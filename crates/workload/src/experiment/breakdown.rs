@@ -165,7 +165,11 @@ impl ShadowReport {
 
 /// Run the shadow breakdown for one application.
 pub fn shadow_breakdown(kind: AppKind, profile: Profile) -> ShadowReport {
-    let (horizon, burst_at) = if profile.quick { (30u64, 8u64) } else { (120, 40) };
+    let (horizon, burst_at) = if profile.quick {
+        (30u64, 8u64)
+    } else {
+        (120, 40)
+    };
     let app = App::build(kind, Fidelity::fast());
     let rate = super::base_rate(&app);
     let configure = |shadow: bool| {
@@ -183,8 +187,8 @@ pub fn shadow_breakdown(kind: AppKind, profile: Profile) -> ShadowReport {
         cfg
     };
     let mut outcomes = run_all(vec![
-        Scenario::new("shadow", configure(true)),
-        Scenario::new("no-shadow", configure(false)),
+        Scenario::new(format!("{} shadow", kind.name()), configure(true)),
+        Scenario::new(format!("{} no-shadow", kind.name()), configure(false)),
     ]);
     let mut without_shadow = outcomes.pop().expect("no-shadow outcome").result;
     let mut with_shadow = outcomes.pop().expect("shadow outcome").result;
@@ -236,7 +240,11 @@ impl fmt::Display for ShadowReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "§5.6 — shadow execution breakdown ({})", self.app.name())?;
         writeln!(f, "  shadows observed:          {}", self.shadows)?;
-        writeln!(f, "  mean duration:             {:.1} ms", self.mean_duration_ms)?;
+        writeln!(
+            f,
+            "  mean duration:             {:.1} ms",
+            self.mean_duration_ms
+        )?;
         writeln!(
             f,
             "  closure computation:       {:.1} ms (overlaps cold boot)",

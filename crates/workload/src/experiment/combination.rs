@@ -31,7 +31,11 @@ pub struct CombinationReport {
 
 /// Run the §5.7 combination study (all three burst windows concurrently).
 pub fn combination(kind: AppKind, profile: Profile) -> CombinationReport {
-    let (horizon, burst_at) = if profile.quick { (60u64, 10u64) } else { (240, 60) };
+    let (horizon, burst_at) = if profile.quick {
+        (60u64, 10u64)
+    } else {
+        (240, 60)
+    };
     let experiments: Vec<BurstExperiment> = [
         Strategy::Scaled(ScalingKind::OnDemand),
         Strategy::BeeHiveOpenWhisk,

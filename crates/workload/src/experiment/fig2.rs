@@ -92,8 +92,15 @@ impl ToJson for Fig2Report {
 
 impl fmt::Display for Fig2Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Figure 2 — pybbs latency vs concurrent clients (vanilla)")?;
-        writeln!(f, "{:>8} {:>12} {:>12} {:>12}", "clients", "mean (ms)", "p99 (ms)", "rps")?;
+        writeln!(
+            f,
+            "Figure 2 — pybbs latency vs concurrent clients (vanilla)"
+        )?;
+        writeln!(
+            f,
+            "{:>8} {:>12} {:>12} {:>12}",
+            "clients", "mean (ms)", "p99 (ms)", "rps"
+        )?;
         for p in &self.points {
             writeln!(
                 f,

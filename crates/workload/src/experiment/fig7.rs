@@ -180,12 +180,7 @@ impl BurstReport {
             .iter()
             .filter(|p| p.count > 0 && p.second >= burst_sec)
             .collect();
-        let mut tail: Vec<f64> = recorded
-            .iter()
-            .rev()
-            .take(15)
-            .map(|p| p.p99_ms)
-            .collect();
+        let mut tail: Vec<f64> = recorded.iter().rev().take(15).map(|p| p.p99_ms).collect();
         tail.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let tail_median = percentile_sorted(&tail, 0.5);
         let stabilization_secs = if tail.is_empty()
@@ -197,7 +192,12 @@ impl BurstReport {
             // spikes a hundred-sample p99 estimator produces at this load.
             let smoothed: Vec<(u64, f64)> = recorded
                 .windows(3)
-                .map(|w| (w[1].second, median(&[w[0].p99_ms, w[1].p99_ms, w[2].p99_ms])))
+                .map(|w| {
+                    (
+                        w[1].second,
+                        median(&[w[0].p99_ms, w[1].p99_ms, w[2].p99_ms]),
+                    )
+                })
                 .collect();
             // The threshold separates the burst melt (which reaches the
             // post-burst maximum) from the new operating point's ordinary
@@ -311,10 +311,21 @@ pub fn fig7(kind: AppKind, profile: Profile) -> Fig7Report {
             experiment(Strategy::BeeHiveLambda, true),
         ])
         .collect();
+    // Labels carry the app plus a warm marker: the two warm-boot runs reuse
+    // strategies already in the grid, and harvested traces/metrics key
+    // scenarios by label.
+    let cold_count = Strategy::fig7_set().len();
     let outcomes = run_all(
         experiments
             .iter()
-            .map(|e| Scenario::new(e.strategy.label(), e.config()))
+            .enumerate()
+            .map(|(i, e)| {
+                let warm = if i >= cold_count { " warm" } else { "" };
+                Scenario::new(
+                    format!("{} {}{warm}", kind.name(), e.strategy.label()),
+                    e.config(),
+                )
+            })
             .collect(),
     );
     let mut reports: Vec<BurstReport> = experiments
@@ -342,7 +353,11 @@ impl ToJson for Fig7Report {
 
 impl fmt::Display for Fig7Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Figure 7 — {} tail latency under a 2x burst", self.app.name())?;
+        writeln!(
+            f,
+            "Figure 7 — {} tail latency under a 2x burst",
+            self.app.name()
+        )?;
         writeln!(
             f,
             "{:<22} {:>12} {:>14} {:>14} {:>10}",

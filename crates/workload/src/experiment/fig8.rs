@@ -137,7 +137,10 @@ pub fn fig8(kind: AppKind, profile: Profile) -> Fig8Report {
                 cfg.prewarm_ready = expect.clamp(1, 128);
                 cfg.max_instances = 512;
             }
-            Scenario::new(format!("{} rps={rate}", strategy.label()), cfg)
+            Scenario::new(
+                format!("{} {} rps={rate}", kind.name(), strategy.label()),
+                cfg,
+            )
         })
         .collect();
     let window = (horizon - record_from).as_secs_f64();
@@ -195,9 +198,7 @@ impl fmt::Display for Fig8Report {
         writeln!(f, "Figure 8 — {} latency vs throughput", self.app.name())?;
         for c in &self.curves {
             match c.saturated_rps() {
-                Some(rps) => {
-                    writeln!(f, "  {} (saturates ~{:.0} rps)", c.strategy.label(), rps)?
-                }
+                Some(rps) => writeln!(f, "  {} (saturates ~{:.0} rps)", c.strategy.label(), rps)?,
                 None => writeln!(
                     f,
                     "  {} (no point met the 90% goodput / sub-second p99 gate)",
@@ -287,6 +288,9 @@ mod tests {
         let v = vanilla.points[1].mean_ms;
         let s = single.points[1].mean_ms;
         assert!(s >= v * 0.98, "single {s} vs vanilla {v}");
-        assert!(s <= v * 1.35, "barriers should not blow latency up: {s} vs {v}");
+        assert!(
+            s <= v * 1.35,
+            "barriers should not blow latency up: {s} vs {v}"
+        );
     }
 }

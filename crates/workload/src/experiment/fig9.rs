@@ -76,7 +76,11 @@ pub fn fig9(kind: AppKind, profile: Profile) -> Fig9Report {
     } else {
         vec![0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.67, 0.8, 1.0]
     };
-    let (horizon, record_from) = if profile.quick { (24u64, 10u64) } else { (60, 20) };
+    let (horizon, record_from) = if profile.quick {
+        (24u64, 10u64)
+    } else {
+        (60, 20)
+    };
     let window = (horizon - record_from) as f64;
 
     // Measure the *marginal* cost of serving the burst's offloaded load:
@@ -96,8 +100,14 @@ pub fn fig9(kind: AppKind, profile: Profile) -> Fig9Report {
         cfg
     };
     let mut outcomes = run_all(vec![
-        Scenario::new("BeeHiveO", measure_cfg(Strategy::BeeHiveOpenWhisk)),
-        Scenario::new("BeeHiveL", measure_cfg(Strategy::BeeHiveLambda)),
+        Scenario::new(
+            format!("{} BeeHiveO", kind.name()),
+            measure_cfg(Strategy::BeeHiveOpenWhisk),
+        ),
+        Scenario::new(
+            format!("{} BeeHiveL", kind.name()),
+            measure_cfg(Strategy::BeeHiveLambda),
+        ),
     ]);
     let la = outcomes.pop().expect("lambda outcome").result;
     let ow = outcomes.pop().expect("openwhisk outcome").result;
@@ -118,7 +128,10 @@ pub fn fig9(kind: AppKind, profile: Profile) -> Fig9Report {
                 .iter()
                 .map(|&r| {
                     let prov = 61.0; // provisioning + app launch, §2.1/§5.2
-                    (r, ScalingKind::OnDemand.hourly_rate() * (3600.0 * r + prov) / 3600.0)
+                    (
+                        r,
+                        ScalingKind::OnDemand.hourly_rate() * (3600.0 * r + prov) / 3600.0,
+                    )
                 })
                 .collect(),
         },
@@ -128,7 +141,10 @@ pub fn fig9(kind: AppKind, profile: Profile) -> Fig9Report {
                 .iter()
                 .map(|&r| {
                     let prov = 46.0;
-                    (r, ScalingKind::Fargate.hourly_rate() * (3600.0 * r + prov) / 3600.0)
+                    (
+                        r,
+                        ScalingKind::Fargate.hourly_rate() * (3600.0 * r + prov) / 3600.0,
+                    )
                 })
                 .collect(),
         },
@@ -141,11 +157,17 @@ pub fn fig9(kind: AppKind, profile: Profile) -> Fig9Report {
         },
         Fig9Curve {
             label: "BeeHiveO",
-            points: ratios.iter().map(|&r| (r, ow_per_sec * 3600.0 * r)).collect(),
+            points: ratios
+                .iter()
+                .map(|&r| (r, ow_per_sec * 3600.0 * r))
+                .collect(),
         },
         Fig9Curve {
             label: "BeeHiveL",
-            points: ratios.iter().map(|&r| (r, la_per_sec * 3600.0 * r)).collect(),
+            points: ratios
+                .iter()
+                .map(|&r| (r, la_per_sec * 3600.0 * r))
+                .collect(),
         },
     ];
     curves.sort_by(|a, b| a.label.cmp(b.label));
@@ -193,7 +215,11 @@ impl ToJson for Fig9Report {
 
 impl fmt::Display for Fig9Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Figure 9 — {} cost ($/hour) vs burst ratio", self.app.name())?;
+        writeln!(
+            f,
+            "Figure 9 — {} cost ($/hour) vs burst ratio",
+            self.app.name()
+        )?;
         write!(f, "{:<12}", "ratio")?;
         for c in &self.curves {
             write!(f, "{:>12}", c.label)?;

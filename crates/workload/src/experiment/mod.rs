@@ -20,8 +20,8 @@
 //! given profile.
 
 pub mod ablation;
-pub mod combination;
 pub mod breakdown;
+pub mod combination;
 pub mod fig2;
 pub mod fig7;
 pub mod fig8;

@@ -4,11 +4,11 @@ use std::fmt;
 use std::sync::Arc;
 
 use beehive_apps::{App, AppKind, Fidelity};
-use beehive_sim::json::{Json, ToJson};
 use beehive_core::config::BeeHiveConfig;
 use beehive_core::{ServerRuntime, ServerSession, SessionStep};
 use beehive_db::Database;
 use beehive_proxy::Proxy;
+use beehive_sim::json::{Json, ToJson};
 use beehive_vm::natives::NativeCounters;
 use beehive_vm::{CostModel, Value};
 
@@ -122,8 +122,8 @@ impl fmt::Display for Table2Report {
         writeln!(f, "Table 2 — native methods in pybbs request handling")?;
         writeln!(
             f,
-            "{:<16} {:>18}  {}",
-            "Categories", "Invocation Numbers", "Representative Methods"
+            "{:<16} {:>18}  Representative Methods",
+            "Categories", "Invocation Numbers"
         )?;
         for r in &self.rows {
             writeln!(

@@ -128,7 +128,8 @@ impl fmt::Display for Table5Report {
             write!(f, "{:>12}", c.app.name())?;
         }
         writeln!(f)?;
-        let rows: Vec<(&str, fn(&Table5Column) -> f64)> = vec![
+        type Getter = fn(&Table5Column) -> f64;
+        let rows: Vec<(&str, Getter)> = vec![
             ("Fallbacks", |c| c.fallbacks),
             ("Fallback overhead (ms)", |c| c.fallback_overhead_ms),
             ("Remote fetching", |c| c.remote_fetching),
@@ -160,7 +161,11 @@ mod tests {
         let c = &t.columns[0];
         // Steady state: no remote fetching, only sync fallbacks remain
         // (Table 5: 0 fetches, 7 sync fallbacks for pybbs).
-        assert!(c.remote_fetching < 0.5, "steady fetches {}", c.remote_fetching);
+        assert!(
+            c.remote_fetching < 0.5,
+            "steady fetches {}",
+            c.remote_fetching
+        );
         assert!(
             c.fallbacks >= 1.0 && c.fallbacks <= 14.0,
             "steady fallbacks {}",

@@ -77,9 +77,7 @@ impl Strategy {
     /// The FaaS platform configuration, for offloading strategies.
     pub fn platform(self, app: &App) -> Option<PlatformConfig> {
         match self {
-            Strategy::BeeHiveOpenWhisk | Strategy::Combined(_) => {
-                Some(PlatformConfig::openwhisk())
-            }
+            Strategy::BeeHiveOpenWhisk | Strategy::Combined(_) => Some(PlatformConfig::openwhisk()),
             Strategy::BeeHiveOpenWhiskCrossAz => Some(PlatformConfig::openwhisk_cross_az()),
             Strategy::BeeHiveLambda => Some(PlatformConfig::lambda(app.lambda_memory_gb())),
             _ => None,
@@ -127,7 +125,9 @@ mod tests {
         assert!(Strategy::BeeHiveSingle.barriers_on());
         assert!(!Strategy::BeeHiveSingle.offloads());
         assert!(Strategy::BeeHiveOpenWhisk.offloads());
-        assert!(Strategy::Scaled(ScalingKind::OnDemand).scaling_kind().is_some());
+        assert!(Strategy::Scaled(ScalingKind::OnDemand)
+            .scaling_kind()
+            .is_some());
     }
 
     #[test]

@@ -28,7 +28,10 @@ fn main() {
     app.install(&mut server);
 
     let mut funcs: HashMap<u32, FunctionRuntime> = HashMap::new();
-    funcs.insert(0, FunctionRuntime::new(0, &app.program, CostModel::default()));
+    funcs.insert(
+        0,
+        FunctionRuntime::new(0, &app.program, CostModel::default()),
+    );
 
     println!("Failure recovery walkthrough (paper §4.5)\n");
     let net = server.config.net;

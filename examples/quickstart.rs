@@ -24,18 +24,12 @@ fn main() {
         "cold / warm boots:      {} / {}",
         report.boots.0, report.boots.1
     );
-    println!(
-        "pre-burst p99:          {:.1} ms",
-        report.pre_burst_p99_ms
-    );
+    println!("pre-burst p99:          {:.1} ms", report.pre_burst_p99_ms);
     match report.stabilization_secs {
         Some(s) => println!("stabilized after:       {s} s (from the burst start)"),
         None => println!("stabilized after:       (not within the horizon)"),
     }
-    println!(
-        "stabilized p99:         {:.1} ms",
-        report.stabilized_p99_ms
-    );
+    println!("stabilized p99:         {:.1} ms", report.stabilized_p99_ms);
     println!("FaaS bill:              ${:.4}", report.scaling_cost);
 
     println!("\nper-second p99 timeline (burst starts at t=20s):");

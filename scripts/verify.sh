@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Repo verification: tier-1 build + tests, a quick full reproduction pass,
-# and a golden-file check of one machine-readable report. Everything runs
-# offline — the workspace has no external dependencies.
+# Repo verification: style + lint gates, tier-1 build + tests, a quick full
+# reproduction pass, golden-file checks of the machine-readable reports, and
+# the metrics regression gate against the checked-in baseline. Everything
+# runs offline — the workspace has no external dependencies.
 #
 #   scripts/verify.sh
 #
@@ -9,17 +10,27 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> style: cargo fmt --check"
+cargo fmt --check
+
+echo "==> lint: cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
 echo "==> tier-1: cargo build --release --workspace"
 # --workspace: the root facade does not depend on beehive-bench, so a plain
-# build would leave target/release/repro stale. The touch forces a rebuild
-# of the telemetry crate with default features, in case a prior
-# `--features beehive-telemetry/compile-off` bench build left a probe-free
-# repro binary behind.
-touch crates/telemetry/src/lib.rs
+# build would leave target/release/repro stale.
 cargo build --release --offline --workspace
 
 echo "==> tier-1: cargo test -q"
 cargo test -q --offline
+
+echo "==> compile-off: probe-free bench build in its own target dir"
+# The probe-free configuration must keep compiling, and gets a dedicated
+# target dir: cargo keeps one artifact per target dir, so building
+# beehive-telemetry/compile-off into the shared target/ would leave a
+# probe-free repro binary behind for later plain builds to re-use as fresh.
+CARGO_TARGET_DIR=target/compile-off cargo bench --offline -p beehive-bench \
+  --bench telemetry --features beehive-telemetry/compile-off --no-run
 
 echo "==> repro all --quick (smoke: every table and figure regenerates)"
 ./target/release/repro all --quick --seed 42 > /dev/null
@@ -39,4 +50,15 @@ head -c 64 "$trace_dir/shadow.trace.json" | grep -q '^{"traceEvents":\[' \
   || { echo "trace file is not a Chrome trace-event document"; exit 1; }
 rm -rf "$trace_dir"
 
-echo "OK: build, tests, quick repro, and golden reports all pass."
+echo "==> metrics gate: repro compare against scripts/golden/metrics_quick"
+# A fixed path (not mktemp) so the committed BENCH_metrics.json is
+# byte-stable across verify runs.
+metrics_dir="target/metrics_quick"
+rm -rf "$metrics_dir" && mkdir -p "$metrics_dir"
+BEEHIVE_WORKERS=2 ./target/release/repro shadow fig9 --quick --seed 42 \
+  --metrics "$metrics_dir" > /dev/null
+./target/release/repro compare scripts/golden/metrics_quick "$metrics_dir" \
+  --bench-out BENCH_metrics.json
+rm -rf "$metrics_dir"
+
+echo "OK: style, lint, build, tests, quick repro, goldens, and the metrics gate all pass."

@@ -72,7 +72,15 @@ fn run_offloaded(
     let net = server.config.net;
     let mut s = {
         let f = funcs.get_mut(&id).expect("instance");
-        OffloadSession::start(server, f, app.root, vec![Value::I64(arg)], false, net, false)
+        OffloadSession::start(
+            server,
+            f,
+            app.root,
+            vec![Value::I64(arg)],
+            false,
+            net,
+            false,
+        )
     };
     loop {
         let fid = s.function_id;
@@ -108,12 +116,17 @@ fn offloaded_execution_is_semantically_transparent() {
 
         // Reference: all requests on the server.
         let mut ref_server = runtime_for(&app);
-        let ref_results: Vec<Value> = (0..6).map(|i| run_server(&mut ref_server, &app, i)).collect();
+        let ref_results: Vec<Value> = (0..6)
+            .map(|i| run_server(&mut ref_server, &app, i))
+            .collect();
 
         // Subject: the same requests, strictly alternating server/function.
         let mut server = runtime_for(&app);
         let mut funcs = HashMap::new();
-        funcs.insert(0, FunctionRuntime::new(0, &app.program, CostModel::default()));
+        funcs.insert(
+            0,
+            FunctionRuntime::new(0, &app.program, CostModel::default()),
+        );
         let results: Vec<Value> = (0..6)
             .map(|i| {
                 if i % 2 == 0 {
@@ -148,7 +161,10 @@ fn shared_state_is_consistent_across_many_instances() {
     let mut server = runtime_for(&app);
     let mut funcs = HashMap::new();
     for id in 0..4 {
-        funcs.insert(id, FunctionRuntime::new(id, &app.program, CostModel::default()));
+        funcs.insert(
+            id,
+            FunctionRuntime::new(id, &app.program, CostModel::default()),
+        );
     }
     let n = 12;
     for i in 0..n {
@@ -164,9 +180,11 @@ fn shared_state_is_consistent_across_many_instances() {
         .map(beehive::vm::StaticSlot)
         .find(|s| {
             // LOCK_0 is the first lock static.
-            server.vm.static_value(*s).as_ref().is_some_and(|a| {
-                program.class(server.vm.heap.class_of(a)).name == "SharedLock"
-            })
+            server
+                .vm
+                .static_value(*s)
+                .as_ref()
+                .is_some_and(|a| program.class(server.vm.heap.class_of(a)).name == "SharedLock")
         })
         .expect("lock static exists");
     let lock = server.vm.static_value(slot).as_ref().unwrap();
@@ -248,7 +266,11 @@ fn profiler_selects_the_annotated_root_method() {
     let roots = server
         .profiler
         .select_roots(&app.program, Duration::from_millis(1));
-    assert_eq!(roots, vec![app.root], "the @PostMapping handler is the root");
+    assert_eq!(
+        roots,
+        vec![app.root],
+        "the @PostMapping handler is the root"
+    );
     // The profile shows the accumulated time that ranked it.
     let prof = server.profiler.profile(app.root).expect("sampled");
     assert_eq!(prof.invocations, 12);
@@ -263,7 +285,10 @@ fn state_stays_on_the_server() {
     let app = App::build(AppKind::Blog, Fidelity::Scaled(4096));
     let mut server = runtime_for(&app);
     let mut funcs = HashMap::new();
-    funcs.insert(0, FunctionRuntime::new(0, &app.program, CostModel::default()));
+    funcs.insert(
+        0,
+        FunctionRuntime::new(0, &app.program, CostModel::default()),
+    );
     run_offloaded(&mut server, &app, &mut funcs, 0, 1);
     // The function's heap holds only the (small) closure — the handful of
     // shared objects the request touches — while the application's actual
@@ -275,7 +300,11 @@ fn state_stays_on_the_server() {
         func_heap < 4096,
         "the closure stays lightweight: {func_heap} bytes"
     );
-    assert_eq!(server.proxy.db().table_len(0), 1000, "content stays in the DB");
+    assert_eq!(
+        server.proxy.db().table_len(0),
+        1000,
+        "content stays in the DB"
+    );
     // And the function reaches that state only through the shared
     // connection, not by copying it.
     assert!(server.proxy.round_stats().1 > 0, "function used the proxy");

@@ -287,7 +287,10 @@ fn ps_pool_conserves_work() {
                 assert!(t >= last, "case {case}: completions move forward");
                 last = t;
                 pool.remove(t, done);
-                assert!(completed.insert(done), "case {case}: each job completes once");
+                assert!(
+                    completed.insert(done),
+                    "case {case}: each job completes once"
+                );
             }
             pool.add(arrival, id as u64, Duration::from_micros(*work));
         }
