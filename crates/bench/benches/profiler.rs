@@ -1,0 +1,152 @@
+//! Profiler overhead guard.
+//!
+//! The call-tree probes sit on the interpreter's hottest edges — every frame
+//! push, every return, every run-segment boundary — so their disabled path
+//! must be near-free. This bench pins that down two ways:
+//!
+//! * `probe/*` — the raw cost of one probe call with no recorder installed
+//!   and with a recorder attached (the recording-sink cost per push/pop),
+//! * `request/offload` — a hot end-to-end experiment iteration (the same
+//!   shape as `telemetry.rs`'s) with profiler probes present but disabled.
+//!
+//! Run it once normally and once with the probes compiled out entirely, then
+//! compare the `request/offload` rows — they should be indistinguishable:
+//!
+//! ```text
+//! cargo bench -p beehive-bench --bench profiler
+//! CARGO_TARGET_DIR=target/compile-off \
+//!     cargo bench -p beehive-bench --bench profiler \
+//!     --features beehive-profiler/compile-off
+//! ```
+//!
+//! The header line reports which mode the binary was compiled in. Give the
+//! compiled-off run its own `CARGO_TARGET_DIR` (see `telemetry.rs` for why).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use beehive_apps::{App, AppKind, Fidelity};
+use beehive_bench::{black_box, BenchConfig, Harness};
+use beehive_core::config::BeeHiveConfig;
+use beehive_core::{FunctionRuntime, OffloadSession, ServerRuntime, SessionStep};
+use beehive_db::Database;
+use beehive_profiler as prof;
+use beehive_proxy::Proxy;
+use beehive_sim::Duration;
+use beehive_vm::{CostModel, Value};
+
+fn fresh_server(app: &App) -> ServerRuntime {
+    let mut server = ServerRuntime::new(
+        Arc::clone(&app.program),
+        BeeHiveConfig::default(),
+        Proxy::new(Database::new()),
+        CostModel::default(),
+    );
+    app.install(&mut server);
+    server
+}
+
+fn drive_offload(
+    server: &mut ServerRuntime,
+    session: &mut OffloadSession,
+    funcs: &mut HashMap<u32, FunctionRuntime>,
+) -> Value {
+    loop {
+        let id = session.function_id;
+        let mut f = funcs.remove(&id).unwrap();
+        let step = session.next(server, &mut f);
+        funcs.insert(id, f);
+        match step {
+            SessionStep::Need(_) => {}
+            SessionStep::SyncFromPeer { .. }
+            | SessionStep::ServerGc
+            | SessionStep::AwaitLock { .. } => unreachable!("single instance, no peers"),
+            SessionStep::Finished(v) => return v,
+        }
+    }
+}
+
+fn bench_probes(h: &mut Harness) {
+    // No recorder installed: the disabled path every unprofiled simulation
+    // pays on each probe site (one thread-local check).
+    let mut cpu = Duration::ZERO;
+    h.bench("probe/disabled/push_pop", || {
+        cpu += Duration::from_nanos(1);
+        prof::push(black_box(7), cpu);
+        prof::pop(cpu);
+    });
+    h.bench("probe/disabled/segment", || {
+        cpu += Duration::from_nanos(1);
+        prof::begin_segment("server", None, [black_box(3u32)].into_iter(), false);
+        prof::end_segment(cpu);
+    });
+
+    if prof::COMPILED_OFF {
+        return; // a recorder cannot be driven when probes compile to nothing
+    }
+    // Recorder installed: the recording-sink cost per push/pop. The call
+    // tree only grows with distinct stacks, so one hot frame pair keeps
+    // memory flat and nothing needs draining.
+    prof::install();
+    prof::begin_segment("server", None, [0u32].into_iter(), true);
+    h.bench("probe/recording/push_pop", || {
+        cpu += Duration::from_nanos(1);
+        prof::push(black_box(7), cpu);
+        prof::pop(cpu);
+    });
+    prof::end_segment(cpu);
+    black_box(prof::take());
+}
+
+fn bench_offload_request(h: &mut Harness) {
+    let app = App::build(AppKind::Pybbs, Fidelity::Scaled(2048));
+    let mut server = fresh_server(&app);
+    let mut funcs = HashMap::new();
+    funcs.insert(
+        0,
+        FunctionRuntime::new(0, &app.program, CostModel::default()),
+    );
+    let net = server.config.net;
+    let mut warm = OffloadSession::start(
+        &mut server,
+        funcs.get_mut(&0).unwrap(),
+        app.root,
+        vec![Value::I64(1)],
+        false,
+        net,
+        false,
+    );
+    drive_offload(&mut server, &mut warm, &mut funcs);
+    let mut arg = 0i64;
+    h.bench("request/offload", || {
+        arg = (arg + 1) % 997;
+        let mut s = {
+            let f = funcs.get_mut(&0).unwrap();
+            OffloadSession::start(
+                &mut server,
+                f,
+                app.root,
+                vec![Value::I64(arg)],
+                false,
+                net,
+                false,
+            )
+        };
+        drive_offload(&mut server, &mut s, &mut funcs)
+    });
+}
+
+fn main() {
+    println!(
+        "profiler mode: {}",
+        if prof::COMPILED_OFF {
+            "compiled off (feature beehive-profiler/compile-off)"
+        } else {
+            "no-op sink (probes live, no recorder)"
+        }
+    );
+    let mut h = Harness::new(BenchConfig::default().samples(20));
+    bench_probes(&mut h);
+    bench_offload_request(&mut h);
+    h.finish();
+}

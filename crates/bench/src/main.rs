@@ -2,9 +2,11 @@
 //!
 //! ```text
 //! repro [--quick] [--seed N] [--json] [--trace DIR] [--metrics DIR]
+//!       [--profile DIR]
 //!       [list|all|fig2|table1|table2|fig7|table3|fig8|
 //!        fig9|table4|fig10|table5|gcstats|shadow|ablations|combination]
 //! repro compare BASELINE CURRENT [--bench-out FILE]
+//! repro top ITEM [--quick] [--seed N] [--top N]
 //! ```
 //!
 //! Without a subcommand, everything runs in paper order; `repro list`
@@ -26,6 +28,16 @@
 //! (`DIR/<item>.metrics.json`, the `beehive_metrics` JSON shape) plus a
 //! Prometheus text-exposition rendering (`DIR/<item>.prom`). These too are
 //! byte-identical at any worker count for a fixed seed.
+//!
+//! `--profile DIR` records an exact-attribution call-tree profile of every
+//! simulation (per endpoint lane: `server`, `faas:primary`, `faas:shadow`)
+//! and writes, per experiment, a collapsed-stack file (`DIR/<item>.folded`,
+//! flamegraph.pl / inferno compatible, scenario label as the first frame)
+//! plus the full call tree (`DIR/<item>.profile.json`). When combined with
+//! `--trace`, each scenario's summary gains a `"hottest"` per-lane table.
+//! Byte-identical at any worker count for a fixed seed. `repro top ITEM`
+//! runs one item with profiling on and prints the per-lane hottest-method
+//! tables directly.
 //!
 //! `repro compare BASELINE CURRENT` diffs two such snapshot directories
 //! over the watched-metric table (P50/P99 request latency, fallback count,
@@ -64,10 +76,14 @@ fn main() {
     if args.first().map(String::as_str) == Some("compare") {
         run_compare(&args[1..]);
     }
+    if args.first().map(String::as_str) == Some("top") {
+        run_top(&args[1..]);
+    }
     let mut profile = Profile::full();
     let mut json = false;
     let mut trace_dir: Option<std::path::PathBuf> = None;
     let mut metrics_dir: Option<std::path::PathBuf> = None;
+    let mut profile_dir: Option<std::path::PathBuf> = None;
     let mut cmds: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -86,11 +102,15 @@ fn main() {
             "--metrics" => {
                 metrics_dir = Some(dir_value(&mut it, "--metrics"));
             }
+            "--profile" => {
+                profile_dir = Some(dir_value(&mut it, "--profile"));
+            }
             "--help" | "-h" => {
                 println!(
-                    "repro [--quick] [--seed N] [--json] [--trace DIR] [--metrics DIR] [list|all|fig2|table1|table2|fig7|table3|fig8|fig9|table4|fig10|table5|gcstats|shadow|ablations|combination]"
+                    "repro [--quick] [--seed N] [--json] [--trace DIR] [--metrics DIR] [--profile DIR] [list|all|fig2|table1|table2|fig7|table3|fig8|fig9|table4|fig10|table5|gcstats|shadow|ablations|combination]"
                 );
                 println!("repro compare BASELINE CURRENT [--bench-out FILE]");
+                println!("repro top ITEM [--quick] [--seed N] [--top N]");
                 return;
             }
             other if other.starts_with('-') => {
@@ -140,6 +160,16 @@ fn main() {
             .unwrap_or_else(|e| die(&format!("creating {}: {e}", dir.display())));
         beehive_workload::engine::set_metrics_default(true);
     }
+    if let Some(dir) = &profile_dir {
+        if beehive_profiler::COMPILED_OFF {
+            die(
+                "--profile is unavailable: this binary was built with beehive-profiler/compile-off",
+            );
+        }
+        std::fs::create_dir_all(dir)
+            .unwrap_or_else(|e| die(&format!("creating {}: {e}", dir.display())));
+        beehive_workload::engine::set_profile_default(true);
+    }
 
     let all = cmds.iter().any(|c| c == "all");
     let want = |name: &str| all || cmds.iter().any(|c| c == name);
@@ -182,7 +212,8 @@ fn main() {
             banner("Figure 2");
             println!("{rep}");
         }
-        flush_traces(trace_dir.as_deref(), "fig2");
+        let profiles = flush_profiles(profile_dir.as_deref(), "fig2");
+        flush_traces(trace_dir.as_deref(), "fig2", &profiles);
         flush_metrics(metrics_dir.as_deref(), "fig2");
     }
 
@@ -264,7 +295,8 @@ fn main() {
                 }
             }
         }
-        flush_traces(trace_dir.as_deref(), "fig7");
+        let profiles = flush_profiles(profile_dir.as_deref(), "fig7");
+        flush_traces(trace_dir.as_deref(), "fig7", &profiles);
         flush_metrics(metrics_dir.as_deref(), "fig7");
     }
 
@@ -281,7 +313,8 @@ fn main() {
                 println!("{}", fig8(kind, profile));
             }
         }
-        flush_traces(trace_dir.as_deref(), "fig8");
+        let profiles = flush_profiles(profile_dir.as_deref(), "fig8");
+        flush_traces(trace_dir.as_deref(), "fig8", &profiles);
         flush_metrics(metrics_dir.as_deref(), "fig8");
     }
 
@@ -302,7 +335,8 @@ fn main() {
                 println!("{}", fig9(kind, profile));
             }
         }
-        flush_traces(trace_dir.as_deref(), "fig9");
+        let profiles = flush_profiles(profile_dir.as_deref(), "fig9");
+        flush_traces(trace_dir.as_deref(), "fig9", &profiles);
         flush_metrics(metrics_dir.as_deref(), "fig9");
     }
 
@@ -314,7 +348,8 @@ fn main() {
             banner("Table 4");
             println!("{rep}");
         }
-        flush_traces(trace_dir.as_deref(), "table4");
+        let profiles = flush_profiles(profile_dir.as_deref(), "table4");
+        flush_traces(trace_dir.as_deref(), "table4", &profiles);
         flush_metrics(metrics_dir.as_deref(), "table4");
     }
 
@@ -326,7 +361,8 @@ fn main() {
             banner("Figure 10");
             println!("{rep}");
         }
-        flush_traces(trace_dir.as_deref(), "fig10");
+        let profiles = flush_profiles(profile_dir.as_deref(), "fig10");
+        flush_traces(trace_dir.as_deref(), "fig10", &profiles);
         flush_metrics(metrics_dir.as_deref(), "fig10");
     }
 
@@ -338,7 +374,8 @@ fn main() {
             banner("Table 5");
             println!("{rep}");
         }
-        flush_traces(trace_dir.as_deref(), "table5");
+        let profiles = flush_profiles(profile_dir.as_deref(), "table5");
+        flush_traces(trace_dir.as_deref(), "table5", &profiles);
         flush_metrics(metrics_dir.as_deref(), "table5");
     }
 
@@ -350,7 +387,8 @@ fn main() {
             banner("§5.6 — memory consumption and GC");
             println!("{rep}");
         }
-        flush_traces(trace_dir.as_deref(), "gcstats");
+        let profiles = flush_profiles(profile_dir.as_deref(), "gcstats");
+        flush_traces(trace_dir.as_deref(), "gcstats", &profiles);
         flush_metrics(metrics_dir.as_deref(), "gcstats");
     }
 
@@ -370,7 +408,8 @@ fn main() {
                 println!("{}", shadow_breakdown(kind, profile));
             }
         }
-        flush_traces(trace_dir.as_deref(), "shadow");
+        let profiles = flush_profiles(profile_dir.as_deref(), "shadow");
+        flush_traces(trace_dir.as_deref(), "shadow", &profiles);
         flush_metrics(metrics_dir.as_deref(), "shadow");
     }
 
@@ -382,7 +421,8 @@ fn main() {
             banner("Ablations");
             println!("{rep}");
         }
-        flush_traces(trace_dir.as_deref(), "ablations");
+        let profiles = flush_profiles(profile_dir.as_deref(), "ablations");
+        flush_traces(trace_dir.as_deref(), "ablations", &profiles);
         flush_metrics(metrics_dir.as_deref(), "ablations");
     }
 
@@ -394,7 +434,8 @@ fn main() {
             banner("§5.7 — combination mode");
             println!("{rep}");
         }
-        flush_traces(trace_dir.as_deref(), "combination");
+        let profiles = flush_profiles(profile_dir.as_deref(), "combination");
+        flush_traces(trace_dir.as_deref(), "combination", &profiles);
         flush_metrics(metrics_dir.as_deref(), "combination");
     }
 
@@ -459,8 +500,14 @@ fn list_items() {
 
 /// Write the traces drained from the engine as `DIR/<name>.trace.json`
 /// (Chrome trace-event format) plus `DIR/<name>.summary.json` (per-request
-/// critical-path summary). No-op when tracing is off or nothing ran.
-fn flush_traces(dir: Option<&std::path::Path>, name: &str) {
+/// critical-path summary). When `profiles` holds a call-tree profile for a
+/// scenario label, that scenario's summary gains a `"hottest"` per-lane
+/// top-methods table. No-op when tracing is off or nothing ran.
+fn flush_traces(
+    dir: Option<&std::path::Path>,
+    name: &str,
+    profiles: &[(String, beehive_profiler::Profile)],
+) {
     let Some(dir) = dir else { return };
     let traces = beehive_workload::engine::drain_traces();
     if traces.is_empty() {
@@ -473,17 +520,201 @@ fn flush_traces(dir: Option<&std::path::Path>, name: &str) {
     )
     .unwrap_or_else(|e| die(&format!("writing {}: {e}", trace_path.display())));
     let summary_path = dir.join(format!("{name}.summary.json"));
-    std::fs::write(
-        &summary_path,
-        beehive_telemetry::summary::critical_path(&traces).render(),
-    )
-    .unwrap_or_else(|e| die(&format!("writing {}: {e}", summary_path.display())));
+    let summary = beehive_telemetry::summary::critical_path_with(&traces, &|label| {
+        profiles
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, p)| p.hottest_json(5))
+    });
+    std::fs::write(&summary_path, summary.render())
+        .unwrap_or_else(|e| die(&format!("writing {}: {e}", summary_path.display())));
     eprintln!(
         "trace: wrote {} ({} scenarios) and {}",
         trace_path.display(),
         traces.len(),
         summary_path.display()
     );
+}
+
+/// Write the call-tree profiles drained from the engine as `DIR/<name>.folded`
+/// (Brendan Gregg collapsed stacks — the scenario label, sanitized, is the
+/// first frame of every line, so one file holds every scenario of the item
+/// and feeds flamegraph.pl / inferno unchanged) plus `DIR/<name>.profile.json`
+/// (the full per-lane call trees and per-instance totals). Returns the
+/// drained profiles so the trace summary can embed hottest-method tables.
+/// No-op when profiling is off or nothing ran.
+fn flush_profiles(
+    dir: Option<&std::path::Path>,
+    name: &str,
+) -> Vec<(String, beehive_profiler::Profile)> {
+    let Some(dir) = dir else { return Vec::new() };
+    let profiles = beehive_workload::engine::drain_profiles();
+    if profiles.is_empty() {
+        return profiles;
+    }
+    let mut folded = String::new();
+    for (label, p) in &profiles {
+        // Folded frames may not contain the `;` separator or the trailing
+        // count's space; scenario labels may.
+        let prefix: String = label
+            .chars()
+            .map(|c| if c == ' ' || c == ';' { '_' } else { c })
+            .collect();
+        for line in p.folded().lines() {
+            folded.push_str(&prefix);
+            folded.push(';');
+            folded.push_str(line);
+            folded.push('\n');
+        }
+    }
+    let folded_path = dir.join(format!("{name}.folded"));
+    std::fs::write(&folded_path, folded)
+        .unwrap_or_else(|e| die(&format!("writing {}: {e}", folded_path.display())));
+    let json_path = dir.join(format!("{name}.profile.json"));
+    let doc = Json::obj([(
+        "scenarios".into(),
+        Json::Arr(
+            profiles
+                .iter()
+                .map(|(label, p)| {
+                    Json::obj([
+                        ("label".into(), Json::from(label.clone())),
+                        ("profile".into(), p.to_json()),
+                    ])
+                })
+                .collect(),
+        ),
+    )]);
+    std::fs::write(&json_path, doc.render())
+        .unwrap_or_else(|e| die(&format!("writing {}: {e}", json_path.display())));
+    eprintln!(
+        "profile: wrote {} ({} scenarios) and {}",
+        folded_path.display(),
+        profiles.len(),
+        json_path.display()
+    );
+    profiles
+}
+
+/// Run one item with profiling enabled, discarding its report. The list of
+/// simulations mirrors the main dispatch (`table1`/`table2` run no
+/// simulations and are rejected by the caller).
+fn run_profiled_item(item: &str, profile: Profile) {
+    let apps = AppKind::all();
+    match item {
+        "fig2" => {
+            fig2(profile);
+        }
+        "fig7" | "table3" => {
+            for kind in apps {
+                fig7(kind, profile);
+            }
+        }
+        "fig8" => {
+            for kind in apps {
+                fig8(kind, profile);
+            }
+        }
+        "fig9" => {
+            let mut kinds = vec![AppKind::Pybbs];
+            if !profile.quick {
+                kinds.extend([AppKind::Blog, AppKind::Thumbnail]);
+            }
+            for kind in kinds {
+                fig9(kind, profile);
+            }
+        }
+        "table4" => {
+            table4(&apps, profile);
+        }
+        "fig10" => {
+            fig10(profile);
+        }
+        "table5" => {
+            table5(&apps, profile);
+        }
+        "gcstats" => {
+            gc_stats(&apps, profile);
+        }
+        "shadow" => {
+            for kind in apps {
+                shadow_breakdown(kind, profile);
+            }
+        }
+        "ablations" => {
+            ablation(AppKind::Pybbs, profile);
+        }
+        "combination" => {
+            combination(AppKind::Pybbs, profile);
+        }
+        other => die(&format!(
+            "item {other:?} has no simulations to profile (run `repro list`)"
+        )),
+    }
+}
+
+/// `repro top ITEM [--quick] [--seed N] [--top N]`: run one item with the
+/// call-tree profiler on and print, per scenario and per endpoint lane, the
+/// top-N frames by self time.
+fn run_top(args: &[String]) -> ! {
+    if beehive_profiler::COMPILED_OFF {
+        die("`repro top` is unavailable: this binary was built with beehive-profiler/compile-off");
+    }
+    let mut profile = Profile::full();
+    let mut n = 5usize;
+    let mut items: Vec<String> = Vec::new();
+    let mut it = args.iter().cloned();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => profile.quick = true,
+            "--seed" => {
+                profile.seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "--top" => {
+                n = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| die("--top needs a positive integer"));
+            }
+            other if other.starts_with('-') => {
+                die(&format!("unknown flag {other:?} for `repro top`"))
+            }
+            other => items.push(other.to_string()),
+        }
+    }
+    let [item] = items.as_slice() else {
+        die("usage: repro top ITEM [--quick] [--seed N] [--top N]");
+    };
+    beehive_workload::engine::set_profile_default(true);
+    run_profiled_item(item, profile);
+    let profiles = beehive_workload::engine::drain_profiles();
+    if profiles.is_empty() {
+        die(&format!("item {item:?} produced no profile"));
+    }
+    for (label, p) in &profiles {
+        banner(&format!("{item} — {label}"));
+        for (lane, rows) in p.hottest(n) {
+            println!("\n  lane {lane}");
+            println!(
+                "    {:<44} {:>12} {:>12} {:>10}",
+                "frame", "self_ms", "total_ms", "calls"
+            );
+            for r in rows {
+                println!(
+                    "    {:<44} {:>12.3} {:>12.3} {:>10}",
+                    r.frame,
+                    r.self_ns as f64 / 1e6,
+                    r.total_ns as f64 / 1e6,
+                    r.calls
+                );
+            }
+        }
+    }
+    std::process::exit(0)
 }
 
 /// Pull the directory value of `flag` off the argument iterator; a missing

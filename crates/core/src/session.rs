@@ -33,6 +33,7 @@
 use std::collections::VecDeque;
 
 use beehive_db::WriteKey;
+use beehive_profiler as prof;
 use beehive_proxy::{ConnId, Origin};
 use beehive_sim::Duration;
 use beehive_telemetry as tele;
@@ -175,6 +176,11 @@ pub struct ServerSession {
     fix: Option<ServerFix>,
     done: Option<Value>,
     finished: bool,
+    /// Profile-tree position of the bytecode site that last blocked this
+    /// request; synthetic cost frames (`[db]`, `[gc]`, `[sync:monitor]`)
+    /// attach here. Captured right after each run segment because other
+    /// requests interleave on the thread before the fix applies.
+    prof_mark: Option<prof::ProfMark>,
     /// Per-request statistics.
     pub stats: SessionStats,
 }
@@ -194,6 +200,7 @@ impl ServerSession {
             fix: None,
             done: None,
             finished: false,
+            prof_mark: None,
             stats: SessionStats::default(),
         }
     }
@@ -216,8 +223,16 @@ impl ServerSession {
 
     /// Deliver the GC pause after a [`SessionStep::ServerGc`].
     pub fn gc_done(&mut self, pause: Duration) {
+        self.prof_synth("[gc]", pause);
         self.queue
             .push_front(Pending::Need(Need::new(Resource::ServerCpu, pause)));
+    }
+
+    /// Attach a synthetic cost frame at the site that last blocked us.
+    fn prof_synth(&mut self, name: &'static str, d: Duration) {
+        if let Some(m) = self.prof_mark {
+            prof::synthetic(m, name, d);
+        }
     }
 
     /// Advance the session.
@@ -257,6 +272,7 @@ impl ServerSession {
 
             let program = std::sync::Arc::clone(&server.program);
             let r = self.exec.run(&mut server.vm, &program);
+            self.prof_mark = prof::mark();
             if !r.cpu.is_zero() {
                 self.queue
                     .push_back(Pending::Need(Need::new(Resource::ServerCpu, r.cpu)));
@@ -279,6 +295,7 @@ impl ServerSession {
                     let svc = def.service_time();
                     let write = def.kind.is_write();
                     let net = server.config.net.server_db;
+                    self.prof_synth("[db]", net + svc + net);
                     self.queue
                         .push_back(Pending::Need(Need::new(Resource::Net, net)));
                     self.queue
@@ -334,6 +351,7 @@ impl ServerSession {
                     );
                 }
                 let net = server.config.net.function_server;
+                self.prof_synth("[sync:monitor]", net + server.config.sync_base_cost + net);
                 self.queue
                     .push_back(Pending::Need(Need::new(Resource::Net, net).fb()));
                 self.queue.push_back(Pending::Peer(peer, Some(obj)));
@@ -456,6 +474,9 @@ pub struct OffloadSession {
     /// Monitors acquired while shadowing, released (and returned to the
     /// server) at completion so the shadow leaves no ownership traces.
     shadow_monitors: Vec<(Addr, Addr)>,
+    /// Profile-tree position of the bytecode site that last blocked this
+    /// request (see [`ServerSession`]'s field of the same name).
+    prof_mark: Option<prof::ProfMark>,
     snapshot: Option<Box<Snapshot>>,
     /// Per-request statistics.
     pub stats: SessionStats,
@@ -507,6 +528,9 @@ impl OffloadSession {
     ) -> Self {
         let request = server.next_request_id();
         server.stats.requests_offloaded += 1;
+        // Tag the instance's lane (`faas:primary` vs `faas:shadow`) for the
+        // call-tree profiler before any interpreter segment runs.
+        func.vm.set_shadow(shadow);
         let warm = func.instantiated_for == Some(root);
         let mut queue = VecDeque::new();
         let mut stats = SessionStats::default();
@@ -571,6 +595,7 @@ impl OffloadSession {
             finished: false,
             peer_objects: Vec::new(),
             shadow_monitors: Vec::new(),
+            prof_mark: None,
             snapshot: None,
             stats,
         }
@@ -641,6 +666,7 @@ impl OffloadSession {
 
             let program = std::sync::Arc::clone(&server.program);
             let r = self.exec.run(&mut func.vm, &program);
+            self.prof_mark = prof::mark();
             if !r.cpu.is_zero() {
                 self.queue
                     .push_back(Pending::Need(Need::new(Resource::FunctionCpu, r.cpu)));
@@ -668,13 +694,13 @@ impl OffloadSession {
                         );
                     }
                     let bytes = program.class_bytes(class) as u64;
-                    self.fallback_round_trip(server, self.net.transfer(bytes));
+                    self.fallback_round_trip(server, self.net.transfer(bytes), "[fallback:code]");
                     self.fix = Some(OffloadFix::FetchClass(class));
                 }
                 Outcome::Blocked(Block::RemoteRef { addr, prov }) => {
                     self.stats.fallbacks_data += 1;
                     tele::begin(treq(self.request), "fallback:data", &[]);
-                    self.fallback_round_trip(server, self.net.transfer(256));
+                    self.fallback_round_trip(server, self.net.transfer(256), "[fallback:data]");
                     self.fix = Some(OffloadFix::FetchObject {
                         canonical: addr.to_local(),
                         prov,
@@ -683,7 +709,7 @@ impl OffloadSession {
                 Outcome::Blocked(Block::RemoteStatic { slot }) => {
                     self.stats.fallbacks_data += 1;
                     tele::begin(treq(self.request), "fallback:static", &[]);
-                    self.fallback_round_trip(server, Duration::ZERO);
+                    self.fallback_round_trip(server, Duration::ZERO, "[fallback:static]");
                     self.fix = Some(OffloadFix::FetchStatic(slot));
                 }
                 Outcome::Blocked(Block::MonitorAcquire { obj }) => {
@@ -699,6 +725,7 @@ impl OffloadSession {
                 Outcome::Blocked(Block::VolatileSync { slot, .. }) => {
                     self.stats.fallbacks_sync += 1;
                     tele::begin(treq(self.request), "sync:volatile", &[]);
+                    self.prof_synth("[sync:volatile]", f_s + server.config.sync_base_cost + f_s);
                     self.queue
                         .push_back(Pending::Need(Need::new(Resource::Net, f_s).fb()));
                     self.queue.push_back(Pending::Need(
@@ -725,6 +752,7 @@ impl OffloadSession {
                                 .connection(offload_id)
                                 .expect("packaged socket was attached at closure time");
                             let f_db = self.net.function_db;
+                            self.prof_synth("[db:proxy]", f_db + svc + f_db);
                             self.queue
                                 .push_back(Pending::Need(Need::new(Resource::Net, f_db)));
                             self.queue
@@ -774,6 +802,10 @@ impl OffloadSession {
                                 other => panic!("server socket state missing: {other:?}"),
                             };
                             let s_db = self.net.server_db;
+                            self.prof_synth(
+                                "[db:fallback]",
+                                f_s + server.config.fallback_handle_cost + s_db + svc + s_db + f_s,
+                            );
                             self.queue
                                 .push_back(Pending::Need(Need::new(Resource::Net, f_s).fb()));
                             self.queue.push_back(Pending::Need(
@@ -807,6 +839,10 @@ impl OffloadSession {
                         );
                     }
                     let cost = server.program.native(native).cost;
+                    self.prof_synth(
+                        "[fallback:native]",
+                        f_s + server.config.fallback_handle_cost + cost + f_s,
+                    );
                     self.queue
                         .push_back(Pending::Need(Need::new(Resource::Net, f_s).fb()));
                     self.queue.push_back(Pending::Need(
@@ -822,6 +858,7 @@ impl OffloadSession {
                 }
                 Outcome::Blocked(Block::GcNeeded { .. }) => {
                     let pause = func.vm.collect(&mut [&mut self.exec], &mut []).pause;
+                    self.prof_synth("[gc]", pause);
                     self.queue
                         .push_back(Pending::Need(Need::new(Resource::FunctionCpu, pause)));
                     self.fix = Some(OffloadFix::Resume);
@@ -830,8 +867,17 @@ impl OffloadSession {
         }
     }
 
-    fn fallback_round_trip(&mut self, server: &ServerRuntime, extra_transfer: Duration) {
+    fn fallback_round_trip(
+        &mut self,
+        server: &ServerRuntime,
+        extra_transfer: Duration,
+        synth: &'static str,
+    ) {
         let f_s = self.net.function_server;
+        self.prof_synth(
+            synth,
+            f_s + server.config.fallback_handle_cost + f_s + extra_transfer,
+        );
         self.queue
             .push_back(Pending::Need(Need::new(Resource::Net, f_s).fetching()));
         self.queue.push_back(Pending::Need(
@@ -840,6 +886,13 @@ impl OffloadSession {
         self.queue.push_back(Pending::Need(
             Need::new(Resource::Net, f_s + extra_transfer).fetching(),
         ));
+    }
+
+    /// Attach a synthetic cost frame at the site that last blocked us.
+    fn prof_synth(&mut self, name: &'static str, d: Duration) {
+        if let Some(m) = self.prof_mark {
+            prof::synthetic(m, name, d);
+        }
     }
 
     fn apply_fix(
@@ -871,15 +924,18 @@ impl OffloadSession {
                     );
                 }
                 let f_s = self.net.function_server;
+                let mut sync_cost = f_s + server.config.sync_base_cost + f_s;
                 self.queue
                     .push_back(Pending::Need(Need::new(Resource::Net, f_s).fb()));
                 if let EndpointId::Function(p) = prev {
                     if p != func.id {
+                        sync_cost += f_s;
                         self.queue.push_back(Pending::Peer(p, Some(canonical)));
                         self.queue
                             .push_back(Pending::Need(Need::new(Resource::Net, f_s).fb()));
                     }
                 }
+                self.prof_synth("[sync:monitor]", sync_cost);
                 self.queue.push_back(Pending::Need(
                     Need::new(Resource::ServerCpu, server.config.sync_base_cost).fb(),
                 ));

@@ -192,6 +192,58 @@ mod tests {
     }
 
     #[test]
+    fn exactly_at_tolerance_passes_and_one_past_it_regresses() {
+        fn gc(total_ns: u64) -> MetricsSnapshot {
+            let mut r = Registry::new(DEFAULT_WINDOW);
+            r.add("gc_pause_ns", SimTime::ZERO, total_ns);
+            MetricsSnapshot {
+                window: DEFAULT_WINDOW,
+                scenarios: vec![r.snapshot("s")],
+            }
+        }
+        let base = gc(1_000_000);
+        // gc_pause_ns tolerates +10%: exactly baseline × 1.1 is *within*
+        // tolerance (the rule is strictly-greater-than)…
+        let at = compare(&base, &gc(1_100_000));
+        let d = at.iter().find(|d| d.metric == "gc_pause_ns.total").unwrap();
+        assert!(!d.regressed, "exactly +10% must pass: {d:?}");
+        // …and the smallest representable step past it regresses.
+        let over = compare(&base, &gc(1_100_001));
+        let d = over
+            .iter()
+            .find(|d| d.metric == "gc_pause_ns.total")
+            .unwrap();
+        assert!(d.regressed, "one nanosecond past +10% must fail: {d:?}");
+        // Zero tolerance: equal holds, the smallest increase regresses.
+        let deltas = compare(&snap(50, 2), &snap(50, 2));
+        let d = deltas
+            .iter()
+            .find(|d| d.metric == "fallbacks.total")
+            .unwrap();
+        assert!(!d.regressed);
+    }
+
+    #[test]
+    fn metric_missing_from_current_is_reported_by_name() {
+        // Baseline recorded fallbacks; the current run lacks the counter
+        // entirely. The delta must name the metric and regress.
+        let deltas = compare(&snap(50, 2), &snap(50, 0));
+        let d = deltas
+            .iter()
+            .find(|d| d.metric == "fallbacks.total")
+            .expect("the vanished metric is reported by name");
+        assert_eq!(d.baseline, Some(2));
+        assert_eq!(d.current, None);
+        assert!(d.regressed);
+        // The converse direction is not a regression: a metric the baseline
+        // never recorded imposes no bound on the current run.
+        let deltas = compare(&snap(50, 0), &snap(50, 2));
+        assert!(deltas
+            .iter()
+            .all(|d| d.metric != "fallbacks.total" || !d.regressed));
+    }
+
+    #[test]
     fn missing_scenario_is_a_regression() {
         let mut cur = snap(50, 2);
         cur.scenarios[0].label = "renamed".to_string();

@@ -69,9 +69,28 @@ fn hist_quantiles(h: &LogHistogram) -> Vec<(String, Json)> {
 ///   boots, proxy rounds) aggregated by name,
 /// * `slowest` — the slowest completed requests with their own breakdown.
 pub fn critical_path(scenarios: &[(String, Trace)]) -> Json {
+    critical_path_with(scenarios, &|_| None)
+}
+
+/// [`critical_path`] with a per-scenario extension hook: when `extras`
+/// returns a value for a scenario label, it is appended to that scenario's
+/// object under a `"hottest"` key. `repro --profile` uses this to surface
+/// the top methods per request lane next to the phase breakdown; plain
+/// traced runs (`extras` always `None`) render byte-identically to
+/// [`critical_path`].
+pub fn critical_path_with(
+    scenarios: &[(String, Trace)],
+    extras: &dyn Fn(&str) -> Option<Json>,
+) -> Json {
     let rendered: Vec<Json> = scenarios
         .iter()
-        .map(|(label, trace)| scenario_summary(label, trace))
+        .map(|(label, trace)| {
+            let mut doc = scenario_summary(label, trace);
+            if let (Json::Obj(fields), Some(extra)) = (&mut doc, extras(label)) {
+                fields.push(("hottest".into(), extra));
+            }
+            doc
+        })
         .collect();
     Json::obj([("scenarios".into(), Json::Arr(rendered))])
 }
@@ -304,6 +323,19 @@ mod tests {
         let s = critical_path(&[("s".into(), sample_trace())]).render();
         let parsed = Json::parse(&s).expect("summary must be valid JSON");
         assert_eq!(parsed.render(), s);
+    }
+
+    #[test]
+    fn extras_hook_appends_hottest_and_none_is_identity() {
+        let plain = critical_path(&[("s".into(), sample_trace())]).render();
+        let none = critical_path_with(&[("s".into(), sample_trace())], &|_| None).render();
+        assert_eq!(plain, none, "a None hook must not change the rendering");
+        let with = critical_path_with(&[("s".into(), sample_trace())], &|label| {
+            assert_eq!(label, "s");
+            Some(Json::from("tables"))
+        })
+        .render();
+        assert!(with.contains("\"hottest\":\"tables\""), "{with}");
     }
 
     #[test]

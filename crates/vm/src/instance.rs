@@ -128,6 +128,7 @@ pub struct VmInstance {
     gc_log: Vec<GcStats>,
     barriers: bool,
     trace_id: Option<u32>,
+    shadow: bool,
 }
 
 /// Default allocation-space capacity for a server instance.
@@ -185,6 +186,7 @@ impl VmInstance {
             gc_log: Vec::new(),
             barriers: kind == EndpointKind::Function,
             trace_id: None,
+            shadow: false,
         }
     }
 
@@ -211,6 +213,30 @@ impl VmInstance {
             EndpointKind::Function => {
                 beehive_telemetry::Track::Instance(self.trace_id.unwrap_or(u32::MAX))
             }
+        }
+    }
+
+    /// Mark whether the instance is currently running a shadow execution
+    /// (§3.4). Session start sets this; the profiler keys its lane on it.
+    pub fn set_shadow(&mut self, shadow: bool) {
+        self.shadow = shadow;
+    }
+
+    /// The profiler lane this instance's execution belongs to.
+    pub fn profile_lane(&self) -> &'static str {
+        match (self.kind, self.shadow) {
+            (EndpointKind::Server, _) => "server",
+            (EndpointKind::Function, false) => "faas:primary",
+            (EndpointKind::Function, true) => "faas:shadow",
+        }
+    }
+
+    /// The FaaS instance id for the profiler's per-instance totals (`None`
+    /// on the server).
+    pub fn profile_instance(&self) -> Option<u32> {
+        match self.kind {
+            EndpointKind::Server => None,
+            EndpointKind::Function => self.trace_id,
         }
     }
 

@@ -351,6 +351,17 @@ impl Execution {
         assert!(self.pending.is_none(), "execution is blocked; resume first");
         let mut cpu = Duration::ZERO;
 
+        if beehive_profiler::enabled() {
+            // Rebuild the profiler's path from the live frames: executions
+            // from different requests interleave on this thread across run
+            // segments. The first segment counts the root invocation.
+            beehive_profiler::begin_segment(
+                vm.profile_lane(),
+                vm.profile_instance(),
+                self.frames.iter().map(|f| f.method.0),
+                !self.root_warm_checked,
+            );
+        }
         if let Some(v) = self.pending_push.take() {
             self.top_frame().stack.push(v);
         }
@@ -392,6 +403,7 @@ impl Execution {
         };
         self.ops_guard = 0;
         self.total_cpu += cpu;
+        beehive_profiler::end_segment(cpu);
         StepResult { outcome, cpu }
     }
 
@@ -565,12 +577,12 @@ impl Execution {
             }
             Op::Return => {
                 charge(cpu, cost.call_op);
-                return self.do_return(Value::Null);
+                return self.do_return(Value::Null, *cpu);
             }
             Op::ReturnVal => {
                 charge(cpu, cost.call_op);
                 let v = pop!();
-                return self.do_return(v);
+                return self.do_return(v, *cpu);
             }
             Op::New(class) => {
                 charge(cpu, cost.alloc_op);
@@ -830,12 +842,14 @@ impl Execution {
                     stack: Vec::new(),
                     cold,
                 });
+                beehive_profiler::push(target.0, *cpu);
                 StepOutcome::Continue
             }
         }
     }
 
-    fn do_return(&mut self, value: Value) -> StepOutcome {
+    fn do_return(&mut self, value: Value, cpu: Duration) -> StepOutcome {
+        beehive_profiler::pop(cpu);
         self.frames.pop();
         match self.frames.last_mut() {
             None => StepOutcome::Done(value),

@@ -5,38 +5,25 @@
 //! method". Candidates are the methods carrying framework annotations; the
 //! selection heuristics are (1) large accumulated time and (2) average time
 //! not too short.
+//!
+//! The per-method bookkeeping lives in [`beehive_profiler`]: this module
+//! only maps [`MethodId`]s onto the shared [`Aggregate`] and applies the
+//! §4.3 selection policy, so the root-selection profiler and the call-tree
+//! recorder ([`beehive_profiler::Recorder`], via
+//! [`beehive_profiler::RawProfile::aggregate`]) share one bookkeeping path
+//! instead of maintaining parallel `HashMap`s.
 
-use std::collections::HashMap;
-
+use beehive_profiler::Aggregate;
+pub use beehive_profiler::MethodProfile;
 use beehive_sim::Duration;
 
 use crate::ids::MethodId;
 use crate::program::Program;
 
-/// Per-method sample: invocation count and accumulated virtual time.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct MethodProfile {
-    /// Invocations observed.
-    pub invocations: u64,
-    /// Accumulated execution time.
-    pub total_time: Duration,
-}
-
-impl MethodProfile {
-    /// Average time per invocation (zero when never invoked).
-    pub fn average(&self) -> Duration {
-        if self.invocations == 0 {
-            Duration::ZERO
-        } else {
-            self.total_time / self.invocations
-        }
-    }
-}
-
 /// Records execution time per candidate method and picks offloading roots.
 #[derive(Clone, Debug, Default)]
 pub struct Profiler {
-    samples: HashMap<MethodId, MethodProfile>,
+    samples: Aggregate,
 }
 
 impl Profiler {
@@ -47,14 +34,12 @@ impl Profiler {
 
     /// Record one completed invocation of `method` taking `elapsed`.
     pub fn record(&mut self, method: MethodId, elapsed: Duration) {
-        let p = self.samples.entry(method).or_default();
-        p.invocations += 1;
-        p.total_time += elapsed;
+        self.samples.record(method.0, elapsed);
     }
 
     /// The profile of `method`, if it has been sampled.
     pub fn profile(&self, method: MethodId) -> Option<MethodProfile> {
-        self.samples.get(&method).copied()
+        self.samples.get(method.0).copied()
     }
 
     /// Choose root methods for offloading (§4.3): among *candidates*
@@ -62,14 +47,25 @@ impl Profiler {
     /// least `min_average` ("should not be short, e.g. less than one
     /// millisecond"), ranked by accumulated execution time descending.
     pub fn select_roots(&self, program: &Program, min_average: Duration) -> Vec<MethodId> {
-        let mut picks: Vec<(MethodId, MethodProfile)> = program
-            .candidates()
-            .filter_map(|m| self.samples.get(&m).map(|p| (m, *p)))
-            .filter(|(_, p)| p.average() >= min_average)
-            .collect();
-        picks.sort_by(|(ma, a), (mb, b)| b.total_time.cmp(&a.total_time).then_with(|| ma.cmp(mb)));
-        picks.into_iter().map(|(m, _)| m).collect()
+        select_roots_from(&self.samples, program, min_average)
     }
+}
+
+/// §4.3 selection over any [`Aggregate`] — the server's live profiler and a
+/// recorded call-tree profile ([`beehive_profiler::RawProfile::aggregate`])
+/// rank identically.
+pub fn select_roots_from(
+    samples: &Aggregate,
+    program: &Program,
+    min_average: Duration,
+) -> Vec<MethodId> {
+    let mut picks: Vec<(MethodId, MethodProfile)> = program
+        .candidates()
+        .filter_map(|m| samples.get(m.0).map(|p| (m, *p)))
+        .filter(|(_, p)| p.average() >= min_average)
+        .collect();
+    picks.sort_by(|(ma, a), (mb, b)| b.total_time.cmp(&a.total_time).then_with(|| ma.cmp(mb)));
+    picks.into_iter().map(|(m, _)| m).collect()
 }
 
 #[cfg(test)]
@@ -141,5 +137,30 @@ mod tests {
         let p = Profiler::new();
         assert!(p.select_roots(&program, Duration::ZERO).is_empty());
         assert_eq!(p.profile(MethodId(1)), None);
+    }
+
+    #[test]
+    fn recorded_call_trees_feed_the_same_selection() {
+        if beehive_profiler::COMPILED_OFF {
+            return;
+        }
+        let (program, _plain, hot, _tiny) = program_with_candidates();
+        // A recorded profile of the candidate running for 40ms twice ranks
+        // exactly like the live profiler fed the same observations.
+        beehive_profiler::install();
+        for _ in 0..2 {
+            beehive_profiler::begin_segment("server", None, [hot.0].into_iter(), true);
+            beehive_profiler::end_segment(Duration::from_millis(40));
+        }
+        let raw = beehive_profiler::take().unwrap();
+        let derived = select_roots_from(&raw.aggregate(), &program, Duration::from_millis(1));
+        let mut live = Profiler::new();
+        live.record(hot, Duration::from_millis(40));
+        live.record(hot, Duration::from_millis(40));
+        assert_eq!(
+            derived,
+            live.select_roots(&program, Duration::from_millis(1))
+        );
+        assert_eq!(derived, vec![hot]);
     }
 }

@@ -117,6 +117,10 @@ pub struct SimConfig {
     pub metrics: bool,
     /// Time-series window of the metrics registry (virtual time).
     pub metrics_window: Duration,
+    /// Record a per-lane call-tree profile of this run
+    /// ([`SimResult::profile`]). Defaults to the engine-wide flag set by
+    /// `repro --profile` ([`crate::engine::set_profile_default`]).
+    pub profile: bool,
 }
 
 impl SimConfig {
@@ -142,6 +146,7 @@ impl SimConfig {
             trace: crate::engine::trace_default(),
             metrics: crate::engine::metrics_default(),
             metrics_window: beehive_metrics::DEFAULT_WINDOW,
+            profile: crate::engine::profile_default(),
         }
     }
 }
@@ -202,6 +207,8 @@ pub struct SimResult {
     /// The live metrics registry, when [`SimConfig::metrics`] was set.
     /// Snapshot with [`beehive_metrics::Registry::snapshot`].
     pub metrics: Option<beehive_metrics::Registry>,
+    /// The resolved call-tree profile, when [`SimConfig::profile`] was set.
+    pub profile: Option<beehive_profiler::Profile>,
 }
 
 #[derive(Debug)]
@@ -466,6 +473,11 @@ impl Sim {
             // Installed here rather than in `new` so the prewarm warm-up
             // shadow (which runs outside virtual time) is not recorded.
             tele::install();
+        }
+        if self.cfg.profile {
+            // Same rationale as the trace recorder: the prewarm warm-up
+            // shadow must not pollute the profile.
+            beehive_profiler::install();
         }
         if self.cfg.metrics {
             self.metrics = Some(beehive_metrics::Registry::new(self.cfg.metrics_window));
@@ -1141,6 +1153,17 @@ impl Sim {
             peak = peak.max(f.vm.heap.peak_used_bytes());
         }
         let end = self.now;
+        let profile = if self.cfg.profile {
+            let program = std::sync::Arc::clone(&self.cfg.app.program);
+            beehive_profiler::take().map(|raw| {
+                raw.resolve(|id| {
+                    let m = program.method(beehive_vm::MethodId(id));
+                    format!("{}.{}", program.class(m.class).name, m.name)
+                })
+            })
+        } else {
+            None
+        };
         SimResult {
             timeline: self.timeline,
             all: self.all,
@@ -1183,6 +1206,7 @@ impl Sim {
             end,
             trace: if self.cfg.trace { tele::take() } else { None },
             metrics: self.metrics,
+            profile,
         }
     }
 }

@@ -67,6 +67,15 @@ static METRICS_DEFAULT: AtomicBool = AtomicBool::new(false);
 /// order. Drained by [`drain_metrics`].
 static COLLECTED_METRICS: Mutex<Vec<beehive_metrics::ScenarioMetrics>> = Mutex::new(Vec::new());
 
+/// Engine-wide default for [`SimConfig::profile`] (`repro --profile DIR`
+/// sets it before building any scenario).
+static PROFILE_DEFAULT: AtomicBool = AtomicBool::new(false);
+
+/// Call-tree profiles harvested from completed runs, in [`run_all`] input
+/// order, labelled with their scenario labels. Drained by
+/// [`drain_profiles`].
+static COLLECTED_PROFILES: Mutex<Vec<(String, beehive_profiler::Profile)>> = Mutex::new(Vec::new());
+
 /// Set the engine-wide default for [`SimConfig::trace`]. Scenarios built
 /// *after* this call record traces; [`run_all`] harvests them in input
 /// order for [`drain_traces`].
@@ -120,6 +129,35 @@ fn harvest_metrics(outcomes: &mut [RunOutcome]) {
     for o in outcomes.iter_mut() {
         if let Some(reg) = o.result.metrics.take() {
             collected.push(reg.snapshot(&o.label));
+        }
+    }
+}
+
+/// Set the engine-wide default for [`SimConfig::profile`]. Scenarios built
+/// *after* this call record call-tree profiles; [`run_all`] harvests them in
+/// input order for [`drain_profiles`].
+pub fn set_profile_default(on: bool) {
+    PROFILE_DEFAULT.store(on, Ordering::Relaxed);
+}
+
+/// The engine-wide default for [`SimConfig::profile`].
+pub fn profile_default() -> bool {
+    PROFILE_DEFAULT.load(Ordering::Relaxed)
+}
+
+/// Take every call-tree profile harvested since the last drain, in the
+/// input order of the [`run_all`] calls that produced them. Order is
+/// independent of the worker count, so exported `.folded` /
+/// `.profile.json` files are byte-identical under any `BEEHIVE_WORKERS`.
+pub fn drain_profiles() -> Vec<(String, beehive_profiler::Profile)> {
+    std::mem::take(&mut *COLLECTED_PROFILES.lock().unwrap())
+}
+
+fn harvest_profiles(outcomes: &mut [RunOutcome]) {
+    let mut collected = COLLECTED_PROFILES.lock().unwrap();
+    for o in outcomes.iter_mut() {
+        if let Some(profile) = o.result.profile.take() {
+            collected.push((o.label.clone(), profile));
         }
     }
 }
@@ -207,6 +245,7 @@ pub fn run_all_with_workers(scenarios: Vec<Scenario>, workers: usize) -> Vec<Run
             .collect();
         harvest_traces(&mut outcomes);
         harvest_metrics(&mut outcomes);
+        harvest_profiles(&mut outcomes);
         return outcomes;
     }
 
@@ -253,6 +292,7 @@ pub fn run_all_with_workers(scenarios: Vec<Scenario>, workers: usize) -> Vec<Run
         .collect();
     harvest_traces(&mut outcomes);
     harvest_metrics(&mut outcomes);
+    harvest_profiles(&mut outcomes);
     outcomes
 }
 

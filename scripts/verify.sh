@@ -32,6 +32,13 @@ echo "==> compile-off: probe-free bench build in its own target dir"
 CARGO_TARGET_DIR=target/compile-off cargo bench --offline -p beehive-bench \
   --bench telemetry --features beehive-telemetry/compile-off --no-run
 
+echo "==> compile-off: profiler overhead bench (probes compiled out)"
+# Runs (not just builds): the disabled-probe rows prove the profiler's
+# push/pop and segment hooks cost nothing when the feature is off.
+CARGO_TARGET_DIR=target/compile-off cargo bench --offline -p beehive-bench \
+  --bench profiler \
+  --features beehive-telemetry/compile-off,beehive-profiler/compile-off
+
 echo "==> repro all --quick (smoke: every table and figure regenerates)"
 ./target/release/repro all --quick --seed 42 > /dev/null
 
@@ -49,6 +56,18 @@ diff -u scripts/golden/shadow_summary_quick.json "$trace_dir/shadow.summary.json
 head -c 64 "$trace_dir/shadow.trace.json" | grep -q '^{"traceEvents":\[' \
   || { echo "trace file is not a Chrome trace-event document"; exit 1; }
 rm -rf "$trace_dir"
+
+echo "==> golden: profiled quick repro folded stacks are byte-stable"
+profile_dir="$(mktemp -d)"
+BEEHIVE_WORKERS=2 ./target/release/repro shadow --quick --seed 42 \
+  --profile "$profile_dir" > /dev/null
+# The folded export is the per-endpoint attribution artifact: the same app
+# methods appear under the server and faas:* lanes with lane-specific cost.
+diff -u scripts/golden/profile_quick.folded "$profile_dir/shadow.folded"
+# The JSON call tree is too large for a golden; check its shape instead.
+head -c 32 "$profile_dir/shadow.profile.json" | grep -q '^{"scenarios":\[' \
+  || { echo "profile file is not a profile document"; exit 1; }
+rm -rf "$profile_dir"
 
 echo "==> metrics gate: repro compare against scripts/golden/metrics_quick"
 # A fixed path (not mktemp) so the committed BENCH_metrics.json is
