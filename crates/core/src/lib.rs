@@ -46,5 +46,5 @@ pub use config::{BeeHiveConfig, NetProfile};
 pub use controller::OffloadController;
 pub use function::FunctionRuntime;
 pub use server::ServerRuntime;
-pub use session::{OffloadSession, Resource, ServerSession, SessionStep};
+pub use session::{Need, OffloadSession, Resource, ServerSession, SessionStep};
 pub use stats::SessionStats;

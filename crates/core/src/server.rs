@@ -222,6 +222,19 @@ impl ServerRuntime {
         std::mem::take(&mut self.freed_locks)
     }
 
+    /// Collect the server heap with `roots` (every live server execution,
+    /// [`SessionStep::ServerGc`]'s contract) and return the pause, which the
+    /// triggering session is charged via
+    /// [`crate::session::ServerSession::gc_done`].
+    ///
+    /// [`SessionStep::ServerGc`]: crate::session::SessionStep::ServerGc
+    pub fn collect_server_heap(
+        &mut self,
+        roots: &mut [&mut beehive_vm::Execution],
+    ) -> beehive_vm::Duration {
+        self.vm.collect(roots, &mut []).pause
+    }
+
     /// Revoke `peer`'s cached ownership of the lock at server address
     /// `canonical` (the lock is being handed to another endpoint; the
     /// peer must synchronize again before re-entering, §4.2).

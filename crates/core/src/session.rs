@@ -95,6 +95,22 @@ impl Need {
         self.fallback = true;
         self
     }
+
+    /// The residence-span name of this need: one static string per
+    /// (resource, fallback-flag) pair, so tracing the wait allocates nothing
+    /// on the hot path.
+    pub fn span_name(&self) -> &'static str {
+        match (self.resource, self.fallback) {
+            (Resource::ServerCpu, false) => "wait:server_cpu",
+            (Resource::ServerCpu, true) => "wait:server_cpu:fb",
+            (Resource::FunctionCpu, false) => "wait:function_cpu",
+            (Resource::FunctionCpu, true) => "wait:function_cpu:fb",
+            (Resource::Net, false) => "wait:net",
+            (Resource::Net, true) => "wait:net:fb",
+            (Resource::Db, false) => "wait:db",
+            (Resource::Db, true) => "wait:db:fb",
+        }
+    }
 }
 
 /// What the driver must do next.

@@ -12,14 +12,14 @@
 //!
 //! * the workload driver instruments its call sites directly
 //!   (`SimConfig::metrics`), which costs nothing when disabled, and
-//! * [`reduce`] replays a recorded [`beehive_telemetry`] trace through a
+//! * [`mod@reduce`] replays a recorded [`beehive_telemetry`] trace through a
 //!   registry, so a traced run and an untraced run of the same scenario
 //!   produce the same `.metrics.json`.
 //!
 //! Exports: [`MetricsSnapshot`] renders through the in-tree
 //! `beehive_sim::json` (and parses back via [`MetricsSnapshot::from_json`]),
 //! and [`prometheus`] writes the Prometheus text exposition format.
-//! [`compare`] diffs two snapshots over the [`WATCHED`] metric table —
+//! [`mod@compare`] diffs two snapshots over the [`WATCHED`] metric table —
 //! P50/P99 request latency, fallback count, cold-boot count, total GC
 //! pause — which `repro compare` and `scripts/verify.sh` use as a
 //! cross-run perf regression gate.

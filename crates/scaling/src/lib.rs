@@ -11,5 +11,5 @@
 pub mod burst;
 pub mod solutions;
 
-pub use burst::BurstHandler;
+pub use burst::{BurstHandler, Route};
 pub use solutions::{table1, InstanceScaler, ScalingKind, SolutionRow};

@@ -1,0 +1,190 @@
+//! The resource-broker layer: contended resources and their completion
+//! events.
+//!
+//! The broker owns the server's processor-sharing pools, the database FIFO
+//! pool, the FaaS platform and the instance scaler, plus the stale-epoch
+//! reschedule dances their completion events need. Pools reshuffle their
+//! completion order whenever occupancy changes, so a scheduled completion
+//! event may be stale by the time it fires; every `Ev::ServerPool` /
+//! `Ev::DbDone` arm used to repeat the same validate-or-reschedule pattern
+//! inline in the driver — it lives here once now.
+
+use beehive_faas::FaasPlatform;
+use beehive_scaling::InstanceScaler;
+use beehive_sim::pool::{FifoPool, PsPool};
+use beehive_sim::{Duration, EventQueue, Rng, SimTime};
+
+/// Events of the driver's queue.
+#[derive(Debug)]
+pub(crate) enum Ev {
+    /// An open-loop client arrives.
+    Arrival,
+    /// A closed-loop client reissues.
+    ClientReissue,
+    /// Re-step a parked request.
+    Step(u64),
+    /// A server pool may have completed its head job.
+    ServerPool {
+        /// The pool index.
+        pool: usize,
+        /// The pool epoch at scheduling time (stale-event detection).
+        epoch: u64,
+    },
+    /// A database job may have completed.
+    DbDone {
+        /// The request id of the job.
+        job: u64,
+        /// The completion time at scheduling time (stale-event detection).
+        at: SimTime,
+    },
+    /// A FaaS instance boot finished for this pending request.
+    Boot {
+        /// The pending-boot request id.
+        req: u64,
+    },
+    /// The instance scaler engages (provision an instance).
+    TriggerScale,
+    /// The provisioned instance is ready to serve.
+    CapacityReady,
+    /// Periodic FaaS idle-instance expiry sweep.
+    Expire,
+}
+
+/// Owns every contended resource and the scheduling dances around them.
+#[derive(Debug)]
+pub struct Broker {
+    /// Server processor-sharing pools: pool 0 is the always-on primary,
+    /// pool 1 (when present) the scaled-out instance.
+    pub(crate) pools: Vec<PsPool>,
+    /// The database machine (m4.10xlarge: 40 parallel workers).
+    pub(crate) db_pool: FifoPool,
+    /// The FaaS platform, for offloading strategies.
+    pub(crate) platform: Option<FaasPlatform>,
+    /// The instance scaler, for scaled (and combined) strategies.
+    pub(crate) scaler: Option<InstanceScaler>,
+    server_cores: f64,
+}
+
+impl Broker {
+    /// A broker with one primary pool of `server_cores` vCPUs.
+    pub(crate) fn new(
+        server_cores: f64,
+        platform: Option<FaasPlatform>,
+        scaler: Option<InstanceScaler>,
+    ) -> Broker {
+        Broker {
+            pools: vec![PsPool::new(server_cores)],
+            db_pool: FifoPool::new(40), // the m4.10xlarge database machine
+            platform,
+            scaler,
+            server_cores,
+        }
+    }
+
+    /// Handle `Ev::ServerPool`: validate the event against the pool's
+    /// current epoch and completion schedule, rescheduling when the head
+    /// job's completion moved into the future. Returns the completed
+    /// request id to re-step, or `None` for stale / not-yet-due events.
+    pub(crate) fn pool_completion(
+        &mut self,
+        now: SimTime,
+        pool: usize,
+        epoch: u64,
+        events: &mut EventQueue<Ev>,
+    ) -> Option<u64> {
+        if pool >= self.pools.len() || self.pools[pool].epoch() != epoch {
+            return None; // stale
+        }
+        let (t, job) = self.pools[pool].next_completion()?;
+        if t > now {
+            let epoch = self.pools[pool].epoch();
+            events.schedule(t, Ev::ServerPool { pool, epoch });
+            return None;
+        }
+        self.pools[pool].remove(now, job);
+        self.schedule_pool_event(pool, events);
+        Some(job)
+    }
+
+    /// Handle `Ev::DbDone`: same validate-or-drop dance for the database
+    /// FIFO. Returns the completed request id to re-step.
+    pub(crate) fn db_completion(
+        &mut self,
+        now: SimTime,
+        job: u64,
+        at: SimTime,
+        events: &mut EventQueue<Ev>,
+    ) -> Option<u64> {
+        if self.db_pool.next_completion() != Some((at, job)) || at > now {
+            return None; // stale
+        }
+        self.db_pool.complete(now, job);
+        self.schedule_db_event(events);
+        Some(job)
+    }
+
+    /// Schedule the next completion event of server pool `pool`.
+    pub(crate) fn schedule_pool_event(&mut self, pool: usize, events: &mut EventQueue<Ev>) {
+        if let Some((t, _)) = self.pools[pool].next_completion() {
+            let epoch = self.pools[pool].epoch();
+            events.schedule(t, Ev::ServerPool { pool, epoch });
+        }
+    }
+
+    /// Schedule the next completion event of the database pool.
+    pub(crate) fn schedule_db_event(&mut self, events: &mut EventQueue<Ev>) {
+        if let Some((t, job)) = self.db_pool.next_completion() {
+            events.schedule(t, Ev::DbDone { job, at: t });
+        }
+    }
+
+    /// Handle `Ev::TriggerScale`: ask the scaler for an instance and
+    /// schedule its readiness.
+    pub(crate) fn trigger_scale(
+        &mut self,
+        now: SimTime,
+        rng: &mut Rng,
+        events: &mut EventQueue<Ev>,
+    ) {
+        let Some(scaler) = self.scaler.as_mut() else {
+            return;
+        };
+        let ready = scaler.request(now, rng);
+        events.schedule(ready, Ev::CapacityReady);
+    }
+
+    /// Handle `Ev::CapacityReady`: bring the scaled-out pool online.
+    pub(crate) fn capacity_ready(&mut self) {
+        if self.pools.len() == 1 {
+            self.pools.push(PsPool::new(self.server_cores));
+        }
+    }
+
+    /// Handle `Ev::Expire`: expire idle FaaS instances and drop dead ones
+    /// from the idle rotation. The sweep reschedules itself only while a
+    /// platform exists — vanilla/scaled runs never enter the chain at all.
+    pub(crate) fn expire_idle(
+        &mut self,
+        now: SimTime,
+        idle: &mut Vec<u32>,
+        events: &mut EventQueue<Ev>,
+    ) {
+        let Some(p) = self.platform.as_mut() else {
+            return;
+        };
+        p.expire_idle(now);
+        idle.retain(|&id| p.is_alive(id));
+        events.schedule(now + Duration::from_secs(30), Ev::Expire);
+    }
+
+    /// Duration of a `FunctionCpu` need scaled by the platform's vCPU
+    /// share (a 0.5-vCPU function runs CPU work at half speed).
+    pub(crate) fn function_cpu_duration(&self, amount: Duration) -> Duration {
+        let cpu = self
+            .platform
+            .as_ref()
+            .map(|p| p.config().cpu)
+            .unwrap_or(1.0);
+        amount.mul_f64(1.0 / cpu)
+    }
+}

@@ -1,0 +1,397 @@
+//! Experiment configuration ([`SimConfig`]) and results ([`SimResult`]).
+//!
+//! Everything a run consumes and everything it produces lives here, so the
+//! four driver layers ([`crate::router`], [`crate::lifecycle`],
+//! [`crate::endpoint`], [`crate::broker`]) and the event loop
+//! ([`crate::driver::Sim`]) share one vocabulary.
+
+use beehive_apps::App;
+use beehive_core::config::BeeHiveConfig;
+use beehive_core::server::RuntimeStats;
+use beehive_core::SessionStats;
+use beehive_faas::FaasPlatform;
+use beehive_scaling::InstanceScaler;
+use beehive_sim::stats::{LatencySampler, Timeline};
+use beehive_sim::{Duration, SimTime};
+use beehive_telemetry as tele;
+
+use crate::endpoint::{Fleet, Obs};
+use crate::strategy::Strategy;
+
+/// How clients generate requests.
+#[derive(Clone, Copy, Debug)]
+pub enum ArrivalPattern {
+    /// Open loop (Poisson): `base_rps` before the burst, `base_rps *
+    /// burst_mult` between `burst_at` and `burst_end`.
+    Open {
+        /// Baseline request rate.
+        base_rps: f64,
+        /// Multiplier during the burst (1.0 = no burst).
+        burst_mult: f64,
+        /// Burst start.
+        burst_at: Duration,
+        /// Burst end (use the horizon for "until the end", §5.2).
+        burst_end: Duration,
+    },
+    /// Closed loop: `clients` concurrent clients, each reissuing immediately
+    /// after its previous request completes (Figure 2).
+    Closed {
+        /// Number of concurrent clients.
+        clients: usize,
+    },
+}
+
+impl ArrivalPattern {
+    /// A constant open-loop rate.
+    pub fn constant(rps: f64) -> Self {
+        ArrivalPattern::Open {
+            base_rps: rps,
+            burst_mult: 1.0,
+            burst_at: Duration::ZERO,
+            burst_end: Duration::ZERO,
+        }
+    }
+
+    /// The open-loop arrival rate at `t` (virtual time since the simulation
+    /// start).
+    ///
+    /// # Panics
+    ///
+    /// Closed-loop patterns have no rate.
+    pub fn rate_at(&self, t: Duration) -> f64 {
+        match *self {
+            ArrivalPattern::Open {
+                base_rps,
+                burst_mult,
+                burst_at,
+                burst_end,
+            } => {
+                if t >= burst_at && t < burst_end {
+                    base_rps * burst_mult
+                } else {
+                    base_rps
+                }
+            }
+            ArrivalPattern::Closed { .. } => unreachable!("closed loop has no rate"),
+        }
+    }
+}
+
+/// Full experiment configuration.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// The application under test.
+    pub app: App,
+    /// The scaling strategy.
+    pub strategy: Strategy,
+    /// Client behaviour.
+    pub arrivals: ArrivalPattern,
+    /// Virtual-time horizon.
+    pub horizon: Duration,
+    /// RNG seed (every run with the same config + seed is identical).
+    pub seed: u64,
+    /// Fraction of requests offloaded / forwarded once scaling engages.
+    pub offload_ratio: f64,
+    /// When offloading / scale-out engages (typically the burst start; zero
+    /// for steady-state experiments).
+    pub engage_at: Duration,
+    /// vCPUs of the (primary) server — `m4.xlarge` has 4.
+    pub server_cores: f64,
+    /// Warm FaaS instances already cached at t=0 *without* closures (fresh
+    /// platform cache).
+    pub prewarm: usize,
+    /// Warm instances cached at t=0 *with* the closure instantiated, plans
+    /// refined and JITs warm — instances that served earlier bursts (the
+    /// §5.2 warm-boot case with sub-second provisioning).
+    pub prewarm_ready: usize,
+    /// Hard cap on FaaS instances.
+    pub max_instances: usize,
+    /// Cap on concurrently booting instances.
+    pub max_concurrent_boots: usize,
+    /// Completions before this time are excluded from the steady-state
+    /// sampler.
+    pub record_from: Duration,
+    /// Maximum concurrent requests the server accepts (its worker pool +
+    /// accept queue); arrivals beyond it are refused. Real servlet
+    /// containers cap workers near 200 — without the cap, a saturated
+    /// processor-sharing pool finishes nothing at all and the whole
+    /// deployment wedges.
+    pub max_server_concurrency: usize,
+    /// BeeHive runtime configuration (ablations toggle features here).
+    pub beehive: BeeHiveConfig,
+    /// Shadow the first invocation on every new instance (§3.4). Disabling
+    /// this is the warmup-hiding ablation: first invocations run for real on
+    /// the cold instance and the client waits out the long tail.
+    pub shadow_enabled: bool,
+    /// Record a virtual-time trace of this run ([`SimResult::trace`]).
+    /// Defaults to the engine-wide flag set by `repro --trace`
+    /// ([`crate::engine::set_trace_default`]).
+    pub trace: bool,
+    /// Keep a live metrics registry for this run ([`SimResult::metrics`]).
+    /// Defaults to the engine-wide flag set by `repro --metrics`
+    /// ([`crate::engine::set_metrics_default`]). Costs nothing when off.
+    pub metrics: bool,
+    /// Time-series window of the metrics registry (virtual time).
+    pub metrics_window: Duration,
+    /// Record a per-lane call-tree profile of this run
+    /// ([`SimResult::profile`]). Defaults to the engine-wide flag set by
+    /// `repro --profile` ([`crate::engine::set_profile_default`]).
+    pub profile: bool,
+}
+
+impl SimConfig {
+    /// A configuration with paper-style defaults.
+    pub fn new(app: App, strategy: Strategy) -> Self {
+        SimConfig {
+            app,
+            strategy,
+            arrivals: ArrivalPattern::constant(50.0),
+            horizon: Duration::from_secs(60),
+            seed: 1,
+            offload_ratio: 0.5,
+            engage_at: Duration::ZERO,
+            server_cores: 4.0,
+            prewarm: 0,
+            prewarm_ready: 0,
+            max_instances: 256,
+            max_concurrent_boots: 48,
+            record_from: Duration::from_secs(10),
+            max_server_concurrency: 256,
+            beehive: BeeHiveConfig::default(),
+            shadow_enabled: true,
+            trace: crate::engine::trace_default(),
+            metrics: crate::engine::metrics_default(),
+            metrics_window: beehive_metrics::DEFAULT_WINDOW,
+            profile: crate::engine::profile_default(),
+        }
+    }
+}
+
+/// What one run produced.
+#[derive(Debug)]
+pub struct SimResult {
+    /// Per-second latency timeline (Figure 7).
+    pub timeline: Timeline,
+    /// All recorded request latencies.
+    pub all: LatencySampler,
+    /// Latencies of requests completing after `record_from`.
+    pub steady: LatencySampler,
+    /// Recorded completed requests.
+    pub completed: u64,
+    /// Requests refused because the server's worker pool was full.
+    pub rejected: u64,
+    /// Completed offloaded (non-shadow) requests.
+    pub offloaded: u64,
+    /// Shadow executions run.
+    pub shadows: u64,
+    /// Cold boots / warm starts on the FaaS platform.
+    pub boots: (u64, u64),
+    /// FaaS instances created.
+    pub instances: usize,
+    /// Dollars billed by the FaaS platform.
+    pub faas_cost: f64,
+    /// GB-seconds of function execution billed (per-use platforms).
+    pub faas_gb_seconds: f64,
+    /// Function invocations billed.
+    pub faas_requests: u64,
+    /// Dollars billed for the scaled instance (instance strategies).
+    pub scaled_cost: f64,
+    /// Server runtime statistics.
+    pub server_stats: RuntimeStats,
+    /// Aggregate session stats of steady-state offloaded requests.
+    pub steady_offload: SessionStats,
+    /// Number of steady-state offloaded requests behind `steady_offload`.
+    pub steady_offload_count: u64,
+    /// Aggregate session stats of shadow executions.
+    pub shadow_stats: SessionStats,
+    /// End-to-end durations of shadow executions (arrival → completion,
+    /// including the boot they hide).
+    pub shadow_durations: LatencySampler,
+    /// Latencies of recorded offloaded requests only (exposes the cold-start
+    /// tail when shadowing is disabled).
+    pub offload_latencies: LatencySampler,
+    /// Function-side GC pauses across all instances.
+    pub function_gc_pauses: Vec<Duration>,
+    /// Peak heap bytes over all function instances.
+    pub function_peak_heap: u64,
+    /// Server-side mapping-table footprint at the end.
+    pub mapping_bytes: u64,
+    /// The virtual end time.
+    pub end: SimTime,
+    /// The recorded trace, when [`SimConfig::trace`] was set.
+    pub trace: Option<tele::Trace>,
+    /// The live metrics registry, when [`SimConfig::metrics`] was set.
+    /// Snapshot with [`beehive_metrics::Registry::snapshot`].
+    pub metrics: Option<beehive_metrics::Registry>,
+    /// The resolved call-tree profile, when [`SimConfig::profile`] was set.
+    pub profile: Option<beehive_profiler::Profile>,
+}
+
+/// Completion-side accounting: every sampler and counter the event loop
+/// feeds, folded into a [`SimResult`] when the run ends.
+pub(crate) struct Acct {
+    timeline: Timeline,
+    all: LatencySampler,
+    steady: LatencySampler,
+    completed: u64,
+    /// Requests refused because the server's worker pool was full.
+    pub(crate) rejected: u64,
+    offloaded: u64,
+    /// Shadow executions started.
+    pub(crate) shadows: u64,
+    steady_offload: SessionStats,
+    steady_offload_count: u64,
+    shadow_stats: SessionStats,
+    shadow_durations: LatencySampler,
+    offload_latencies: LatencySampler,
+}
+
+impl Acct {
+    pub(crate) fn new() -> Acct {
+        Acct {
+            timeline: Timeline::new(),
+            all: LatencySampler::new(),
+            steady: LatencySampler::new(),
+            completed: 0,
+            rejected: 0,
+            offloaded: 0,
+            shadows: 0,
+            steady_offload: SessionStats::default(),
+            steady_offload_count: 0,
+            shadow_stats: SessionStats::default(),
+            shadow_durations: LatencySampler::new(),
+            offload_latencies: LatencySampler::new(),
+        }
+    }
+
+    /// Record a finished request: latency samplers, the timeline, and the
+    /// completion counters (recorded requests only).
+    pub(crate) fn on_complete(
+        &mut self,
+        now: SimTime,
+        record_from: Duration,
+        latency: Duration,
+        record: bool,
+        obs: &mut Obs,
+    ) {
+        if record {
+            self.completed += 1;
+            obs.add(now, "requests_completed", 1);
+            obs.observe(now, "request_latency", latency);
+            self.all.record(latency);
+            self.timeline.record(now, latency);
+            if now.saturating_since(SimTime::ZERO) >= record_from {
+                self.steady.record(latency);
+            }
+        }
+    }
+
+    /// Fold a finished FaaS session into the shadow or offload aggregates.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn on_faas(
+        &mut self,
+        now: SimTime,
+        record_from: Duration,
+        latency: Duration,
+        record: bool,
+        is_shadow: bool,
+        stats: &SessionStats,
+        obs: &mut Obs,
+    ) {
+        if is_shadow {
+            obs.add(now, "shadow_executions", 1);
+            self.shadow_stats.absorb(stats);
+            self.shadow_durations.record(latency);
+        } else {
+            self.offloaded += 1;
+            obs.add(now, "requests_offloaded", 1);
+            if record {
+                self.offload_latencies.record(latency);
+            }
+            if now.saturating_since(SimTime::ZERO) >= record_from {
+                self.steady_offload.absorb(stats);
+                self.steady_offload_count += 1;
+            }
+        }
+    }
+
+    /// Assemble the run's [`SimResult`] from the accumulated accounting and
+    /// the end-of-run state of the world.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn finish(
+        self,
+        end: SimTime,
+        fleet: &Fleet,
+        platform: Option<&FaasPlatform>,
+        scaler: Option<&InstanceScaler>,
+        server_stats: RuntimeStats,
+        mapping_bytes: u64,
+        trace: Option<tele::Trace>,
+        metrics: Option<beehive_metrics::Registry>,
+        profile: Option<beehive_profiler::Profile>,
+    ) -> SimResult {
+        let mut function_gc_pauses = Vec::new();
+        let mut peak = 0;
+        for f in fleet.funcs.values() {
+            for gc in f.vm.gc_log() {
+                function_gc_pauses.push(gc.pause);
+            }
+            peak = peak.max(f.vm.heap.peak_used_bytes());
+        }
+        SimResult {
+            timeline: self.timeline,
+            all: self.all,
+            steady: self.steady,
+            completed: self.completed,
+            rejected: self.rejected,
+            offloaded: self.offloaded,
+            shadows: self.shadows,
+            boots: platform.map(|p| p.boot_stats()).unwrap_or((0, 0)),
+            instances: platform.map(|p| p.instances_created()).unwrap_or(0),
+            faas_cost: platform.map(|p| p.cost(end)).unwrap_or(0.0),
+            faas_gb_seconds: platform.map(|p| p.ledger().gb_seconds()).unwrap_or(0.0),
+            faas_requests: platform.map(|p| p.ledger().requests()).unwrap_or(0),
+            scaled_cost: scaler.map(|s| s.cost(end)).unwrap_or(0.0),
+            server_stats,
+            steady_offload: self.steady_offload,
+            steady_offload_count: self.steady_offload_count,
+            shadow_stats: self.shadow_stats,
+            shadow_durations: self.shadow_durations,
+            offload_latencies: self.offload_latencies,
+            function_gc_pauses,
+            function_peak_heap: peak,
+            mapping_bytes,
+            end,
+            trace,
+            metrics,
+            profile,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_at_follows_the_burst_window() {
+        let p = ArrivalPattern::Open {
+            base_rps: 50.0,
+            burst_mult: 2.0,
+            burst_at: Duration::from_secs(20),
+            burst_end: Duration::from_secs(40),
+        };
+        assert_eq!(p.rate_at(Duration::from_secs(0)), 50.0);
+        assert_eq!(p.rate_at(Duration::from_secs(19)), 50.0);
+        assert_eq!(p.rate_at(Duration::from_secs(20)), 100.0);
+        assert_eq!(p.rate_at(Duration::from_secs(39)), 100.0);
+        assert_eq!(p.rate_at(Duration::from_secs(40)), 50.0);
+    }
+
+    #[test]
+    fn constant_has_no_burst() {
+        let p = ArrivalPattern::constant(30.0);
+        assert_eq!(p.rate_at(Duration::ZERO), 30.0);
+        assert_eq!(p.rate_at(Duration::from_secs(3600)), 30.0);
+    }
+}

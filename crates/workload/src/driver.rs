@@ -1,268 +1,39 @@
-//! The discrete-event driver: schedules request sessions onto the server's
-//! processor-sharing pool, function instances, the network and the database,
-//! implementing the full Semi-FaaS lifecycle — cold boots, shadow
-//! executions, closure reuse on warm instances, instance scaling baselines
-//! and cost accounting.
+//! The discrete-event driver: an event loop wiring four layers.
+//!
+//! [`Sim`] owns the virtual clock, the event queue and the RNG, and wires:
+//!
+//! * [`crate::router`] — the pure routing policy (strategy × burst state ×
+//!   offload controller) deciding where each admitted request goes,
+//! * [`crate::lifecycle`] — the per-request state machine consuming
+//!   [`beehive_core::SessionStep`]s uniformly across all three lanes,
+//! * [`crate::endpoint`] — the execution-endpoint abstraction (server pool
+//!   lanes vs FaaS instances), the instance fleet and the metrics façade,
+//! * [`crate::broker`] — the contended resources (server pools, database,
+//!   FaaS platform, instance scaler) and their completion-event dances.
+//!
+//! What remains here is the Semi-FaaS dispatch mechanism itself — warm
+//! reuse, cold boots with shadowed first invocations (§3.4), saturation
+//! fallback — plus completion accounting and result assembly.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
-use beehive_apps::App;
-use beehive_core::config::{BeeHiveConfig, NetProfile};
-use beehive_core::server::RuntimeStats;
-use beehive_core::{
-    FunctionRuntime, OffloadController, OffloadSession, ServerRuntime, ServerSession, SessionStats,
-    SessionStep,
-};
+use beehive_core::config::NetProfile;
+use beehive_core::{FunctionRuntime, OffloadSession, ServerRuntime, ServerSession};
 use beehive_db::Database;
 use beehive_faas::{BootKind, FaasPlatform};
 use beehive_proxy::Proxy;
-use beehive_scaling::{BurstHandler, InstanceScaler};
-use beehive_sim::pool::{FifoPool, PsPool};
-use beehive_sim::stats::{LatencySampler, Timeline};
+use beehive_scaling::InstanceScaler;
 use beehive_sim::{Duration, EventQueue, Rng, SimTime};
 use beehive_telemetry as tele;
-use beehive_vm::{CostModel, Execution, Value};
+use beehive_vm::{CostModel, Value};
 
-use crate::strategy::Strategy;
+pub use crate::config::{ArrivalPattern, SimConfig, SimResult};
 
-/// How clients generate requests.
-#[derive(Clone, Copy, Debug)]
-pub enum ArrivalPattern {
-    /// Open loop (Poisson): `base_rps` before the burst, `base_rps *
-    /// burst_mult` between `burst_at` and `burst_end`.
-    Open {
-        /// Baseline request rate.
-        base_rps: f64,
-        /// Multiplier during the burst (1.0 = no burst).
-        burst_mult: f64,
-        /// Burst start.
-        burst_at: Duration,
-        /// Burst end (use the horizon for "until the end", §5.2).
-        burst_end: Duration,
-    },
-    /// Closed loop: `clients` concurrent clients, each reissuing immediately
-    /// after its previous request completes (Figure 2).
-    Closed {
-        /// Number of concurrent clients.
-        clients: usize,
-    },
-}
-
-impl ArrivalPattern {
-    /// A constant open-loop rate.
-    pub fn constant(rps: f64) -> Self {
-        ArrivalPattern::Open {
-            base_rps: rps,
-            burst_mult: 1.0,
-            burst_at: Duration::ZERO,
-            burst_end: Duration::ZERO,
-        }
-    }
-}
-
-/// Full experiment configuration.
-#[derive(Clone, Debug)]
-pub struct SimConfig {
-    /// The application under test.
-    pub app: App,
-    /// The scaling strategy.
-    pub strategy: Strategy,
-    /// Client behaviour.
-    pub arrivals: ArrivalPattern,
-    /// Virtual-time horizon.
-    pub horizon: Duration,
-    /// RNG seed (every run with the same config + seed is identical).
-    pub seed: u64,
-    /// Fraction of requests offloaded / forwarded once scaling engages.
-    pub offload_ratio: f64,
-    /// When offloading / scale-out engages (typically the burst start; zero
-    /// for steady-state experiments).
-    pub engage_at: Duration,
-    /// vCPUs of the (primary) server — `m4.xlarge` has 4.
-    pub server_cores: f64,
-    /// Warm FaaS instances already cached at t=0 *without* closures (fresh
-    /// platform cache).
-    pub prewarm: usize,
-    /// Warm instances cached at t=0 *with* the closure instantiated, plans
-    /// refined and JITs warm — instances that served earlier bursts (the
-    /// §5.2 warm-boot case with sub-second provisioning).
-    pub prewarm_ready: usize,
-    /// Hard cap on FaaS instances.
-    pub max_instances: usize,
-    /// Cap on concurrently booting instances.
-    pub max_concurrent_boots: usize,
-    /// Completions before this time are excluded from the steady-state
-    /// sampler.
-    pub record_from: Duration,
-    /// Maximum concurrent requests the server accepts (its worker pool +
-    /// accept queue); arrivals beyond it are refused. Real servlet
-    /// containers cap workers near 200 — without the cap, a saturated
-    /// processor-sharing pool finishes nothing at all and the whole
-    /// deployment wedges.
-    pub max_server_concurrency: usize,
-    /// BeeHive runtime configuration (ablations toggle features here).
-    pub beehive: BeeHiveConfig,
-    /// Shadow the first invocation on every new instance (§3.4). Disabling
-    /// this is the warmup-hiding ablation: first invocations run for real on
-    /// the cold instance and the client waits out the long tail.
-    pub shadow_enabled: bool,
-    /// Record a virtual-time trace of this run ([`SimResult::trace`]).
-    /// Defaults to the engine-wide flag set by `repro --trace`
-    /// ([`crate::engine::set_trace_default`]).
-    pub trace: bool,
-    /// Keep a live metrics registry for this run ([`SimResult::metrics`]).
-    /// Defaults to the engine-wide flag set by `repro --metrics`
-    /// ([`crate::engine::set_metrics_default`]). Costs nothing when off.
-    pub metrics: bool,
-    /// Time-series window of the metrics registry (virtual time).
-    pub metrics_window: Duration,
-    /// Record a per-lane call-tree profile of this run
-    /// ([`SimResult::profile`]). Defaults to the engine-wide flag set by
-    /// `repro --profile` ([`crate::engine::set_profile_default`]).
-    pub profile: bool,
-}
-
-impl SimConfig {
-    /// A configuration with paper-style defaults.
-    pub fn new(app: App, strategy: Strategy) -> Self {
-        SimConfig {
-            app,
-            strategy,
-            arrivals: ArrivalPattern::constant(50.0),
-            horizon: Duration::from_secs(60),
-            seed: 1,
-            offload_ratio: 0.5,
-            engage_at: Duration::ZERO,
-            server_cores: 4.0,
-            prewarm: 0,
-            prewarm_ready: 0,
-            max_instances: 256,
-            max_concurrent_boots: 48,
-            record_from: Duration::from_secs(10),
-            max_server_concurrency: 256,
-            beehive: BeeHiveConfig::default(),
-            shadow_enabled: true,
-            trace: crate::engine::trace_default(),
-            metrics: crate::engine::metrics_default(),
-            metrics_window: beehive_metrics::DEFAULT_WINDOW,
-            profile: crate::engine::profile_default(),
-        }
-    }
-}
-
-/// What one run produced.
-#[derive(Debug)]
-pub struct SimResult {
-    /// Per-second latency timeline (Figure 7).
-    pub timeline: Timeline,
-    /// All recorded request latencies.
-    pub all: LatencySampler,
-    /// Latencies of requests completing after `record_from`.
-    pub steady: LatencySampler,
-    /// Recorded completed requests.
-    pub completed: u64,
-    /// Requests refused because the server's worker pool was full.
-    pub rejected: u64,
-    /// Completed offloaded (non-shadow) requests.
-    pub offloaded: u64,
-    /// Shadow executions run.
-    pub shadows: u64,
-    /// Cold boots / warm starts on the FaaS platform.
-    pub boots: (u64, u64),
-    /// FaaS instances created.
-    pub instances: usize,
-    /// Dollars billed by the FaaS platform.
-    pub faas_cost: f64,
-    /// GB-seconds of function execution billed (per-use platforms).
-    pub faas_gb_seconds: f64,
-    /// Function invocations billed.
-    pub faas_requests: u64,
-    /// Dollars billed for the scaled instance (instance strategies).
-    pub scaled_cost: f64,
-    /// Server runtime statistics.
-    pub server_stats: RuntimeStats,
-    /// Aggregate session stats of steady-state offloaded requests.
-    pub steady_offload: SessionStats,
-    /// Number of steady-state offloaded requests behind `steady_offload`.
-    pub steady_offload_count: u64,
-    /// Aggregate session stats of shadow executions.
-    pub shadow_stats: SessionStats,
-    /// End-to-end durations of shadow executions (arrival → completion,
-    /// including the boot they hide).
-    pub shadow_durations: LatencySampler,
-    /// Latencies of recorded offloaded requests only (exposes the cold-start
-    /// tail when shadowing is disabled).
-    pub offload_latencies: LatencySampler,
-    /// Function-side GC pauses across all instances.
-    pub function_gc_pauses: Vec<Duration>,
-    /// Peak heap bytes over all function instances.
-    pub function_peak_heap: u64,
-    /// Server-side mapping-table footprint at the end.
-    pub mapping_bytes: u64,
-    /// The virtual end time.
-    pub end: SimTime,
-    /// The recorded trace, when [`SimConfig::trace`] was set.
-    pub trace: Option<tele::Trace>,
-    /// The live metrics registry, when [`SimConfig::metrics`] was set.
-    /// Snapshot with [`beehive_metrics::Registry::snapshot`].
-    pub metrics: Option<beehive_metrics::Registry>,
-    /// The resolved call-tree profile, when [`SimConfig::profile`] was set.
-    pub profile: Option<beehive_profiler::Profile>,
-}
-
-#[derive(Debug)]
-enum Ev {
-    Arrival,
-    ClientReissue,
-    Step(u64),
-    ServerPool { pool: usize, epoch: u64 },
-    DbDone { job: u64, at: SimTime },
-    Boot { req: u64 },
-    TriggerScale,
-    CapacityReady,
-    Expire,
-}
-
-#[derive(Debug)]
-enum Kind {
-    Server {
-        session: ServerSession,
-        pool: usize,
-    },
-    Offload {
-        session: OffloadSession,
-        instance: u32,
-    },
-    PendingBoot {
-        args: Vec<Value>,
-        instance: u32,
-        cold: bool,
-    },
-}
-
-#[derive(Debug)]
-struct Request {
-    arrival: SimTime,
-    record: bool,
-    closed_loop: bool,
-    /// Name of the resource span opened when this request parked on a
-    /// [`beehive_core::Need`]; closed when the request resumes, so the span
-    /// covers true residence (service + queueing).
-    open_span: Option<&'static str>,
-    kind: Kind,
-}
-
-impl Request {
-    /// The telemetry track this request's events land on.
-    fn track(&self) -> tele::Track {
-        match &self.kind {
-            Kind::Server { session, .. } => tele::Track::Request(session.request_id()),
-            Kind::Offload { session, .. } => tele::Track::Request(session.request_id()),
-            Kind::PendingBoot { instance, .. } => tele::Track::Instance(*instance),
-        }
-    }
-}
+use crate::broker::{Broker, Ev};
+use crate::config::Acct;
+use crate::endpoint::{Fleet, Obs};
+use crate::lifecycle::{Done, Lane, Lifecycle, Request};
+use crate::router::{Router, Target};
 
 /// The simulation engine. Build with a [`SimConfig`], call [`Sim::run`].
 pub struct Sim {
@@ -271,39 +42,15 @@ pub struct Sim {
     events: EventQueue<Ev>,
     rng: Rng,
     server: ServerRuntime,
-    pools: Vec<PsPool>,
-    db_pool: FifoPool,
-    platform: Option<FaasPlatform>,
+    broker: Broker,
     net: NetProfile,
-    funcs: HashMap<u32, FunctionRuntime>,
-    idle_funcs: Vec<u32>,
-    booting: usize,
-    requests: HashMap<u64, Request>,
-    lock_waiters: HashMap<beehive_vm::Addr, std::collections::VecDeque<u64>>,
-    next_req: u64,
-    controller: OffloadController,
-    burst: BurstHandler,
-    scaler: Option<InstanceScaler>,
+    fleet: Fleet,
+    lifecycle: Lifecycle,
+    router: Router,
     dispatch_cost: Duration,
     cost_model: CostModel,
-    // metrics
-    timeline: Timeline,
-    all: LatencySampler,
-    steady: LatencySampler,
-    completed: u64,
-    offloaded: u64,
-    shadows: u64,
-    steady_offload: SessionStats,
-    steady_offload_count: u64,
-    shadow_stats: SessionStats,
-    shadow_durations: LatencySampler,
-    offload_latencies: LatencySampler,
-    rejected: u64,
-    metrics: Option<beehive_metrics::Registry>,
-    /// GC-log entries per function instance already folded into the metrics
-    /// registry; seeded in `new` so pre-virtual-time collections (prewarm
-    /// warm-up) are excluded, matching what a trace of the run records.
-    gc_seen: HashMap<u32, usize>,
+    obs: Obs,
+    acct: Acct,
 }
 
 impl Sim {
@@ -313,8 +60,7 @@ impl Sim {
         let db = Database::new(); // seeded by App::install through the proxy
                                   // Scaled-fidelity apps execute 1/k of their tracked writes, so the
                                   // per-write barrier is scaled by k to keep BeeHive's write-barrier
-                                  // overhead (the 7.14% pybbs throughput drop, §5.3) fidelity-
-                                  // invariant.
+                                  // overhead (the 7.14% pybbs throughput drop, §5.3) fidelity-invariant.
         let mut cost = CostModel::default();
         cost.barrier = cost.barrier * cfg.app.fidelity.factor() as u64;
         let mut server = ServerRuntime::new(
@@ -340,54 +86,18 @@ impl Sim {
         if let Some(p) = platform.as_mut() {
             p.prewarm(SimTime::ZERO, cfg.prewarm);
         }
-        let mut funcs: HashMap<u32, FunctionRuntime> = HashMap::new();
-        let mut idle_funcs: Vec<u32> = Vec::new();
-        if cfg.prewarm_ready > 0 {
-            if let Some(p) = platform.as_mut() {
-                // History: one zero-time shadow refines the closure plan, as
-                // earlier bursts would have (§3.4).
-                let mut scratch = FunctionRuntime::new(1_000_000, &cfg.app.program, cost);
-                let mut warmup = OffloadSession::start(
-                    &mut server,
-                    &mut scratch,
-                    cfg.app.root,
-                    vec![Value::I64(0)],
-                    true,
-                    net,
-                    true,
-                );
-                loop {
-                    match warmup.next(&mut server, &mut scratch) {
-                        SessionStep::Need(_) => {}
-                        SessionStep::Finished(_) => break,
-                        SessionStep::SyncFromPeer { .. }
-                        | SessionStep::ServerGc
-                        | SessionStep::AwaitLock { .. } => {
-                            unreachable!("warmup shadow has no peers")
-                        }
-                    }
-                }
-                server.remove_mapping(1_000_000);
-                let first = p.instances_created() as u32;
-                p.prewarm(SimTime::ZERO, cfg.prewarm_ready);
-                for id in first..first + cfg.prewarm_ready as u32 {
-                    let mut f = FunctionRuntime::new(id, &cfg.app.program, cost);
-                    server.instantiate_closure(&mut f, cfg.app.root);
-                    f.vm.prewarm_all_methods(&cfg.app.program);
-                    funcs.insert(id, f);
-                    idle_funcs.push(id);
-                }
-            }
-        }
+        let fleet = Fleet::prewarmed(
+            &mut server,
+            &mut platform,
+            &cfg.app,
+            cfg.prewarm_ready,
+            net,
+            cost,
+        );
         let scaler = cfg.strategy.scaling_kind().map(InstanceScaler::new);
         let dispatch_cost = cfg.app.spec.cpu_budget.mul_f64(0.075);
-        let controller = OffloadController::new(cfg.offload_ratio);
-        let burst = BurstHandler::new(cfg.offload_ratio);
-        let server_cores = cfg.server_cores;
-        let gc_seen = funcs
-            .iter()
-            .map(|(&id, f)| (id, f.vm.gc_log().len()))
-            .collect();
+        let router = Router::new(cfg.strategy, cfg.engage_at, cfg.offload_ratio);
+        let broker = Broker::new(cfg.server_cores, platform, scaler);
 
         Sim {
             cfg,
@@ -395,75 +105,15 @@ impl Sim {
             events: EventQueue::new(),
             rng,
             server,
-            pools: vec![PsPool::new(server_cores)],
-            db_pool: FifoPool::new(40), // the m4.10xlarge database machine
-            platform,
+            broker,
             net,
-            funcs,
-            idle_funcs,
-            booting: 0,
-            requests: HashMap::new(),
-            lock_waiters: HashMap::new(),
-            next_req: 0,
-            controller,
-            burst,
-            scaler,
+            fleet,
+            lifecycle: Lifecycle::new(),
+            router,
             dispatch_cost,
             cost_model: cost,
-            timeline: Timeline::new(),
-            all: LatencySampler::new(),
-            steady: LatencySampler::new(),
-            completed: 0,
-            offloaded: 0,
-            shadows: 0,
-            steady_offload: SessionStats::default(),
-            steady_offload_count: 0,
-            shadow_stats: SessionStats::default(),
-            shadow_durations: LatencySampler::new(),
-            offload_latencies: LatencySampler::new(),
-            rejected: 0,
-            metrics: None,
-            gc_seen,
-        }
-    }
-
-    fn m_add(&mut self, name: &'static str, delta: u64) {
-        if let Some(m) = self.metrics.as_mut() {
-            m.add(name, self.now, delta);
-        }
-    }
-
-    fn m_gauge(&mut self, name: &'static str, value: i64) {
-        if let Some(m) = self.metrics.as_mut() {
-            m.set_gauge(name, self.now, value);
-        }
-    }
-
-    fn m_observe(&mut self, name: &'static str, d: Duration) {
-        if let Some(m) = self.metrics.as_mut() {
-            m.observe(name, self.now, d);
-        }
-    }
-
-    /// Fold GC pauses `fid` accrued since the last note into the metrics
-    /// registry. The function VM emits its own `gc` trace events as it
-    /// collects mid-session; the driver only sees the log afterwards, at the
-    /// same virtual instant (pauses are charged to the session's budget, not
-    /// the clock).
-    fn note_function_gcs(&mut self, fid: u32) {
-        if self.metrics.is_none() {
-            return;
-        }
-        let Some(f) = self.funcs.get(&fid) else {
-            return;
-        };
-        let log = f.vm.gc_log();
-        let seen = self.gc_seen.entry(fid).or_insert(0);
-        let pauses: Vec<Duration> = log[*seen..].iter().map(|gc| gc.pause).collect();
-        *seen = log.len();
-        for p in pauses {
-            self.m_observe("gc_pause", p);
-            self.m_add("gc_pause_ns", p.as_nanos());
+            obs: Obs::off(),
+            acct: Acct::new(),
         }
     }
 
@@ -480,7 +130,7 @@ impl Sim {
             beehive_profiler::install();
         }
         if self.cfg.metrics {
-            self.metrics = Some(beehive_metrics::Registry::new(self.cfg.metrics_window));
+            self.obs.install(self.cfg.metrics_window);
         }
         match self.cfg.arrivals {
             ArrivalPattern::Open { .. } => {
@@ -492,11 +142,11 @@ impl Sim {
                 }
             }
         }
-        if self.scaler.is_some() {
+        if self.broker.scaler.is_some() {
             self.events
                 .schedule(SimTime::ZERO + self.cfg.engage_at, Ev::TriggerScale);
         }
-        if self.platform.is_some() {
+        if self.broker.platform.is_some() {
             self.events
                 .schedule(SimTime::ZERO + Duration::from_secs(30), Ev::Expire);
         }
@@ -511,7 +161,8 @@ impl Sim {
                 tele::set_now(t);
             }
             self.handle(ev);
-            self.wake_lock_waiters();
+            self.lifecycle
+                .wake_lock_waiters(self.now, &mut self.server, &mut self.events);
         }
         self.finish()
     }
@@ -520,167 +171,97 @@ impl Sim {
         match ev {
             Ev::Arrival => {
                 let queue = self.events.len() as i64;
-                let pool = self.pools[0].len() as i64;
-                let inflight = self.requests.len() as i64;
-                let idle = self.idle_funcs.len() as i64;
+                let pool = self.broker.pools[0].len() as i64;
+                let inflight = self.lifecycle.inflight() as i64;
+                let idle = self.fleet.idle.len() as i64;
                 if tele::enabled() {
                     tele::counter(tele::Track::Sim, "event_queue", queue);
                     tele::counter(tele::Track::Sim, "server_pool", pool);
                     tele::counter(tele::Track::Sim, "inflight", inflight);
                     tele::counter(tele::Track::Sim, "idle_instances", idle);
                 }
-                self.m_gauge("event_queue", queue);
-                self.m_gauge("server_pool", pool);
-                self.m_gauge("inflight", inflight);
-                self.m_gauge("idle_instances", idle);
-                let (rate, next_rate_check) = self.current_rate();
-                let _ = next_rate_check;
-                let gap = self
-                    .rng
-                    .exponential(Duration::from_secs_f64(1.0 / rate.max(1e-9)));
+                self.obs.gauge(self.now, "event_queue", queue);
+                self.obs.gauge(self.now, "server_pool", pool);
+                self.obs.gauge(self.now, "inflight", inflight);
+                self.obs.gauge(self.now, "idle_instances", idle);
+                let t = self.now.saturating_since(SimTime::ZERO);
+                let rate = self.cfg.arrivals.rate_at(t).max(1e-9);
+                let gap = self.rng.exponential(Duration::from_secs_f64(1.0 / rate));
                 self.events.schedule(self.now + gap, Ev::Arrival);
                 self.admit(false);
             }
             Ev::ClientReissue => {
                 self.admit(true);
             }
-            Ev::Step(rid) => self.step_request(rid),
+            Ev::Step(rid) => self.step(rid),
             Ev::ServerPool { pool, epoch } => {
-                if pool >= self.pools.len() || self.pools[pool].epoch() != epoch {
-                    return; // stale
+                if let Some(job) =
+                    self.broker
+                        .pool_completion(self.now, pool, epoch, &mut self.events)
+                {
+                    self.step(job);
                 }
-                let Some((t, job)) = self.pools[pool].next_completion() else {
-                    return;
-                };
-                if t > self.now {
-                    let epoch = self.pools[pool].epoch();
-                    self.events.schedule(t, Ev::ServerPool { pool, epoch });
-                    return;
-                }
-                self.pools[pool].remove(self.now, job);
-                self.schedule_pool_event(pool);
-                self.step_request(job);
             }
             Ev::DbDone { job, at } => {
-                if self.db_pool.next_completion() != Some((at, job)) || at > self.now {
-                    return; // stale
+                if let Some(job) = self
+                    .broker
+                    .db_completion(self.now, job, at, &mut self.events)
+                {
+                    self.step(job);
                 }
-                self.db_pool.complete(self.now, job);
-                self.schedule_db_event();
-                self.step_request(job);
             }
             Ev::Boot { req } => self.boot_ready(req),
             Ev::TriggerScale => {
-                let Some(scaler) = self.scaler.as_mut() else {
-                    return;
-                };
-                let ready = scaler.request(self.now, &mut self.rng);
-                self.events.schedule(ready, Ev::CapacityReady);
+                self.broker
+                    .trigger_scale(self.now, &mut self.rng, &mut self.events);
             }
             Ev::CapacityReady => {
-                self.burst.capacity_ready_at(self.now);
-                let cores = self.cfg.server_cores;
-                if self.pools.len() == 1 {
-                    self.pools.push(PsPool::new(cores));
-                }
+                self.router.capacity_ready_at(self.now);
+                self.broker.capacity_ready();
             }
             Ev::Expire => {
-                if let Some(p) = self.platform.as_mut() {
-                    p.expire_idle(self.now);
-                    self.idle_funcs.retain(|&id| p.is_alive(id));
-                }
-                self.events
-                    .schedule(self.now + Duration::from_secs(30), Ev::Expire);
+                self.broker
+                    .expire_idle(self.now, &mut self.fleet.idle, &mut self.events);
             }
         }
     }
 
-    fn current_rate(&self) -> (f64, SimTime) {
-        match self.cfg.arrivals {
-            ArrivalPattern::Open {
-                base_rps,
-                burst_mult,
-                burst_at,
-                burst_end,
-            } => {
-                let t = self.now.saturating_since(SimTime::ZERO);
-                if t >= burst_at && t < burst_end {
-                    (base_rps * burst_mult, SimTime::ZERO + burst_end)
-                } else {
-                    (base_rps, SimTime::ZERO + burst_at)
-                }
-            }
-            ArrivalPattern::Closed { .. } => unreachable!("closed loop has no rate"),
+    /// Advance a request until it parks or finishes; account completions.
+    fn step(&mut self, rid: u64) {
+        if let Some(done) = self.lifecycle.advance(
+            rid,
+            self.now,
+            &mut self.server,
+            &mut self.fleet,
+            &mut self.broker,
+            &mut self.events,
+            &mut self.obs,
+        ) {
+            self.complete(done);
         }
     }
 
     /// Admit one request and route it per the strategy.
     fn admit(&mut self, closed_loop: bool) {
         let args = self.cfg.app.request_args(&mut self.rng);
-        let engaged = self.now.saturating_since(SimTime::ZERO) >= self.cfg.engage_at;
-        match self.cfg.strategy {
-            Strategy::Vanilla | Strategy::BeeHiveSingle => {
-                self.start_server_request(args, 0, true, closed_loop);
+        let decision = self.router.route(self.now, self.broker.pools.len());
+        if let Some(c) = decision.considered {
+            if tele::enabled() {
+                tele::instant(
+                    tele::Track::Server,
+                    "offload:decision",
+                    &[
+                        ("offload", tele::Arg::Bool(c.offload)),
+                        ("engaged", tele::Arg::Bool(c.engaged)),
+                    ],
+                );
             }
-            Strategy::Scaled(_) => {
-                let pool = match self.burst.route(self.now) {
-                    beehive_scaling::burst::Route::Primary => 0,
-                    beehive_scaling::burst::Route::Scaled => 1.min(self.pools.len() - 1),
-                };
+        }
+        match decision.target {
+            Target::Server(pool) => {
                 self.start_server_request(args, pool, true, closed_loop);
             }
-            Strategy::BeeHiveOpenWhisk
-            | Strategy::BeeHiveOpenWhiskCrossAz
-            | Strategy::BeeHiveLambda => {
-                let offload = engaged && self.controller.decide();
-                if tele::enabled() {
-                    tele::instant(
-                        tele::Track::Server,
-                        "offload:decision",
-                        &[
-                            ("offload", tele::Arg::Bool(offload)),
-                            ("engaged", tele::Arg::Bool(engaged)),
-                        ],
-                    );
-                }
-                if offload {
-                    self.dispatch_offload(args, closed_loop);
-                } else {
-                    self.start_server_request(args, 0, true, closed_loop);
-                }
-            }
-            Strategy::Combined(_) => {
-                // §5.7: Semi-FaaS bridges the provisioning gap; once the
-                // on-demand instance is ready the burst handler takes over
-                // and the offloading ratio effectively drops to zero.
-                match self.burst.route(self.now) {
-                    beehive_scaling::burst::Route::Scaled if self.pools.len() > 1 => {
-                        self.start_server_request(args, 1, true, closed_loop);
-                    }
-                    _ if self.burst.is_ready(self.now) => {
-                        // Capacity is up: the offloading ratio is zero.
-                        self.start_server_request(args, 0, true, closed_loop);
-                    }
-                    _ => {
-                        let offload = engaged && self.controller.decide();
-                        if tele::enabled() {
-                            tele::instant(
-                                tele::Track::Server,
-                                "offload:decision",
-                                &[
-                                    ("offload", tele::Arg::Bool(offload)),
-                                    ("engaged", tele::Arg::Bool(engaged)),
-                                ],
-                            );
-                        }
-                        if offload {
-                            self.dispatch_offload(args, closed_loop);
-                        } else {
-                            self.start_server_request(args, 0, true, closed_loop);
-                        }
-                    }
-                }
-            }
+            Target::Faas => self.dispatch_offload(args, closed_loop),
         }
     }
 
@@ -691,11 +272,11 @@ impl Sim {
         record: bool,
         closed_loop: bool,
     ) -> u64 {
-        if self.pools[pool].len() >= self.cfg.max_server_concurrency {
+        if self.broker.pools[pool].len() >= self.cfg.max_server_concurrency {
             // Connection refused: the worker pool is saturated.
-            self.rejected += 1;
+            self.acct.rejected += 1;
             tele::instant(tele::Track::Server, "rejected", &[]);
-            self.m_add("requests_rejected", 1);
+            self.obs.add(self.now, "requests_rejected", 1);
             if closed_loop {
                 let backoff = self.rng.exponential(Duration::from_millis(50));
                 self.events.schedule(self.now + backoff, Ev::ClientReissue);
@@ -703,19 +284,13 @@ impl Sim {
             return u64::MAX;
         }
         let session = ServerSession::start(&mut self.server, self.cfg.app.root, args);
-        let rid = self.next_req;
-        self.next_req += 1;
-        self.requests.insert(
-            rid,
-            Request {
-                arrival: self.now,
-                record,
-                closed_loop,
-                open_span: None,
-                kind: Kind::Server { session, pool },
-            },
-        );
-        self.step_request(rid);
+        let rid = self.lifecycle.insert(Request::new(
+            self.now,
+            record,
+            closed_loop,
+            Lane::server(session, pool),
+        ));
+        self.step(rid);
         rid
     }
 
@@ -728,14 +303,16 @@ impl Sim {
         // round-robin (OpenWhisk's load balancer spreads activations across
         // warm containers), which keeps monitor ownership bouncing between
         // endpoints — the source of Table 5's steady sync fallbacks.
-        if let Some(&fid) = self.idle_funcs.first() {
-            let platform = self.platform.as_mut().expect("offload needs a platform");
+        if let Some(&fid) = self.fleet.idle.first() {
+            let platform = self
+                .broker
+                .platform
+                .as_mut()
+                .expect("offload needs a platform");
             let ok = platform.acquire_warm_specific(fid);
             if ok {
-                self.idle_funcs.remove(0);
-                let rid = self.next_req;
-                self.next_req += 1;
-                let mut func = self.funcs.remove(&fid).expect("tracked instance");
+                self.fleet.idle.remove(0);
+                let mut func = self.fleet.funcs.remove(&fid).expect("tracked instance");
                 let session = OffloadSession::start_with_dispatch(
                     &mut self.server,
                     &mut func,
@@ -746,73 +323,56 @@ impl Sim {
                     false,
                     self.dispatch_cost,
                 );
-                self.funcs.insert(fid, func);
-                self.note_function_gcs(fid);
-                self.requests.insert(
-                    rid,
-                    Request {
-                        arrival: self.now,
-                        record: true,
-                        closed_loop,
-                        open_span: None,
-                        kind: Kind::Offload {
-                            session,
-                            instance: fid,
-                        },
-                    },
-                );
-                self.step_request(rid);
+                self.fleet.funcs.insert(fid, func);
+                self.fleet.note_gcs(fid, self.now, &mut self.obs);
+                let rid = self.lifecycle.insert(Request::new(
+                    self.now,
+                    true,
+                    closed_loop,
+                    Lane::faas(session, fid),
+                ));
+                self.step(rid);
                 return;
             }
             // The platform reclaimed it under us; drop and fall through.
-            self.idle_funcs.remove(0);
+            self.fleet.idle.remove(0);
         }
 
         // 2. Spawn a new instance and shadow its first invocation. Ramp
         // exponentially: at most double the current fleet per boot wave, so
         // a burst doesn't over-provision instances it will never reuse.
-        let busy = self.funcs.len().saturating_sub(self.idle_funcs.len());
-        let ramp_cap = (busy * 2).max(4).min(self.cfg.max_concurrent_boots);
-        let can_spawn =
-            self.booting < ramp_cap && self.funcs.len() + self.booting < self.cfg.max_instances;
+        let ramp_cap = (self.fleet.busy() * 2)
+            .max(4)
+            .min(self.cfg.max_concurrent_boots);
+        let can_spawn = self.fleet.booting < ramp_cap
+            && self.fleet.funcs.len() + self.fleet.booting < self.cfg.max_instances;
         if can_spawn {
-            let platform = self.platform.as_mut().expect("offload needs a platform");
+            let platform = self
+                .broker
+                .platform
+                .as_mut()
+                .expect("offload needs a platform");
             let (fid, ready, kind) = platform.acquire(self.now);
+            let cold = kind == BootKind::Cold;
             if tele::enabled() {
                 tele::begin(
                     tele::Track::Instance(fid),
                     "boot",
-                    &[("cold", tele::Arg::Bool(kind == BootKind::Cold))],
+                    &[("cold", tele::Arg::Bool(cold))],
                 );
             }
-            self.m_add(
-                if kind == BootKind::Cold {
-                    "boots_cold"
-                } else {
-                    "boots_warm"
-                },
-                1,
-            );
-            self.booting += 1;
-            let boot_rid = self.next_req;
-            self.next_req += 1;
+            let boot_metric = if cold { "boots_cold" } else { "boots_warm" };
+            self.obs.add(self.now, boot_metric, 1);
+            self.fleet.booting += 1;
             let shadow = self.cfg.shadow_enabled;
-            self.requests.insert(
-                boot_rid,
-                Request {
-                    arrival: self.now,
-                    // Without shadowing, the boot-waiting request IS the real
-                    // request and eats the cold-start tail (the ablation).
-                    record: !shadow,
-                    closed_loop: if shadow { false } else { closed_loop },
-                    open_span: None,
-                    kind: Kind::PendingBoot {
-                        args: args.clone(),
-                        instance: fid,
-                        cold: kind == BootKind::Cold,
-                    },
-                },
-            );
+            let boot_rid = self.lifecycle.insert(Request::new(
+                self.now,
+                // Without shadowing, the boot-waiting request IS the real
+                // request and eats the cold-start tail (the ablation).
+                !shadow,
+                if shadow { false } else { closed_loop },
+                Lane::pending_boot(args.clone(), fid, cold),
+            ));
             self.events.schedule(ready, Ev::Boot { req: boot_rid });
             if shadow {
                 // The real request runs on the server while the shadow warms
@@ -827,32 +387,22 @@ impl Sim {
     }
 
     fn boot_ready(&mut self, rid: u64) {
-        let Some(req) = self.requests.get_mut(&rid) else {
+        let Some((args, fid, cold)) = self.lifecycle.take_pending_boot(rid) else {
             return;
         };
-        let Kind::PendingBoot {
-            args,
-            instance,
-            cold,
-        } = &mut req.kind
-        else {
-            panic!("boot event for a non-pending request");
-        };
-        let fid = *instance;
-        let cold = *cold;
-        let args = std::mem::take(args);
-        self.booting = self.booting.saturating_sub(1);
+        self.fleet.booting = self.fleet.booting.saturating_sub(1);
         tele::end(tele::Track::Instance(fid), "boot", &[]);
         if cold {
-            self.platform
+            self.broker
+                .platform
                 .as_mut()
                 .expect("platform exists")
                 .boot_complete(self.now, fid);
         }
-        let mut func = self
-            .funcs
-            .remove(&fid)
-            .unwrap_or_else(|| FunctionRuntime::new(fid, &self.cfg.app.program, self.cost_model));
+        let mut func =
+            self.fleet.funcs.remove(&fid).unwrap_or_else(|| {
+                FunctionRuntime::new(fid, &self.cfg.app.program, self.cost_model)
+            });
         let shadow = self.cfg.shadow_enabled;
         let session = OffloadSession::start_with_dispatch(
             &mut self.server,
@@ -864,297 +414,65 @@ impl Sim {
             cold, // closure computation overlaps a cold boot (§5.6)
             self.dispatch_cost,
         );
-        self.funcs.insert(fid, func);
-        self.note_function_gcs(fid);
+        self.fleet.funcs.insert(fid, func);
+        self.fleet.note_gcs(fid, self.now, &mut self.obs);
         if shadow {
-            self.shadows += 1;
+            self.acct.shadows += 1;
         }
-        let req = self.requests.get_mut(&rid).expect("still present");
-        req.kind = Kind::Offload {
-            session,
-            instance: fid,
-        };
-        self.step_request(rid);
+        self.lifecycle.attach_offload(rid, session, fid);
+        self.step(rid);
     }
 
-    /// Advance a request until it parks on a resource or finishes.
-    fn step_request(&mut self, rid: u64) {
-        let Some(mut req) = self.requests.remove(&rid) else {
-            return; // already finished
-        };
-        if let Some(name) = req.open_span.take() {
-            // The request resumes: close the resource span opened when it
-            // parked, so the span covers service plus queueing.
-            tele::end(req.track(), name, &[]);
-        }
-        loop {
-            let step = match &mut req.kind {
-                Kind::Server { session, .. } => session.next(&mut self.server),
-                Kind::Offload { session, instance } => {
-                    let fid = *instance;
-                    let mut func = self.funcs.remove(&fid).expect("instance exists");
-                    let s = session.next(&mut self.server, &mut func);
-                    self.funcs.insert(fid, func);
-                    self.note_function_gcs(fid);
-                    s
-                }
-                Kind::PendingBoot { .. } => return self.park(rid, req), // waits for Boot
-            };
-            match step {
-                SessionStep::Need(n) => {
-                    use beehive_core::Resource;
-                    // Residence spans are recorded for offloaded sessions and
-                    // for fallback round trips only: plain server requests
-                    // park on the pool ~100× each, and recording every one
-                    // would dwarf the Semi-FaaS machinery the trace is for.
-                    let traced = n.fallback || matches!(req.kind, Kind::Offload { .. });
-                    if traced && tele::enabled() {
-                        // One static name per (resource, fallback-flag) pair:
-                        // no allocation on the hot path.
-                        let name = match (n.resource, n.fallback) {
-                            (Resource::ServerCpu, false) => "wait:server_cpu",
-                            (Resource::ServerCpu, true) => "wait:server_cpu:fb",
-                            (Resource::FunctionCpu, false) => "wait:function_cpu",
-                            (Resource::FunctionCpu, true) => "wait:function_cpu:fb",
-                            (Resource::Net, false) => "wait:net",
-                            (Resource::Net, true) => "wait:net:fb",
-                            (Resource::Db, false) => "wait:db",
-                            (Resource::Db, true) => "wait:db:fb",
-                        };
-                        tele::begin(req.track(), name, &[]);
-                        req.open_span = Some(name);
-                    }
-                    if n.fallback {
-                        self.m_add("fallbacks", 1);
-                    }
-                    match n.resource {
-                        Resource::ServerCpu => {
-                            if n.fallback {
-                                // Fallback servicing runs on the runtime's
-                                // own high-priority thread, not behind the
-                                // request worker pool — otherwise a
-                                // saturated server would hold every lock
-                                // hand-off hostage and convoy the fleet.
-                                self.events.schedule(self.now + n.amount, Ev::Step(rid));
-                            } else {
-                                let pool = match &req.kind {
-                                    Kind::Server { pool, .. } => *pool,
-                                    _ => 0,
-                                };
-                                self.pools[pool].add(self.now, rid, n.amount);
-                                self.schedule_pool_event(pool);
-                            }
-                        }
-                        Resource::FunctionCpu => {
-                            let cpu = self
-                                .platform
-                                .as_ref()
-                                .map(|p| p.config().cpu)
-                                .unwrap_or(1.0);
-                            let d = n.amount.mul_f64(1.0 / cpu);
-                            self.events.schedule(self.now + d, Ev::Step(rid));
-                        }
-                        Resource::Net => {
-                            self.events.schedule(self.now + n.amount, Ev::Step(rid));
-                        }
-                        Resource::Db => {
-                            let origin = match &req.kind {
-                                Kind::Server { .. } => "server",
-                                _ => "function",
-                            };
-                            if tele::enabled() {
-                                tele::instant(
-                                    tele::Track::Db,
-                                    "db:round",
-                                    &[("origin", tele::Arg::Str(origin))],
-                                );
-                            }
-                            self.m_add(
-                                if origin == "server" {
-                                    "db_rounds_server"
-                                } else {
-                                    "db_rounds_function"
-                                },
-                                1,
-                            );
-                            self.db_pool.add(self.now, rid, n.amount);
-                            self.schedule_db_event();
-                        }
-                    }
-                    return self.park(rid, req);
-                }
-                SessionStep::SyncFromPeer { peer, monitor } => {
-                    let (objs, report) = match self.funcs.get_mut(&peer) {
-                        Some(p) => {
-                            let (objs, report) = self.server.pull_dirty_from(p);
-                            if let Some(canonical) = monitor {
-                                self.server.revoke_peer_monitor(p, canonical);
-                            }
-                            (objs, report)
-                        }
-                        None => (Vec::new(), Default::default()), // peer died; nothing to pull
-                    };
-                    if tele::enabled() {
-                        tele::instant(
-                            req.track(),
-                            "sync:pull_dirty",
-                            &[
-                                ("objects", tele::Arg::UInt(objs.len() as u64)),
-                                ("bytes", tele::Arg::UInt(report.bytes)),
-                            ],
-                        );
-                    }
-                    self.m_add("handoff_dirty_objects", objs.len() as u64);
-                    self.m_add("handoff_dirty_bytes", report.bytes);
-                    if let Kind::Offload { session, .. } = &mut req.kind {
-                        session.deliver_peer_objects(objs);
-                    }
-                }
-                SessionStep::ServerGc => {
-                    let Kind::Server { session, .. } = &mut req.kind else {
-                        unreachable!("only server sessions GC through the driver")
-                    };
-                    let mut execs: Vec<&mut Execution> = vec![session.execution_mut()];
-                    for other in self.requests.values_mut() {
-                        if let Kind::Server { session: s, .. } = &mut other.kind {
-                            execs.push(s.execution_mut());
-                        }
-                    }
-                    let pause = self.server.vm.collect(&mut execs, &mut []).pause;
-                    self.m_observe("gc_pause", pause);
-                    self.m_add("gc_pause_ns", pause.as_nanos());
-                    if let Kind::Server { session, .. } = &mut req.kind {
-                        session.gc_done(pause);
-                    }
-                }
-                SessionStep::AwaitLock { canonical } => {
-                    if std::env::var_os("BEEHIVE_DEBUG_SYNC").is_some() {
-                        eprintln!("[lock] t={:?} park rid={rid} lock={canonical:?}", self.now);
-                    }
-                    self.lock_waiters
-                        .entry(canonical)
-                        .or_default()
-                        .push_back(rid);
-                    return self.park(rid, req);
-                }
-                SessionStep::Finished(_v) => {
-                    self.complete(rid, req);
-                    return;
+    fn complete(&mut self, done: Done) {
+        let latency = self.now - done.arrival;
+        self.acct.on_complete(
+            self.now,
+            self.cfg.record_from,
+            latency,
+            done.record,
+            &mut self.obs,
+        );
+        if let Some((session, instance)) = done.faas {
+            // The instance was held busy for the whole request.
+            if let Some(p) = self.broker.platform.as_mut() {
+                p.release(self.now, instance, latency);
+                if p.is_alive(instance) {
+                    self.fleet.idle.push(instance);
                 }
             }
-        }
-    }
-
-    /// Wake the next FIFO waiter of every lock whose hand-off just ended.
-    fn wake_lock_waiters(&mut self) {
-        for canonical in self.server.take_freed_locks() {
-            if std::env::var_os("BEEHIVE_DEBUG_SYNC").is_some() {
+            if !session.is_shadow() && std::env::var_os("BEEHIVE_DEBUG_SYNC").is_some() {
                 eprintln!(
-                    "[lock] t={:?} freed {canonical:?} waiters={}",
-                    self.now,
-                    self.lock_waiters.get(&canonical).map_or(0, |q| q.len())
+                    "[sync-dbg] t={:?} inst={} syncs={} enters_on_instance",
+                    self.now, instance, session.stats.fallbacks_sync
                 );
             }
-            if let Some(q) = self.lock_waiters.get_mut(&canonical) {
-                if let Some(rid) = q.pop_front() {
-                    // Wake at the same instant: event FIFO order guarantees
-                    // the queued waiter re-attempts before any strictly
-                    // later acquirer, giving FIFO lock hand-offs.
-                    self.events.schedule(self.now, Ev::Step(rid));
-                }
-                if q.is_empty() {
-                    self.lock_waiters.remove(&canonical);
-                }
-            }
+            self.acct.on_faas(
+                self.now,
+                self.cfg.record_from,
+                latency,
+                done.record,
+                session.is_shadow(),
+                &session.stats,
+                &mut self.obs,
+            );
         }
-    }
-
-    fn park(&mut self, rid: u64, req: Request) {
-        self.requests.insert(rid, req);
-    }
-
-    fn complete(&mut self, _rid: u64, req: Request) {
-        let latency = self.now - req.arrival;
-        if req.record {
-            self.completed += 1;
-            self.m_add("requests_completed", 1);
-            self.m_observe("request_latency", latency);
-            self.all.record(latency);
-            self.timeline.record(self.now, latency);
-            if self.now.saturating_since(SimTime::ZERO) >= self.cfg.record_from {
-                self.steady.record(latency);
-            }
-        }
-        if let Kind::Offload { session, instance } = req.kind {
-            let busy = latency; // the instance was held for the whole request
-            if let Some(p) = self.platform.as_mut() {
-                p.release(self.now, instance, busy);
-                if p.is_alive(instance) {
-                    self.idle_funcs.push(instance);
-                }
-            }
-            if session.is_shadow() {
-                self.m_add("shadow_executions", 1);
-                self.shadow_stats.absorb(&session.stats);
-                self.shadow_durations.record(latency);
-            } else {
-                self.offloaded += 1;
-                self.m_add("requests_offloaded", 1);
-                if std::env::var_os("BEEHIVE_DEBUG_SYNC").is_some() {
-                    eprintln!(
-                        "[sync-dbg] t={:?} inst={} syncs={} enters_on_instance",
-                        self.now, instance, session.stats.fallbacks_sync
-                    );
-                }
-                if req.record {
-                    self.offload_latencies.record(latency);
-                }
-                if self.now.saturating_since(SimTime::ZERO) >= self.cfg.record_from {
-                    self.steady_offload.absorb(&session.stats);
-                    self.steady_offload_count += 1;
-                }
-            }
-        }
-        if req.closed_loop {
+        if done.closed_loop {
             // Closed loop: the client thinks briefly, then reissues.
             let think = self.rng.exponential(Duration::from_millis(1));
             self.events.schedule(self.now + think, Ev::ClientReissue);
         }
     }
 
-    fn schedule_pool_event(&mut self, pool: usize) {
-        if let Some((t, _)) = self.pools[pool].next_completion() {
-            let epoch = self.pools[pool].epoch();
-            self.events.schedule(t, Ev::ServerPool { pool, epoch });
-        }
-    }
-
-    fn schedule_db_event(&mut self) {
-        if let Some((t, job)) = self.db_pool.next_completion() {
-            self.events.schedule(t, Ev::DbDone { job, at: t });
-        }
-    }
-
     fn finish(self) -> SimResult {
         if std::env::var_os("BEEHIVE_DEBUG_SYNC").is_some() {
-            let stranded: usize = self.lock_waiters.values().map(|q| q.len()).sum();
+            let (stranded, locks) = self.lifecycle.stranded_lock_waiters();
             eprintln!(
-                "[lock] end: stranded_waiters={stranded} locks_waited={} parked_requests={}",
-                self.lock_waiters.len(),
-                self.requests.len()
+                "[lock] end: stranded_waiters={stranded} locks_waited={locks} parked_requests={}",
+                self.lifecycle.inflight()
             );
         }
-        let mut function_gc_pauses = Vec::new();
-        let mut peak = 0;
-        for f in self.funcs.values() {
-            for gc in f.vm.gc_log() {
-                function_gc_pauses.push(gc.pause);
-            }
-            peak = peak.max(f.vm.heap.peak_used_bytes());
-        }
-        let end = self.now;
         let profile = if self.cfg.profile {
-            let program = std::sync::Arc::clone(&self.cfg.app.program);
+            let program = Arc::clone(&self.cfg.app.program);
             beehive_profiler::take().map(|raw| {
                 raw.resolve(|id| {
                     let m = program.method(beehive_vm::MethodId(id));
@@ -1164,147 +482,18 @@ impl Sim {
         } else {
             None
         };
-        SimResult {
-            timeline: self.timeline,
-            all: self.all,
-            steady: self.steady,
-            completed: self.completed,
-            rejected: self.rejected,
-            offloaded: self.offloaded,
-            shadows: self.shadows,
-            boots: self
-                .platform
-                .as_ref()
-                .map(|p| p.boot_stats())
-                .unwrap_or((0, 0)),
-            instances: self
-                .platform
-                .as_ref()
-                .map(|p| p.instances_created())
-                .unwrap_or(0),
-            faas_cost: self.platform.as_ref().map(|p| p.cost(end)).unwrap_or(0.0),
-            faas_gb_seconds: self
-                .platform
-                .as_ref()
-                .map(|p| p.ledger().gb_seconds())
-                .unwrap_or(0.0),
-            faas_requests: self
-                .platform
-                .as_ref()
-                .map(|p| p.ledger().requests())
-                .unwrap_or(0),
-            scaled_cost: self.scaler.as_ref().map(|s| s.cost(end)).unwrap_or(0.0),
-            server_stats: self.server.stats,
-            steady_offload: self.steady_offload,
-            steady_offload_count: self.steady_offload_count,
-            shadow_stats: self.shadow_stats,
-            shadow_durations: self.shadow_durations,
-            offload_latencies: self.offload_latencies,
-            function_gc_pauses,
-            function_peak_heap: peak,
-            mapping_bytes: self.server.mapping_footprint_bytes(),
-            end,
-            trace: if self.cfg.trace { tele::take() } else { None },
-            metrics: self.metrics,
+        let mapping_bytes = self.server.mapping_footprint_bytes();
+        let trace = if self.cfg.trace { tele::take() } else { None };
+        self.acct.finish(
+            self.now,
+            &self.fleet,
+            self.broker.platform.as_ref(),
+            self.broker.scaler.as_ref(),
+            self.server.stats,
+            mapping_bytes,
+            trace,
+            self.obs.into_registry(),
             profile,
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use beehive_apps::{AppKind, Fidelity};
-
-    fn quick_app() -> App {
-        App::build(AppKind::Pybbs, Fidelity::Scaled(4096))
-    }
-
-    #[test]
-    fn vanilla_open_loop_completes_requests() {
-        let mut cfg = SimConfig::new(quick_app(), Strategy::Vanilla);
-        cfg.arrivals = ArrivalPattern::constant(30.0);
-        cfg.horizon = Duration::from_secs(20);
-        cfg.record_from = Duration::from_secs(5);
-        let r = Sim::new(cfg).run();
-        assert!(r.completed > 400, "completed {}", r.completed);
-        let mut steady = r.steady;
-        let p50 = steady.percentile(0.5);
-        assert!(
-            p50 > Duration::from_millis(40) && p50 < Duration::from_millis(200),
-            "pybbs p50 {p50:?}"
-        );
-    }
-
-    #[test]
-    fn closed_loop_latency_grows_with_clients() {
-        let mut lat = Vec::new();
-        for clients in [2usize, 32] {
-            let mut cfg = SimConfig::new(quick_app(), Strategy::Vanilla);
-            cfg.arrivals = ArrivalPattern::Closed { clients };
-            cfg.horizon = Duration::from_secs(15);
-            cfg.record_from = Duration::from_secs(5);
-            let mut r = Sim::new(cfg).run();
-            lat.push(r.steady.percentile(0.5));
-        }
-        assert!(lat[1] > lat[0], "latency should grow with load: {lat:?}");
-    }
-
-    #[test]
-    fn beehive_offloads_and_reuses_instances() {
-        let mut cfg = SimConfig::new(quick_app(), Strategy::BeeHiveOpenWhisk);
-        cfg.arrivals = ArrivalPattern::constant(40.0);
-        cfg.horizon = Duration::from_secs(30);
-        cfg.record_from = Duration::from_secs(15);
-        cfg.offload_ratio = 0.5;
-        let r = Sim::new(cfg).run();
-        assert!(r.offloaded > 100, "offloaded {}", r.offloaded);
-        assert!(r.shadows >= 1);
-        assert!(r.instances >= 1);
-        // Far more offloads than instances => closure reuse on warm
-        // instances.
-        assert!(r.offloaded > r.instances as u64 * 10);
-        // Steady state is fetch-free (Table 5).
-        let per_req_fetches =
-            r.steady_offload.remote_fetches() as f64 / r.steady_offload_count.max(1) as f64;
-        assert!(per_req_fetches < 0.5, "fetches/req {per_req_fetches}");
-        assert!(r.faas_cost > 0.0);
-    }
-
-    #[test]
-    fn deterministic_across_runs() {
-        let mk = || {
-            let mut cfg = SimConfig::new(quick_app(), Strategy::BeeHiveOpenWhisk);
-            cfg.arrivals = ArrivalPattern::constant(25.0);
-            cfg.horizon = Duration::from_secs(10);
-            cfg.seed = 77;
-            cfg
-        };
-        let a = Sim::new(mk()).run();
-        let b = Sim::new(mk()).run();
-        assert_eq!(a.completed, b.completed);
-        assert_eq!(a.offloaded, b.offloaded);
-        let (mut sa, mut sb) = (a.steady, b.steady);
-        assert_eq!(sa.percentile(0.99), sb.percentile(0.99));
-    }
-
-    #[test]
-    fn scaled_instances_halve_load_after_ready() {
-        let mut cfg = SimConfig::new(
-            quick_app(),
-            Strategy::Scaled(beehive_scaling::ScalingKind::Burstable),
-        );
-        cfg.arrivals = ArrivalPattern::Open {
-            base_rps: 40.0,
-            burst_mult: 2.0,
-            burst_at: Duration::from_secs(5),
-            burst_end: Duration::from_secs(30),
-        };
-        cfg.engage_at = Duration::from_secs(5);
-        cfg.horizon = Duration::from_secs(30);
-        let r = Sim::new(cfg).run();
-        assert!(r.completed > 500);
-        assert!(r.scaled_cost > 0.0);
-        assert_eq!(r.instances, 0, "no FaaS instances for scaled strategies");
+        )
     }
 }

@@ -1,0 +1,335 @@
+//! The execution-endpoint layer: where a request runs, and how that place
+//! is instrumented.
+//!
+//! A request executes either on one of the server's processor-sharing pools
+//! or on a FaaS instance. The [`Endpoint`] trait captures everything the
+//! lifecycle machine needs to know about the difference — telemetry track,
+//! pool index for CPU waits, database-round labels, residence-span policy —
+//! so stepping code dispatches through one polymorphic call site instead of
+//! matching on the lane everywhere. The module also owns the fleet of
+//! function instances ([`Fleet`]) and the metrics façade ([`Obs`]), the
+//! single instrumented boundary all counter/gauge/histogram touches go
+//! through.
+
+use std::collections::HashMap;
+
+use beehive_apps::App;
+use beehive_core::config::NetProfile;
+use beehive_core::{FunctionRuntime, OffloadSession, ServerRuntime, SessionStep};
+use beehive_faas::FaasPlatform;
+use beehive_sim::{Duration, SimTime};
+use beehive_telemetry as tele;
+use beehive_vm::{CostModel, Value};
+
+/// One place a request executes: a server pool lane or a FaaS instance.
+///
+/// Implementations are value-like handles stored in the request's lane;
+/// they carry indices, not resources — the actual pools and instances live
+/// in [`crate::broker::Broker`] and [`Fleet`].
+pub trait Endpoint {
+    /// The telemetry track this request's events land on.
+    fn track(&self) -> tele::Track;
+    /// The server pool non-fallback `ServerCpu` needs queue on.
+    fn pool(&self) -> usize;
+    /// Origin label of database rounds issued from here.
+    fn db_origin(&self) -> &'static str;
+    /// Metrics counter for database rounds issued from here.
+    fn db_round_metric(&self) -> &'static str;
+    /// `true` when every resource wait is recorded as a residence span.
+    /// Offloaded sessions trace every wait; plain server requests park on
+    /// the pool ~100× each, so only their fallback round trips are traced —
+    /// recording every one would dwarf the Semi-FaaS machinery the trace is
+    /// for.
+    fn traces_residence(&self) -> bool;
+}
+
+/// A lane on the always-on server (or the scaled-out second instance).
+#[derive(Debug)]
+pub struct ServerEndpoint {
+    /// Server-issued request id (the session's telemetry identity).
+    pub(crate) request: u64,
+    /// Index of the processor-sharing pool serving this request.
+    pub(crate) pool: usize,
+}
+
+impl Endpoint for ServerEndpoint {
+    fn track(&self) -> tele::Track {
+        tele::Track::Request(self.request)
+    }
+
+    fn pool(&self) -> usize {
+        self.pool
+    }
+
+    fn db_origin(&self) -> &'static str {
+        "server"
+    }
+
+    fn db_round_metric(&self) -> &'static str {
+        "db_rounds_server"
+    }
+
+    fn traces_residence(&self) -> bool {
+        false
+    }
+}
+
+/// A FaaS instance lane. While the instance is still booting there is no
+/// session yet, so events land on the instance's own track.
+#[derive(Debug)]
+pub struct FaasEndpoint {
+    /// The function instance id.
+    pub(crate) instance: u32,
+    /// Server-issued request id once a session runs; `None` while booting.
+    pub(crate) request: Option<u64>,
+}
+
+impl Endpoint for FaasEndpoint {
+    fn track(&self) -> tele::Track {
+        match self.request {
+            Some(r) => tele::Track::Request(r),
+            None => tele::Track::Instance(self.instance),
+        }
+    }
+
+    fn pool(&self) -> usize {
+        // Fallbacks that queue server CPU behind the worker pool always use
+        // the primary pool.
+        0
+    }
+
+    fn db_origin(&self) -> &'static str {
+        "function"
+    }
+
+    fn db_round_metric(&self) -> &'static str {
+        "db_rounds_function"
+    }
+
+    fn traces_residence(&self) -> bool {
+        true
+    }
+}
+
+/// The FaaS instance fleet: live runtimes, the idle (warm, closure-ready)
+/// rotation, the count of in-flight boots, and the per-instance GC-log
+/// watermark behind `Fleet::note_gcs`.
+#[derive(Debug)]
+pub struct Fleet {
+    /// Live function runtimes by instance id.
+    pub(crate) funcs: HashMap<u32, FunctionRuntime>,
+    /// Idle warm instances, in round-robin rotation order (OpenWhisk's load
+    /// balancer spreads activations across warm containers).
+    pub(crate) idle: Vec<u32>,
+    /// Instances currently booting.
+    pub(crate) booting: usize,
+    /// GC-log entries per instance already folded into the metrics
+    /// registry; seeded at construction so pre-virtual-time collections
+    /// (prewarm warm-up) are excluded, matching what a trace of the run
+    /// records.
+    gc_seen: HashMap<u32, usize>,
+}
+
+impl Fleet {
+    /// A fleet seeded with prewarmed instances (all idle).
+    pub(crate) fn new(funcs: HashMap<u32, FunctionRuntime>, idle: Vec<u32>) -> Fleet {
+        let gc_seen = funcs
+            .iter()
+            .map(|(&id, f)| (id, f.vm.gc_log().len()))
+            .collect();
+        Fleet {
+            funcs,
+            idle,
+            booting: 0,
+            gc_seen,
+        }
+    }
+
+    /// Build a fleet of `ready` idle instances that look like they served
+    /// earlier bursts (the §5.2 warm-boot case): one zero-time warm-up
+    /// shadow refines the server's closure plan as earlier traffic would
+    /// have (§3.4), then every instance gets the closure instantiated and
+    /// its JITs pre-warmed. With no platform or `ready == 0` the fleet
+    /// starts empty.
+    pub(crate) fn prewarmed(
+        server: &mut ServerRuntime,
+        platform: &mut Option<FaasPlatform>,
+        app: &App,
+        ready: usize,
+        net: NetProfile,
+        cost: CostModel,
+    ) -> Fleet {
+        let mut funcs = HashMap::new();
+        let mut idle: Vec<u32> = Vec::new();
+        if ready > 0 {
+            if let Some(p) = platform.as_mut() {
+                // History: one zero-time shadow refines the closure plan, as
+                // earlier bursts would have (§3.4).
+                let mut scratch = FunctionRuntime::new(1_000_000, &app.program, cost);
+                let mut warmup = OffloadSession::start(
+                    server,
+                    &mut scratch,
+                    app.root,
+                    vec![Value::I64(0)],
+                    true,
+                    net,
+                    true,
+                );
+                loop {
+                    match warmup.next(server, &mut scratch) {
+                        SessionStep::Need(_) => {}
+                        SessionStep::Finished(_) => break,
+                        SessionStep::SyncFromPeer { .. }
+                        | SessionStep::ServerGc
+                        | SessionStep::AwaitLock { .. } => {
+                            unreachable!("warmup shadow has no peers")
+                        }
+                    }
+                }
+                server.remove_mapping(1_000_000);
+                let first = p.instances_created() as u32;
+                p.prewarm(SimTime::ZERO, ready);
+                for id in first..first + ready as u32 {
+                    let mut f = FunctionRuntime::new(id, &app.program, cost);
+                    server.instantiate_closure(&mut f, app.root);
+                    f.vm.prewarm_all_methods(&app.program);
+                    funcs.insert(id, f);
+                    idle.push(id);
+                }
+            }
+        }
+        Fleet::new(funcs, idle)
+    }
+
+    /// Instances currently serving a request.
+    pub(crate) fn busy(&self) -> usize {
+        self.funcs.len().saturating_sub(self.idle.len())
+    }
+
+    /// Fold GC pauses `fid` accrued since the last note into the metrics
+    /// registry. The function VM emits its own `gc` trace events as it
+    /// collects mid-session; the driver only sees the log afterwards, at the
+    /// same virtual instant (pauses are charged to the session's budget, not
+    /// the clock).
+    pub(crate) fn note_gcs(&mut self, fid: u32, now: SimTime, obs: &mut Obs) {
+        if !obs.enabled() {
+            return;
+        }
+        let Some(f) = self.funcs.get(&fid) else {
+            return;
+        };
+        let log = f.vm.gc_log();
+        let seen = self.gc_seen.entry(fid).or_insert(0);
+        let pauses: Vec<Duration> = log[*seen..].iter().map(|gc| gc.pause).collect();
+        *seen = log.len();
+        for p in pauses {
+            obs.gc_pause(now, p);
+        }
+    }
+}
+
+/// Metrics façade: every counter, gauge and histogram the driver layers
+/// record goes through here. All operations are no-ops until
+/// `Obs::install` creates the registry, so runs without `--metrics` pay
+/// nothing.
+#[derive(Debug, Default)]
+pub struct Obs {
+    registry: Option<beehive_metrics::Registry>,
+}
+
+impl Obs {
+    /// A disabled façade (the default for runs without metrics).
+    pub(crate) fn off() -> Obs {
+        Obs { registry: None }
+    }
+
+    /// Create the live registry with the given time-series window.
+    pub(crate) fn install(&mut self, window: Duration) {
+        self.registry = Some(beehive_metrics::Registry::new(window));
+    }
+
+    /// `true` when a registry is live.
+    pub(crate) fn enabled(&self) -> bool {
+        self.registry.is_some()
+    }
+
+    /// Take the registry out (end of run).
+    pub(crate) fn into_registry(self) -> Option<beehive_metrics::Registry> {
+        self.registry
+    }
+
+    /// Add `delta` to the counter `name`.
+    pub(crate) fn add(&mut self, now: SimTime, name: &'static str, delta: u64) {
+        if let Some(m) = self.registry.as_mut() {
+            m.add(name, now, delta);
+        }
+    }
+
+    /// Set the gauge `name` to `value`.
+    pub(crate) fn gauge(&mut self, now: SimTime, name: &'static str, value: i64) {
+        if let Some(m) = self.registry.as_mut() {
+            m.set_gauge(name, now, value);
+        }
+    }
+
+    /// Record `d` in the histogram `name`.
+    pub(crate) fn observe(&mut self, now: SimTime, name: &'static str, d: Duration) {
+        if let Some(m) = self.registry.as_mut() {
+            m.observe(name, now, d);
+        }
+    }
+
+    /// Record one GC pause: the `gc_pause` histogram plus the cumulative
+    /// `gc_pause_ns` counter, the pair every GC site emits.
+    pub(crate) fn gc_pause(&mut self, now: SimTime, pause: Duration) {
+        self.observe(now, "gc_pause", pause);
+        self.add(now, "gc_pause_ns", pause.as_nanos());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_expose_their_lane_identity() {
+        let s = ServerEndpoint {
+            request: 7,
+            pool: 1,
+        };
+        assert_eq!(s.track(), tele::Track::Request(7));
+        assert_eq!(s.pool(), 1);
+        assert_eq!(s.db_origin(), "server");
+        assert_eq!(s.db_round_metric(), "db_rounds_server");
+        assert!(!s.traces_residence());
+
+        let booting = FaasEndpoint {
+            instance: 3,
+            request: None,
+        };
+        assert_eq!(booting.track(), tele::Track::Instance(3));
+        let running = FaasEndpoint {
+            instance: 3,
+            request: Some(9),
+        };
+        assert_eq!(running.track(), tele::Track::Request(9));
+        assert_eq!(running.pool(), 0);
+        assert_eq!(running.db_origin(), "function");
+        assert_eq!(running.db_round_metric(), "db_rounds_function");
+        assert!(running.traces_residence());
+    }
+
+    #[test]
+    fn obs_is_a_no_op_until_installed() {
+        let mut obs = Obs::off();
+        assert!(!obs.enabled());
+        obs.add(SimTime::ZERO, "requests_completed", 1);
+        assert!(obs.into_registry().is_none());
+
+        let mut obs = Obs::off();
+        obs.install(beehive_metrics::DEFAULT_WINDOW);
+        assert!(obs.enabled());
+        obs.add(SimTime::ZERO, "requests_completed", 1);
+        assert!(obs.into_registry().is_some());
+    }
+}

@@ -49,7 +49,8 @@ use std::thread;
 use beehive_sim::json::Json;
 use beehive_telemetry::Trace;
 
-use crate::driver::{Sim, SimConfig, SimResult};
+use crate::config::{SimConfig, SimResult};
+use crate::driver::Sim;
 
 /// Engine-wide default for [`SimConfig::trace`] (`repro --trace` sets it
 /// before building any scenario).

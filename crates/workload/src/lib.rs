@@ -9,11 +9,17 @@
 
 #![warn(missing_docs)]
 
+pub mod broker;
+pub mod config;
 pub mod driver;
+pub mod endpoint;
 pub mod engine;
 pub mod experiment;
+pub mod lifecycle;
+pub mod router;
 pub mod strategy;
 
-pub use driver::{ArrivalPattern, Sim, SimConfig, SimResult};
+pub use config::{ArrivalPattern, SimConfig, SimResult};
+pub use driver::Sim;
 pub use engine::{run_all, RunOutcome, RunReport, Scenario};
 pub use strategy::Strategy;

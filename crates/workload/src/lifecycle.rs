@@ -1,0 +1,681 @@
+//! The per-request lifecycle layer: one state machine for every lane.
+//!
+//! A request is born on a lane — a server pool, a FaaS instance, or a
+//! pending boot — and then steps through the session protocol of
+//! [`beehive_core::session`]: park on a [`Need`], pull a peer's dirty set,
+//! collect the server heap, wait on a lock hand-off, finish. The
+//! [`Lifecycle`] machine consumes [`SessionStep`]s uniformly for the
+//! server, faas-primary and shadow lanes; lane differences (telemetry
+//! track, pool index, metric names) go through the [`Endpoint`] trait, so
+//! there is a single instrumented call site per transition rather than a
+//! per-lane match pyramid.
+
+use std::collections::{HashMap, VecDeque};
+
+use beehive_core::{Need, OffloadSession, Resource, ServerRuntime, ServerSession, SessionStep};
+use beehive_sim::{EventQueue, SimTime};
+use beehive_telemetry as tele;
+use beehive_vm::{Execution, Value};
+
+use crate::broker::{Broker, Ev};
+use crate::endpoint::{Endpoint, FaasEndpoint, Fleet, Obs, ServerEndpoint};
+
+/// A request's execution lane.
+#[derive(Debug)]
+pub(crate) enum Lane {
+    /// Running on a server pool.
+    Server {
+        /// The session state machine.
+        session: ServerSession,
+        /// The lane's endpoint identity.
+        endpoint: ServerEndpoint,
+    },
+    /// Running on a FaaS instance (primary offload or shadow).
+    Faas {
+        /// The session state machine.
+        session: OffloadSession,
+        /// The lane's endpoint identity.
+        endpoint: FaasEndpoint,
+    },
+    /// Waiting for an instance boot; becomes `Faas` on `Ev::Boot`.
+    PendingBoot {
+        /// The request arguments, handed to the session once booted.
+        args: Vec<Value>,
+        /// The lane's endpoint identity (no session yet).
+        endpoint: FaasEndpoint,
+        /// Whether the boot is cold (closure computation overlaps it).
+        cold: bool,
+    },
+}
+
+impl Lane {
+    /// A server lane on `pool`.
+    pub(crate) fn server(session: ServerSession, pool: usize) -> Lane {
+        let endpoint = ServerEndpoint {
+            request: session.request_id(),
+            pool,
+        };
+        Lane::Server { session, endpoint }
+    }
+
+    /// A FaaS lane on `instance`.
+    pub(crate) fn faas(session: OffloadSession, instance: u32) -> Lane {
+        let endpoint = FaasEndpoint {
+            instance,
+            request: Some(session.request_id()),
+        };
+        Lane::Faas { session, endpoint }
+    }
+
+    /// A pending-boot lane on `instance`.
+    pub(crate) fn pending_boot(args: Vec<Value>, instance: u32, cold: bool) -> Lane {
+        Lane::PendingBoot {
+            args,
+            endpoint: FaasEndpoint {
+                instance,
+                request: None,
+            },
+            cold,
+        }
+    }
+
+    /// The lane's endpoint — the one polymorphic dispatch point for
+    /// telemetry tracks, pool indices and metric names.
+    fn endpoint(&self) -> &dyn Endpoint {
+        match self {
+            Lane::Server { endpoint, .. } => endpoint,
+            Lane::Faas { endpoint, .. } => endpoint,
+            Lane::PendingBoot { endpoint, .. } => endpoint,
+        }
+    }
+}
+
+/// One in-flight request.
+#[derive(Debug)]
+pub(crate) struct Request {
+    /// Arrival time (latency = completion − arrival).
+    pub(crate) arrival: SimTime,
+    /// Whether the completion is recorded in the samplers.
+    pub(crate) record: bool,
+    /// Whether a closed-loop client reissues after completion.
+    pub(crate) closed_loop: bool,
+    /// Name of the resource span opened when this request parked on a
+    /// [`Need`]; closed when the request resumes, so the span covers true
+    /// residence (service + queueing).
+    open_span: Option<&'static str>,
+    /// The execution lane.
+    pub(crate) lane: Lane,
+}
+
+impl Request {
+    /// A new request arriving at `now` on `lane`.
+    pub(crate) fn new(arrival: SimTime, record: bool, closed_loop: bool, lane: Lane) -> Request {
+        Request {
+            arrival,
+            record,
+            closed_loop,
+            open_span: None,
+            lane,
+        }
+    }
+}
+
+/// A finished request, handed back to the driver for accounting.
+pub(crate) struct Done {
+    /// Arrival time.
+    pub arrival: SimTime,
+    /// Whether to record the completion.
+    pub record: bool,
+    /// Whether a closed-loop client reissues.
+    pub closed_loop: bool,
+    /// The finished offload session and its instance, for FaaS lanes.
+    pub faas: Option<(OffloadSession, u32)>,
+}
+
+/// How often each [`SessionStep`] variant was consumed — cheap evidence for
+/// the lifecycle transition tests (and for debugging stuck runs).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TransitionTally {
+    /// `Need` parks (resource waits).
+    pub needs: u64,
+    /// `SyncFromPeer` dirty-set pulls.
+    pub syncs: u64,
+    /// `ServerGc` collections.
+    pub server_gcs: u64,
+    /// `AwaitLock` parks.
+    pub lock_waits: u64,
+    /// `Finished` completions.
+    pub finished: u64,
+}
+
+/// The per-request state machine over every in-flight request.
+#[derive(Debug, Default)]
+pub struct Lifecycle {
+    requests: HashMap<u64, Request>,
+    lock_waiters: HashMap<beehive_vm::Addr, VecDeque<u64>>,
+    next_req: u64,
+    tally: TransitionTally,
+}
+
+impl Lifecycle {
+    /// An empty machine.
+    pub(crate) fn new() -> Lifecycle {
+        Lifecycle::default()
+    }
+
+    /// Requests currently in flight (inflight gauge).
+    pub(crate) fn inflight(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Transition counts consumed so far.
+    pub fn tally(&self) -> TransitionTally {
+        self.tally
+    }
+
+    /// Admit `req`, returning its driver request id.
+    pub(crate) fn insert(&mut self, req: Request) -> u64 {
+        let rid = self.next_req;
+        self.next_req += 1;
+        self.requests.insert(rid, req);
+        rid
+    }
+
+    /// Take the boot payload of a pending-boot request (`Ev::Boot`).
+    /// Returns `None` when the request is gone.
+    ///
+    /// # Panics
+    ///
+    /// The request exists but is not on a pending-boot lane.
+    pub(crate) fn take_pending_boot(&mut self, rid: u64) -> Option<(Vec<Value>, u32, bool)> {
+        let req = self.requests.get_mut(&rid)?;
+        let Lane::PendingBoot {
+            args,
+            endpoint,
+            cold,
+        } = &mut req.lane
+        else {
+            panic!("boot event for a non-pending request");
+        };
+        Some((std::mem::take(args), endpoint.instance, *cold))
+    }
+
+    /// Switch a booted request onto its FaaS lane (`Ev::Boot`, after the
+    /// session started on the fresh instance).
+    pub(crate) fn attach_offload(&mut self, rid: u64, session: OffloadSession, instance: u32) {
+        let req = self.requests.get_mut(&rid).expect("still present");
+        req.lane = Lane::faas(session, instance);
+    }
+
+    /// Advance request `rid` until it parks on a resource or finishes.
+    /// Returns the completion for the driver to account, or `None` when the
+    /// request parked (or was already gone).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn advance(
+        &mut self,
+        rid: u64,
+        now: SimTime,
+        server: &mut ServerRuntime,
+        fleet: &mut Fleet,
+        broker: &mut Broker,
+        events: &mut EventQueue<Ev>,
+        obs: &mut Obs,
+    ) -> Option<Done> {
+        let Some(mut req) = self.requests.remove(&rid) else {
+            return None; // already finished
+        };
+        if let Some(name) = req.open_span.take() {
+            // The request resumes: close the resource span opened when it
+            // parked, so the span covers service plus queueing.
+            tele::end(req.lane.endpoint().track(), name, &[]);
+        }
+        loop {
+            let step = match &mut req.lane {
+                Lane::Server { session, .. } => session.next(server),
+                Lane::Faas { session, endpoint } => {
+                    let fid = endpoint.instance;
+                    let mut func = fleet.funcs.remove(&fid).expect("instance exists");
+                    let s = session.next(server, &mut func);
+                    fleet.funcs.insert(fid, func);
+                    fleet.note_gcs(fid, now, obs);
+                    s
+                }
+                Lane::PendingBoot { .. } => {
+                    // Waits for Ev::Boot.
+                    self.requests.insert(rid, req);
+                    return None;
+                }
+            };
+            match step {
+                SessionStep::Need(n) => {
+                    self.tally.needs += 1;
+                    self.park_on_need(rid, &mut req, n, now, broker, events, obs);
+                    self.requests.insert(rid, req);
+                    return None;
+                }
+                SessionStep::SyncFromPeer { peer, monitor } => {
+                    self.tally.syncs += 1;
+                    let (objs, report) = match fleet.funcs.get_mut(&peer) {
+                        Some(p) => {
+                            let (objs, report) = server.pull_dirty_from(p);
+                            if let Some(canonical) = monitor {
+                                server.revoke_peer_monitor(p, canonical);
+                            }
+                            (objs, report)
+                        }
+                        None => (Vec::new(), Default::default()), // peer died; nothing to pull
+                    };
+                    if tele::enabled() {
+                        tele::instant(
+                            req.lane.endpoint().track(),
+                            "sync:pull_dirty",
+                            &[
+                                ("objects", tele::Arg::UInt(objs.len() as u64)),
+                                ("bytes", tele::Arg::UInt(report.bytes)),
+                            ],
+                        );
+                    }
+                    obs.add(now, "handoff_dirty_objects", objs.len() as u64);
+                    obs.add(now, "handoff_dirty_bytes", report.bytes);
+                    if let Lane::Faas { session, .. } = &mut req.lane {
+                        session.deliver_peer_objects(objs);
+                    }
+                }
+                SessionStep::ServerGc => {
+                    self.tally.server_gcs += 1;
+                    let Lane::Server { session, .. } = &mut req.lane else {
+                        unreachable!("only server sessions GC through the driver")
+                    };
+                    let mut execs: Vec<&mut Execution> = vec![session.execution_mut()];
+                    for other in self.requests.values_mut() {
+                        if let Lane::Server { session: s, .. } = &mut other.lane {
+                            execs.push(s.execution_mut());
+                        }
+                    }
+                    let pause = server.collect_server_heap(&mut execs);
+                    obs.gc_pause(now, pause);
+                    if let Lane::Server { session, .. } = &mut req.lane {
+                        session.gc_done(pause);
+                    }
+                }
+                SessionStep::AwaitLock { canonical } => {
+                    self.tally.lock_waits += 1;
+                    if std::env::var_os("BEEHIVE_DEBUG_SYNC").is_some() {
+                        eprintln!("[lock] t={now:?} park rid={rid} lock={canonical:?}");
+                    }
+                    self.lock_waiters
+                        .entry(canonical)
+                        .or_default()
+                        .push_back(rid);
+                    self.requests.insert(rid, req);
+                    return None;
+                }
+                SessionStep::Finished(_v) => {
+                    self.tally.finished += 1;
+                    return Some(Done {
+                        arrival: req.arrival,
+                        record: req.record,
+                        closed_loop: req.closed_loop,
+                        faas: match req.lane {
+                            Lane::Faas { session, endpoint } => Some((session, endpoint.instance)),
+                            _ => None,
+                        },
+                    });
+                }
+            }
+        }
+    }
+
+    /// Park `req` on `n`: trace the residence span, then hand the wait to
+    /// the broker (pools, database) or the event queue (dedicated CPU,
+    /// network).
+    #[allow(clippy::too_many_arguments)]
+    fn park_on_need(
+        &mut self,
+        rid: u64,
+        req: &mut Request,
+        n: Need,
+        now: SimTime,
+        broker: &mut Broker,
+        events: &mut EventQueue<Ev>,
+        obs: &mut Obs,
+    ) {
+        let ep = req.lane.endpoint();
+        let traced = n.fallback || ep.traces_residence();
+        let (track, pool) = (ep.track(), ep.pool());
+        let (db_origin, db_metric) = (ep.db_origin(), ep.db_round_metric());
+        if traced && tele::enabled() {
+            let name = n.span_name();
+            tele::begin(track, name, &[]);
+            req.open_span = Some(name);
+        }
+        if n.fallback {
+            obs.add(now, "fallbacks", 1);
+        }
+        match n.resource {
+            Resource::ServerCpu => {
+                if n.fallback {
+                    // Fallback servicing runs on the runtime's own
+                    // high-priority thread, not behind the request worker
+                    // pool — otherwise a saturated server would hold every
+                    // lock hand-off hostage and convoy the fleet.
+                    events.schedule(now + n.amount, Ev::Step(rid));
+                } else {
+                    broker.pools[pool].add(now, rid, n.amount);
+                    broker.schedule_pool_event(pool, events);
+                }
+            }
+            Resource::FunctionCpu => {
+                let d = broker.function_cpu_duration(n.amount);
+                events.schedule(now + d, Ev::Step(rid));
+            }
+            Resource::Net => {
+                events.schedule(now + n.amount, Ev::Step(rid));
+            }
+            Resource::Db => {
+                if tele::enabled() {
+                    tele::instant(
+                        tele::Track::Db,
+                        "db:round",
+                        &[("origin", tele::Arg::Str(db_origin))],
+                    );
+                }
+                obs.add(now, db_metric, 1);
+                broker.db_pool.add(now, rid, n.amount);
+                broker.schedule_db_event(events);
+            }
+        }
+    }
+
+    /// Wake the next FIFO waiter of every lock whose hand-off just ended.
+    pub(crate) fn wake_lock_waiters(
+        &mut self,
+        now: SimTime,
+        server: &mut ServerRuntime,
+        events: &mut EventQueue<Ev>,
+    ) {
+        for canonical in server.take_freed_locks() {
+            if std::env::var_os("BEEHIVE_DEBUG_SYNC").is_some() {
+                eprintln!(
+                    "[lock] t={now:?} freed {canonical:?} waiters={}",
+                    self.lock_waiters.get(&canonical).map_or(0, |q| q.len())
+                );
+            }
+            if let Some(q) = self.lock_waiters.get_mut(&canonical) {
+                if let Some(rid) = q.pop_front() {
+                    // Wake at the same instant: event FIFO order guarantees
+                    // the queued waiter re-attempts before any strictly
+                    // later acquirer, giving FIFO lock hand-offs.
+                    events.schedule(now, Ev::Step(rid));
+                }
+                if q.is_empty() {
+                    self.lock_waiters.remove(&canonical);
+                }
+            }
+        }
+    }
+
+    /// Requests still parked on a lock at the end of a run
+    /// (`BEEHIVE_DEBUG_SYNC` diagnostics).
+    pub(crate) fn stranded_lock_waiters(&self) -> (usize, usize) {
+        (
+            self.lock_waiters.values().map(|q| q.len()).sum(),
+            self.lock_waiters.len(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beehive_apps::{App, AppKind, Fidelity};
+    use beehive_core::config::BeeHiveConfig;
+    use beehive_core::FunctionRuntime;
+    use beehive_db::Database;
+    use beehive_proxy::Proxy;
+    use beehive_sim::Rng;
+    use beehive_vm::CostModel;
+    use std::collections::HashMap;
+    use std::sync::Arc;
+
+    /// A minimal world around the lifecycle machine: no `Sim`, no arrival
+    /// process — tests insert requests by hand and drain the event queue.
+    struct World {
+        app: App,
+        rng: Rng,
+        now: SimTime,
+        server: ServerRuntime,
+        fleet: Fleet,
+        broker: Broker,
+        events: EventQueue<Ev>,
+        obs: Obs,
+        life: Lifecycle,
+        done: Vec<Done>,
+    }
+
+    fn world(barriers: bool) -> World {
+        let app = App::build(AppKind::Pybbs, Fidelity::Scaled(4096));
+        let cost = CostModel::default();
+        let mut server = ServerRuntime::new(
+            Arc::clone(&app.program),
+            BeeHiveConfig::default(),
+            Proxy::new(Database::new()),
+            cost,
+        );
+        server.vm.set_barriers(barriers);
+        app.install(&mut server);
+        World {
+            app,
+            rng: Rng::new(7),
+            now: SimTime::ZERO,
+            server,
+            fleet: Fleet::new(HashMap::new(), Vec::new()),
+            broker: Broker::new(4.0, None, None),
+            events: EventQueue::new(),
+            obs: Obs::off(),
+            life: Lifecycle::new(),
+            done: Vec::new(),
+        }
+    }
+
+    impl World {
+        fn step(&mut self, rid: u64) {
+            if let Some(d) = self.life.advance(
+                rid,
+                self.now,
+                &mut self.server,
+                &mut self.fleet,
+                &mut self.broker,
+                &mut self.events,
+                &mut self.obs,
+            ) {
+                self.done.push(d);
+            }
+        }
+
+        /// Start one request on the server lane.
+        fn start_server(&mut self) -> u64 {
+            let args = self.app.request_args(&mut self.rng);
+            let session = ServerSession::start(&mut self.server, self.app.root, args);
+            let rid = self.life.insert(Request::new(
+                self.now,
+                true,
+                false,
+                Lane::server(session, 0),
+            ));
+            self.step(rid);
+            rid
+        }
+
+        /// Start one request on FaaS instance `fid` (created on demand).
+        fn start_faas(&mut self, fid: u32, shadow: bool) -> u64 {
+            let mut func = self.fleet.funcs.remove(&fid).unwrap_or_else(|| {
+                FunctionRuntime::new(fid, &self.app.program, CostModel::default())
+            });
+            let args = self.app.request_args(&mut self.rng);
+            let session = OffloadSession::start(
+                &mut self.server,
+                &mut func,
+                self.app.root,
+                args,
+                shadow,
+                BeeHiveConfig::default().net,
+                true,
+            );
+            self.fleet.funcs.insert(fid, func);
+            let rid = self.life.insert(Request::new(
+                self.now,
+                true,
+                false,
+                Lane::faas(session, fid),
+            ));
+            self.step(rid);
+            rid
+        }
+
+        /// Run the event queue dry, advancing virtual time.
+        fn drain(&mut self) {
+            while let Some((t, ev)) = self.events.pop() {
+                self.now = t;
+                match ev {
+                    Ev::Step(rid) => self.step(rid),
+                    Ev::ServerPool { pool, epoch } => {
+                        if let Some(job) =
+                            self.broker
+                                .pool_completion(self.now, pool, epoch, &mut self.events)
+                        {
+                            self.step(job);
+                        }
+                    }
+                    Ev::DbDone { job, at } => {
+                        if let Some(job) =
+                            self.broker
+                                .db_completion(self.now, job, at, &mut self.events)
+                        {
+                            self.step(job);
+                        }
+                    }
+                    other => panic!("unexpected event in a lifecycle test: {other:?}"),
+                }
+                self.life
+                    .wake_lock_waiters(self.now, &mut self.server, &mut self.events);
+            }
+        }
+    }
+
+    #[test]
+    fn server_lane_parks_on_needs_and_finishes() {
+        let mut w = world(false);
+        for _ in 0..3 {
+            w.start_server();
+        }
+        w.drain();
+        let t = w.life.tally();
+        assert_eq!(t.finished, 3);
+        assert_eq!(w.done.len(), 3);
+        assert!(t.needs > 3, "server requests park on CPU/DB needs: {t:?}");
+        assert!(w.done.iter().all(|d| d.faas.is_none()));
+        assert_eq!(w.life.inflight(), 0);
+    }
+
+    #[test]
+    fn pending_boot_lane_parks_until_boot() {
+        let mut w = world(true);
+        let rid = w.life.insert(Request::new(
+            w.now,
+            true,
+            false,
+            Lane::pending_boot(Vec::new(), 5, true),
+        ));
+        w.step(rid);
+        // Still parked: a pending boot consumes no steps until Ev::Boot.
+        assert_eq!(w.life.inflight(), 1);
+        assert_eq!(w.life.tally().needs, 0);
+        let (args, fid, cold) = w.life.take_pending_boot(rid).expect("present");
+        assert_eq!((args.len(), fid, cold), (0, 5, true));
+    }
+
+    #[test]
+    fn faas_primary_and_shadow_lanes_finish() {
+        let mut w = world(true);
+        w.start_faas(0, false);
+        w.drain();
+        w.start_faas(1, true);
+        w.drain();
+        let t = w.life.tally();
+        assert_eq!(t.finished, 2);
+        assert!(t.needs > 2, "offload sessions park on net/CPU: {t:?}");
+        let shadows: Vec<bool> = w
+            .done
+            .iter()
+            .map(|d| d.faas.as_ref().expect("faas lane").0.is_shadow())
+            .collect();
+        assert_eq!(shadows, vec![false, true]);
+    }
+
+    #[test]
+    fn alternating_instances_pull_dirty_state_from_peers() {
+        let mut w = world(true);
+        // Monitor ownership bounces between the two instances: later
+        // requests must sync the previous owner's dirty set (§4.2).
+        for i in 0..6 {
+            w.start_faas(i % 2, false);
+            w.drain();
+        }
+        let t = w.life.tally();
+        assert_eq!(t.finished, 6);
+        assert!(t.syncs > 0, "expected SyncFromPeer hand-offs: {t:?}");
+    }
+
+    #[test]
+    fn concurrent_offloads_park_on_contended_locks() {
+        let mut w = world(true);
+        // Many concurrent sessions racing for the same monitors: some must
+        // park on AwaitLock while a hand-off is in flight.
+        for i in 0..8 {
+            w.start_faas(i, false);
+        }
+        w.drain();
+        let t = w.life.tally();
+        assert_eq!(t.finished, 8);
+        assert!(t.syncs > 0, "expected SyncFromPeer hand-offs: {t:?}");
+        assert!(t.lock_waits > 0, "expected AwaitLock parks: {t:?}");
+        let (stranded, _) = w.life.stranded_lock_waiters();
+        assert_eq!(stranded, 0, "every waiter must be woken");
+    }
+
+    #[test]
+    fn allocation_pressure_triggers_server_gc() {
+        let mut w = world(false);
+        // Fill the allocation space with unrooted garbage: the next server
+        // request's first allocation blocks on GcNeeded, surfacing
+        // SessionStep::ServerGc; the collection then reclaims the filler
+        // and the request completes normally.
+        for len in [65_536u32, 4_096, 256, 16, 1, 0] {
+            while w
+                .server
+                .vm
+                .heap
+                .alloc_array(len, beehive_vm::heap::Space::Alloc)
+                .is_some()
+            {}
+        }
+        w.start_server();
+        w.drain();
+        let t = w.life.tally();
+        assert!(t.server_gcs > 0, "no ServerGc under a full heap: {t:?}");
+        assert_eq!(t.finished, 1, "the request completes after the GC: {t:?}");
+    }
+
+    #[test]
+    fn residence_spans_close_on_resume() {
+        // With tracing off (the default in tests) open_span stays None, but
+        // fallback needs still count; this pins the Need bookkeeping that
+        // the span logic rides on.
+        let mut w = world(true);
+        w.start_faas(0, false);
+        w.drain();
+        assert!(w.life.tally().needs > 0);
+        assert_eq!(w.life.inflight(), 0);
+    }
+}

@@ -1,0 +1,264 @@
+//! The routing policy layer: pure, DES-free request placement.
+//!
+//! One admitted request goes to exactly one [`Target`]. The decision is a
+//! function of the [`Strategy`], the burst handler's capacity state and the
+//! offload controller's deterministic ratio accumulator — never of the
+//! event queue, so the policy is unit-testable without building a
+//! [`crate::driver::Sim`]. The paper frames Semi-FaaS as a *mechanism*
+//! composed with interchangeable *policies* (§3.1, §5.7); this module is
+//! the policy half of that seam.
+
+use beehive_core::OffloadController;
+use beehive_scaling::{BurstHandler, Route};
+use beehive_sim::{Duration, SimTime};
+
+use crate::strategy::Strategy;
+
+/// Where the router sends an admitted request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Target {
+    /// Serve on the server's processor-sharing pool with this index
+    /// (pool 1 is the scaled-out instance, once provisioned).
+    Server(usize),
+    /// Offload to the FaaS platform.
+    Faas,
+}
+
+/// The outcome of consulting the offload controller.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OffloadChoice {
+    /// `true` when this request is offloaded.
+    pub offload: bool,
+    /// `true` when the engage threshold had been reached (the controller's
+    /// ratio accumulator is only consumed once engaged).
+    pub engaged: bool,
+}
+
+/// A routing decision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Decision {
+    /// Where the request goes.
+    pub target: Target,
+    /// Set when the strategy consulted the offload controller — drives the
+    /// `offload:decision` trace instant the driver emits.
+    pub considered: Option<OffloadChoice>,
+}
+
+impl Decision {
+    fn server(pool: usize) -> Decision {
+        Decision {
+            target: Target::Server(pool),
+            considered: None,
+        }
+    }
+}
+
+/// Routing policy: [`Strategy`] × burst state × [`OffloadController`].
+///
+/// Owns the per-run policy state (the Bresenham ratio accumulators of the
+/// controller and the burst handler); the driver forwards capacity
+/// readiness via [`Router::capacity_ready_at`] and asks [`Router::route`]
+/// once per admitted request.
+#[derive(Debug)]
+pub struct Router {
+    strategy: Strategy,
+    engage_at: Duration,
+    controller: OffloadController,
+    burst: BurstHandler,
+}
+
+impl Router {
+    /// A router for `strategy`, engaging offload / forwarding at
+    /// `engage_at` with the given offload (= forward) ratio.
+    pub fn new(strategy: Strategy, engage_at: Duration, offload_ratio: f64) -> Router {
+        Router {
+            strategy,
+            engage_at,
+            controller: OffloadController::new(offload_ratio),
+            burst: BurstHandler::new(offload_ratio),
+        }
+    }
+
+    /// Announce that scaled-out capacity became ready at `at` (forwarded to
+    /// the burst handler).
+    pub fn capacity_ready_at(&mut self, at: SimTime) {
+        self.burst.capacity_ready_at(at);
+    }
+
+    /// Route one request arriving at `now`, with `pools` server pools
+    /// currently provisioned.
+    pub fn route(&mut self, now: SimTime, pools: usize) -> Decision {
+        let engaged = now.saturating_since(SimTime::ZERO) >= self.engage_at;
+        match self.strategy {
+            Strategy::Vanilla | Strategy::BeeHiveSingle => Decision::server(0),
+            Strategy::Scaled(_) => {
+                let pool = match self.burst.route(now) {
+                    Route::Primary => 0,
+                    Route::Scaled => 1.min(pools - 1),
+                };
+                Decision::server(pool)
+            }
+            Strategy::BeeHiveOpenWhisk
+            | Strategy::BeeHiveOpenWhiskCrossAz
+            | Strategy::BeeHiveLambda => self.offload_choice(engaged),
+            Strategy::Combined(_) => {
+                // §5.7: Semi-FaaS bridges the provisioning gap; once the
+                // on-demand instance is ready the burst handler takes over
+                // and the offloading ratio effectively drops to zero.
+                match self.burst.route(now) {
+                    Route::Scaled if pools > 1 => Decision::server(1),
+                    _ if self.burst.is_ready(now) => {
+                        // Capacity is up: the offloading ratio is zero.
+                        Decision::server(0)
+                    }
+                    _ => self.offload_choice(engaged),
+                }
+            }
+        }
+    }
+
+    /// Consult the offload controller. The ratio accumulator is consumed
+    /// only once engaged (`&&` short-circuit), so pre-engage requests do
+    /// not advance the Bresenham phase.
+    fn offload_choice(&mut self, engaged: bool) -> Decision {
+        let offload = engaged && self.controller.decide();
+        Decision {
+            target: if offload {
+                Target::Faas
+            } else {
+                Target::Server(0)
+            },
+            considered: Some(OffloadChoice { offload, engaged }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beehive_scaling::ScalingKind;
+
+    fn at(s: u64) -> SimTime {
+        SimTime::ZERO + Duration::from_secs(s)
+    }
+
+    #[test]
+    fn single_server_strategies_never_leave_pool_zero() {
+        for strategy in [Strategy::Vanilla, Strategy::BeeHiveSingle] {
+            let mut r = Router::new(strategy, Duration::ZERO, 0.9);
+            for s in 0..50 {
+                let d = r.route(at(s), 1);
+                assert_eq!(d.target, Target::Server(0), "{strategy:?} t={s}");
+                assert_eq!(d.considered, None, "{strategy:?} never flips the coin");
+            }
+        }
+    }
+
+    #[test]
+    fn beehive_gates_on_the_engage_threshold() {
+        let mut r = Router::new(Strategy::BeeHiveOpenWhisk, Duration::from_secs(10), 1.0);
+        // Before the threshold: on the server, coin recorded as not engaged,
+        // and — crucially — the ratio accumulator untouched.
+        for s in 0..10 {
+            let d = r.route(at(s), 1);
+            assert_eq!(d.target, Target::Server(0));
+            assert_eq!(
+                d.considered,
+                Some(OffloadChoice {
+                    offload: false,
+                    engaged: false
+                })
+            );
+        }
+        // From the threshold on, ratio 1.0 offloads every request.
+        for s in 10..20 {
+            let d = r.route(at(s), 1);
+            assert_eq!(d.target, Target::Faas);
+            assert_eq!(
+                d.considered,
+                Some(OffloadChoice {
+                    offload: true,
+                    engaged: true
+                })
+            );
+        }
+    }
+
+    #[test]
+    fn beehive_half_ratio_alternates_exactly() {
+        let mut r = Router::new(Strategy::BeeHiveLambda, Duration::ZERO, 0.5);
+        let targets: Vec<Target> = (0..6).map(|s| r.route(at(s), 1).target).collect();
+        assert_eq!(
+            targets,
+            vec![
+                Target::Server(0),
+                Target::Faas,
+                Target::Server(0),
+                Target::Faas,
+                Target::Server(0),
+                Target::Faas,
+            ]
+        );
+    }
+
+    #[test]
+    fn scaled_forwards_to_pool_one_once_capacity_is_ready() {
+        let mut r = Router::new(Strategy::Scaled(ScalingKind::OnDemand), Duration::ZERO, 0.5);
+        // Before the instance is up everything stays on the primary.
+        for s in 0..5 {
+            assert_eq!(r.route(at(s), 1).target, Target::Server(0));
+        }
+        r.capacity_ready_at(at(60));
+        // Still primary until the ready time…
+        assert_eq!(r.route(at(59), 1).target, Target::Server(0));
+        // …then half the requests forward to pool 1.
+        let targets: Vec<Target> = (0..4).map(|i| r.route(at(61 + i), 2).target).collect();
+        assert_eq!(
+            targets,
+            vec![
+                Target::Server(0),
+                Target::Server(1),
+                Target::Server(0),
+                Target::Server(1),
+            ]
+        );
+    }
+
+    #[test]
+    fn scaled_clamps_to_existing_pools() {
+        // The CapacityReady event may still be in flight: with one pool the
+        // forwarded share must clamp back to pool 0.
+        let mut r = Router::new(Strategy::Scaled(ScalingKind::Fargate), Duration::ZERO, 1.0);
+        r.capacity_ready_at(at(0));
+        assert_eq!(r.route(at(1), 1).target, Target::Server(0));
+        assert_eq!(r.route(at(2), 2).target, Target::Server(1));
+    }
+
+    #[test]
+    fn combined_offloads_until_capacity_then_hands_back() {
+        let mut r = Router::new(
+            Strategy::Combined(ScalingKind::OnDemand),
+            Duration::ZERO,
+            0.5,
+        );
+        // Provisioning gap: the offload controller carries the burst.
+        let targets: Vec<Target> = (0..4).map(|s| r.route(at(s), 1).target).collect();
+        assert_eq!(
+            targets,
+            vec![
+                Target::Server(0),
+                Target::Faas,
+                Target::Server(0),
+                Target::Faas,
+            ]
+        );
+        // Capacity ready: no decision consults the controller any more —
+        // requests split between the two server pools instead.
+        r.capacity_ready_at(at(10));
+        for i in 0..10 {
+            let d = r.route(at(11 + i), 2);
+            assert_eq!(d.considered, None, "offload ratio is effectively zero");
+            assert!(matches!(d.target, Target::Server(0) | Target::Server(1)));
+        }
+    }
+}

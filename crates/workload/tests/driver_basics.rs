@@ -1,0 +1,101 @@
+//! Baseline driver behaviour: open/closed-loop arrival processes,
+//! offloading with instance reuse, determinism, and the scaled-instance
+//! baseline. (These lived inside the driver module before it was split
+//! into router / lifecycle / endpoint / broker layers.)
+
+use beehive_apps::{App, AppKind, Fidelity};
+use beehive_sim::Duration;
+use beehive_workload::driver::{ArrivalPattern, Sim, SimConfig};
+use beehive_workload::Strategy;
+
+fn quick_app() -> App {
+    App::build(AppKind::Pybbs, Fidelity::Scaled(4096))
+}
+
+#[test]
+fn vanilla_open_loop_completes_requests() {
+    let mut cfg = SimConfig::new(quick_app(), Strategy::Vanilla);
+    cfg.arrivals = ArrivalPattern::constant(30.0);
+    cfg.horizon = Duration::from_secs(20);
+    cfg.record_from = Duration::from_secs(5);
+    let r = Sim::new(cfg).run();
+    assert!(r.completed > 400, "completed {}", r.completed);
+    let mut steady = r.steady;
+    let p50 = steady.percentile(0.5);
+    assert!(
+        p50 > Duration::from_millis(40) && p50 < Duration::from_millis(200),
+        "pybbs p50 {p50:?}"
+    );
+}
+
+#[test]
+fn closed_loop_latency_grows_with_clients() {
+    let mut lat = Vec::new();
+    for clients in [2usize, 32] {
+        let mut cfg = SimConfig::new(quick_app(), Strategy::Vanilla);
+        cfg.arrivals = ArrivalPattern::Closed { clients };
+        cfg.horizon = Duration::from_secs(15);
+        cfg.record_from = Duration::from_secs(5);
+        let mut r = Sim::new(cfg).run();
+        lat.push(r.steady.percentile(0.5));
+    }
+    assert!(lat[1] > lat[0], "latency should grow with load: {lat:?}");
+}
+
+#[test]
+fn beehive_offloads_and_reuses_instances() {
+    let mut cfg = SimConfig::new(quick_app(), Strategy::BeeHiveOpenWhisk);
+    cfg.arrivals = ArrivalPattern::constant(40.0);
+    cfg.horizon = Duration::from_secs(30);
+    cfg.record_from = Duration::from_secs(15);
+    cfg.offload_ratio = 0.5;
+    let r = Sim::new(cfg).run();
+    assert!(r.offloaded > 100, "offloaded {}", r.offloaded);
+    assert!(r.shadows >= 1);
+    assert!(r.instances >= 1);
+    // Far more offloads than instances => closure reuse on warm
+    // instances.
+    assert!(r.offloaded > r.instances as u64 * 10);
+    // Steady state is fetch-free (Table 5).
+    let per_req_fetches =
+        r.steady_offload.remote_fetches() as f64 / r.steady_offload_count.max(1) as f64;
+    assert!(per_req_fetches < 0.5, "fetches/req {per_req_fetches}");
+    assert!(r.faas_cost > 0.0);
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let mk = || {
+        let mut cfg = SimConfig::new(quick_app(), Strategy::BeeHiveOpenWhisk);
+        cfg.arrivals = ArrivalPattern::constant(25.0);
+        cfg.horizon = Duration::from_secs(10);
+        cfg.seed = 77;
+        cfg
+    };
+    let a = Sim::new(mk()).run();
+    let b = Sim::new(mk()).run();
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(a.offloaded, b.offloaded);
+    let (mut sa, mut sb) = (a.steady, b.steady);
+    assert_eq!(sa.percentile(0.99), sb.percentile(0.99));
+}
+
+#[test]
+fn scaled_instances_halve_load_after_ready() {
+    let mut cfg = SimConfig::new(
+        quick_app(),
+        Strategy::Scaled(beehive_scaling::ScalingKind::Burstable),
+    );
+    cfg.arrivals = ArrivalPattern::Open {
+        base_rps: 40.0,
+        burst_mult: 2.0,
+        burst_at: Duration::from_secs(5),
+        burst_end: Duration::from_secs(30),
+    };
+    cfg.engage_at = Duration::from_secs(5);
+    cfg.horizon = Duration::from_secs(30);
+    let r = Sim::new(cfg).run();
+    assert!(r.completed > 500);
+    assert!(r.scaled_cost > 0.0);
+    assert_eq!(r.instances, 0, "no FaaS instances for scaled strategies");
+}

@@ -24,6 +24,15 @@ cargo build --release --offline --workspace
 echo "==> tier-1: cargo test -q"
 cargo test -q --offline
 
+echo "==> docs: cargo doc --no-deps --offline"
+# The workspace warns on missing docs; the doc build is the gate that the
+# public API surface (including the new driver layers) stays documented
+# and intra-doc links resolve.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace > /dev/null
+
+echo "==> smoke: cargo run --release --example quickstart"
+cargo run --release --offline --example quickstart > /dev/null
+
 echo "==> compile-off: probe-free bench build in its own target dir"
 # The probe-free configuration must keep compiling, and gets a dedicated
 # target dir: cargo keeps one artifact per target dir, so building
