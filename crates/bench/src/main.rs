@@ -1,12 +1,13 @@
 //! `repro` — regenerate every table and figure of the BeeHive paper.
 //!
 //! ```text
-//! repro [--quick] [--seed N] [--json] [--trace DIR] [--metrics DIR]
-//!       [--profile DIR]
+//! repro [--quick] [--seed N] [--chaos-seed N] [--json] [--trace DIR]
+//!       [--metrics DIR] [--profile DIR]
 //!       [list|all|fig2|table1|table2|fig7|table3|fig8|
-//!        fig9|table4|fig10|table5|gcstats|shadow|ablations|combination]
+//!        fig9|table4|fig10|table5|gcstats|shadow|ablations|combination|
+//!        recovery]
 //! repro compare BASELINE CURRENT [--bench-out FILE]
-//! repro top ITEM [--quick] [--seed N] [--top N]
+//! repro top ITEM [--quick] [--seed N] [--chaos-seed N] [--top N]
 //! ```
 //!
 //! Without a subcommand, everything runs in paper order; `repro list`
@@ -65,6 +66,7 @@ use beehive_workload::experiment::{
     fig7::fig7,
     fig8::fig8,
     fig9::fig9,
+    recovery::recovery,
     slo::{fig10, table4},
     table2::table2,
     table5::table5,
@@ -81,6 +83,7 @@ fn main() {
     }
     let mut profile = Profile::full();
     let mut json = false;
+    let mut chaos_seed: Option<u64> = None;
     let mut trace_dir: Option<std::path::PathBuf> = None;
     let mut metrics_dir: Option<std::path::PathBuf> = None;
     let mut profile_dir: Option<std::path::PathBuf> = None;
@@ -96,6 +99,13 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| die("--seed needs an integer"));
             }
+            "--chaos-seed" => {
+                chaos_seed = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| die("--chaos-seed needs an integer")),
+                );
+            }
             "--trace" => {
                 trace_dir = Some(dir_value(&mut it, "--trace"));
             }
@@ -107,10 +117,10 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "repro [--quick] [--seed N] [--json] [--trace DIR] [--metrics DIR] [--profile DIR] [list|all|fig2|table1|table2|fig7|table3|fig8|fig9|table4|fig10|table5|gcstats|shadow|ablations|combination]"
+                    "repro [--quick] [--seed N] [--chaos-seed N] [--json] [--trace DIR] [--metrics DIR] [--profile DIR] [list|all|fig2|table1|table2|fig7|table3|fig8|fig9|table4|fig10|table5|gcstats|shadow|ablations|combination|recovery]"
                 );
                 println!("repro compare BASELINE CURRENT [--bench-out FILE]");
-                println!("repro top ITEM [--quick] [--seed N] [--top N]");
+                println!("repro top ITEM [--quick] [--seed N] [--chaos-seed N] [--top N]");
                 return;
             }
             other if other.starts_with('-') => {
@@ -126,7 +136,7 @@ fn main() {
         list_items();
         return;
     }
-    const KNOWN: [&str; 15] = [
+    const KNOWN: [&str; 16] = [
         "all",
         "fig2",
         "table1",
@@ -142,6 +152,7 @@ fn main() {
         "shadow",
         "ablations",
         "combination",
+        "recovery",
     ];
     for c in &cmds {
         if !KNOWN.contains(&c.as_str()) {
@@ -439,6 +450,19 @@ fn main() {
         flush_metrics(metrics_dir.as_deref(), "combination");
     }
 
+    if want("recovery") {
+        let rep = recovery(AppKind::Pybbs, profile, chaos_seed.unwrap_or(profile.seed));
+        if json {
+            reports.push(RunReport::new("recovery", rep.to_json()));
+        } else {
+            banner("§4.5 — failure recovery under fault injection");
+            println!("{rep}");
+        }
+        let profiles = flush_profiles(profile_dir.as_deref(), "recovery");
+        flush_traces(trace_dir.as_deref(), "recovery", &profiles);
+        flush_metrics(metrics_dir.as_deref(), "recovery");
+    }
+
     if json {
         let doc = Json::Arr(
             reports
@@ -457,7 +481,7 @@ fn main() {
 
 /// `repro list`: every runnable item with a one-line description.
 fn list_items() {
-    let items: [(&str, &str); 15] = [
+    let items: [(&str, &str); 16] = [
         ("all", "every item below, in paper order"),
         (
             "fig2",
@@ -490,6 +514,10 @@ fn list_items() {
         (
             "combination",
             "§5.7 Semi-FaaS bridging an on-demand instance boot",
+        ),
+        (
+            "recovery",
+            "§4.5 MTTR and latency under injected instance crashes",
         ),
     ];
     println!("Runnable items (repro [flags] <item>...):");
@@ -599,7 +627,7 @@ fn flush_profiles(
 /// Run one item with profiling enabled, discarding its report. The list of
 /// simulations mirrors the main dispatch (`table1`/`table2` run no
 /// simulations and are rejected by the caller).
-fn run_profiled_item(item: &str, profile: Profile) {
+fn run_profiled_item(item: &str, profile: Profile, chaos_seed: u64) {
     let apps = AppKind::all();
     match item {
         "fig2" => {
@@ -647,6 +675,9 @@ fn run_profiled_item(item: &str, profile: Profile) {
         "combination" => {
             combination(AppKind::Pybbs, profile);
         }
+        "recovery" => {
+            recovery(AppKind::Pybbs, profile, chaos_seed);
+        }
         other => die(&format!(
             "item {other:?} has no simulations to profile (run `repro list`)"
         )),
@@ -662,6 +693,7 @@ fn run_top(args: &[String]) -> ! {
     }
     let mut profile = Profile::full();
     let mut n = 5usize;
+    let mut chaos_seed: Option<u64> = None;
     let mut items: Vec<String> = Vec::new();
     let mut it = args.iter().cloned();
     while let Some(a) = it.next() {
@@ -672,6 +704,13 @@ fn run_top(args: &[String]) -> ! {
                     .next()
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "--chaos-seed" => {
+                chaos_seed = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| die("--chaos-seed needs an integer")),
+                );
             }
             "--top" => {
                 n = it
@@ -687,10 +726,10 @@ fn run_top(args: &[String]) -> ! {
         }
     }
     let [item] = items.as_slice() else {
-        die("usage: repro top ITEM [--quick] [--seed N] [--top N]");
+        die("usage: repro top ITEM [--quick] [--seed N] [--chaos-seed N] [--top N]");
     };
     beehive_workload::engine::set_profile_default(true);
-    run_profiled_item(item, profile);
+    run_profiled_item(item, profile, chaos_seed.unwrap_or(profile.seed));
     let profiles = beehive_workload::engine::drain_profiles();
     if profiles.is_empty() {
         die(&format!("item {item:?} produced no profile"));

@@ -627,6 +627,41 @@ impl OffloadSession {
         self.request
     }
 
+    /// `true` once this request has issued database write-journal keys.
+    ///
+    /// Gates graceful degradation after a crash (§4.5): re-running such a
+    /// request on the server under a fresh request id would escape the
+    /// exactly-once journal, so the driver must keep retrying instead.
+    pub fn committed_writes(&self) -> bool {
+        self.write_seq > 0
+    }
+
+    /// The request's entry method.
+    pub fn root(&self) -> MethodId {
+        self.root
+    }
+
+    /// The request's original arguments (for re-dispatch on degradation).
+    pub fn args(&self) -> &[Value] {
+        &self.args
+    }
+
+    /// Abandon the session after its instance died *without* recovering it
+    /// (shadow warm-ups, or degradation to server execution): release any
+    /// in-flight lock transfer and drop the dead instance's mapping-table
+    /// entry so later acquirers don't park on it forever.
+    pub fn abandon(&mut self, server: &mut ServerRuntime) {
+        self.queue.clear();
+        self.peer_objects.clear();
+        if let Some(OffloadFix::Monitor { canonical, .. }) = self.fix.take() {
+            server.end_lock_transfer(canonical);
+        }
+        if self.shadow {
+            server.proxy.shadow_end(self.function_id);
+        }
+        server.remove_mapping(self.function_id);
+    }
+
     fn span_name(&self) -> &'static str {
         if self.shadow {
             "req:shadow"
@@ -1234,6 +1269,7 @@ impl OffloadSession {
                     self.write_seq,
                     mapping,
                 )));
+                self.prof_synth("[recovery]", f_s + self.net.transfer(bytes));
                 self.queue.push_back(Pending::Need(
                     Need::new(Resource::Net, f_s + self.net.transfer(bytes)).fb(),
                 ));
@@ -1243,6 +1279,7 @@ impl OffloadSession {
                 let cs = server.instantiate_closure(replacement, self.root);
                 self.exec = Execution::call(self.root, self.args.clone(), &server.program);
                 self.write_seq = 0;
+                self.prof_synth("[recovery]", cs.compute + f_s + self.net.transfer(cs.bytes));
                 self.queue.push_back(Pending::Need(
                     Need::new(Resource::ServerCpu, cs.compute).fb(),
                 ));

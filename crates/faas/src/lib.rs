@@ -16,6 +16,9 @@
 //! hours", §2.2); the embedding experiment drives it on virtual time.
 
 #![warn(missing_docs)]
+// Every platform entry point — including `kill`, the §4.5 failure-injection
+// seam driven by `beehive-chaos` — must stay reachable from a driver path.
+#![deny(dead_code)]
 
 pub mod billing;
 pub mod platform;

@@ -285,6 +285,12 @@ impl FaasPlatform {
     }
 
     /// Forcibly kill an instance (failure injection, §4.5).
+    ///
+    /// Driven by `beehive-chaos` fault plans: the workload driver expands a
+    /// plan's `InstanceCrash` faults into kills here, then recovers the
+    /// victim's request on a replacement instance from its last
+    /// synchronization snapshot. See the `beehive-chaos` crate for the
+    /// injector vocabulary and the retry/backoff policy.
     pub fn kill(&mut self, now: SimTime, id: InstanceId) {
         let inst = &mut self.instances[id as usize];
         inst.state = InstanceState::Dead;
@@ -295,6 +301,13 @@ impl FaasPlatform {
     /// `true` if the instance is alive (booting, warm or busy).
     pub fn is_alive(&self, id: InstanceId) -> bool {
         !matches!(self.instances[id as usize].state, InstanceState::Dead)
+    }
+
+    /// `true` if the instance is warm (cached, idle) — i.e. eligible for
+    /// fault injection as an idle-cache victim without disturbing a boot or
+    /// a reserved replacement.
+    pub fn is_warm(&self, id: InstanceId) -> bool {
+        matches!(self.instances[id as usize].state, InstanceState::Warm(_))
     }
 
     /// Number of instances ever created.

@@ -22,8 +22,12 @@ pub struct Watched {
 }
 
 /// The watched-metric table: request latency quantiles may grow 10%,
-/// fallback and cold-boot counts not at all, total GC pause 10%.
-pub const WATCHED: [Watched; 5] = [
+/// fallback and cold-boot counts not at all, total GC pause 10%. Chaos
+/// runs additionally hold their fault counts exactly (the plans are
+/// deterministic) and their recovery latency / re-executed time to 10%;
+/// fault-free runs never record those metrics, so the entries bind
+/// nothing there.
+pub const WATCHED: [Watched; 10] = [
     Watched {
         metric: "request_latency",
         stat: "p50_ns",
@@ -46,6 +50,31 @@ pub const WATCHED: [Watched; 5] = [
     },
     Watched {
         metric: "gc_pause_ns",
+        stat: "total",
+        tolerance: 0.10,
+    },
+    Watched {
+        metric: "crashes",
+        stat: "total",
+        tolerance: 0.0,
+    },
+    Watched {
+        metric: "retries",
+        stat: "total",
+        tolerance: 0.0,
+    },
+    Watched {
+        metric: "degraded_to_server",
+        stat: "total",
+        tolerance: 0.0,
+    },
+    Watched {
+        metric: "recovery_latency",
+        stat: "p99_ns",
+        tolerance: 0.10,
+    },
+    Watched {
+        metric: "re_executed_ns",
         stat: "total",
         tolerance: 0.10,
     },

@@ -9,6 +9,7 @@
 //! `Ev::DbDone` arm used to repeat the same validate-or-reschedule pattern
 //! inline in the driver — it lives here once now.
 
+use beehive_chaos::{Fault, FaultPlan};
 use beehive_faas::FaasPlatform;
 use beehive_scaling::InstanceScaler;
 use beehive_sim::pool::{FifoPool, PsPool};
@@ -48,6 +49,14 @@ pub(crate) enum Ev {
     CapacityReady,
     /// Periodic FaaS idle-instance expiry sweep.
     Expire,
+    /// An injected fault fires (§4.5 failure injection).
+    Fault(Fault),
+    /// A crashed request's replacement instance is ready: resume it from
+    /// its last snapshot.
+    Recover {
+        /// The crashed request id.
+        req: u64,
+    },
 }
 
 /// Owns every contended resource and the scheduling dances around them.
@@ -62,6 +71,9 @@ pub struct Broker {
     pub(crate) platform: Option<FaasPlatform>,
     /// The instance scaler, for scaled (and combined) strategies.
     pub(crate) scaler: Option<InstanceScaler>,
+    /// The run's fault plan: armed one-shot faults, retry policy and the
+    /// chaos counters. Empty (inert) unless the config carries injectors.
+    pub(crate) chaos: FaultPlan,
     server_cores: f64,
 }
 
@@ -77,6 +89,7 @@ impl Broker {
             db_pool: FifoPool::new(40), // the m4.10xlarge database machine
             platform,
             scaler,
+            chaos: FaultPlan::default(),
             server_cores,
         }
     }

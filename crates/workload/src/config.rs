@@ -6,6 +6,7 @@
 //! ([`crate::driver::Sim`]) share one vocabulary.
 
 use beehive_apps::App;
+use beehive_chaos::{ChaosStats, FaultPlan};
 use beehive_core::config::BeeHiveConfig;
 use beehive_core::server::RuntimeStats;
 use beehive_core::SessionStats;
@@ -137,6 +138,10 @@ pub struct SimConfig {
     /// ([`SimResult::profile`]). Defaults to the engine-wide flag set by
     /// `repro --profile` ([`crate::engine::set_profile_default`]).
     pub profile: bool,
+    /// Deterministic fault plan (§4.5 failure injection). The default plan
+    /// is empty and the run is byte-identical to one without the chaos
+    /// machinery; see [`beehive_chaos`] for injectors and the retry policy.
+    pub faults: FaultPlan,
 }
 
 impl SimConfig {
@@ -163,6 +168,7 @@ impl SimConfig {
             metrics: crate::engine::metrics_default(),
             metrics_window: beehive_metrics::DEFAULT_WINDOW,
             profile: crate::engine::profile_default(),
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -216,6 +222,9 @@ pub struct SimResult {
     pub function_peak_heap: u64,
     /// Server-side mapping-table footprint at the end.
     pub mapping_bytes: u64,
+    /// Fault-injection and recovery accounting (all zero when
+    /// [`SimConfig::faults`] was empty).
+    pub chaos: ChaosStats,
     /// The virtual end time.
     pub end: SimTime,
     /// The recorded trace, when [`SimConfig::trace`] was set.
@@ -326,6 +335,7 @@ impl Acct {
         scaler: Option<&InstanceScaler>,
         server_stats: RuntimeStats,
         mapping_bytes: u64,
+        chaos: ChaosStats,
         trace: Option<tele::Trace>,
         metrics: Option<beehive_metrics::Registry>,
         profile: Option<beehive_profiler::Profile>,
@@ -361,6 +371,7 @@ impl Acct {
             function_gc_pauses,
             function_peak_heap: peak,
             mapping_bytes,
+            chaos,
             end,
             trace,
             metrics,

@@ -17,6 +17,7 @@
 
 use std::sync::Arc;
 
+use beehive_chaos::{Fault, RetryDecision};
 use beehive_core::config::NetProfile;
 use beehive_core::{FunctionRuntime, OffloadSession, ServerRuntime, ServerSession};
 use beehive_db::Database;
@@ -55,7 +56,10 @@ pub struct Sim {
 
 impl Sim {
     /// Build the world for a configuration.
-    pub fn new(cfg: SimConfig) -> Sim {
+    pub fn new(mut cfg: SimConfig) -> Sim {
+        // The fault plan lives with the broker's other run-scoped state; an
+        // empty plan stays inert (no events, no armed faults).
+        let chaos = std::mem::take(&mut cfg.faults);
         let mut rng = Rng::new(cfg.seed);
         let db = Database::new(); // seeded by App::install through the proxy
                                   // Scaled-fidelity apps execute 1/k of their tracked writes, so the
@@ -97,7 +101,8 @@ impl Sim {
         let scaler = cfg.strategy.scaling_kind().map(InstanceScaler::new);
         let dispatch_cost = cfg.app.spec.cpu_budget.mul_f64(0.075);
         let router = Router::new(cfg.strategy, cfg.engage_at, cfg.offload_ratio);
-        let broker = Broker::new(cfg.server_cores, platform, scaler);
+        let mut broker = Broker::new(cfg.server_cores, platform, scaler);
+        broker.chaos = chaos;
 
         Sim {
             cfg,
@@ -149,6 +154,14 @@ impl Sim {
         if self.broker.platform.is_some() {
             self.events
                 .schedule(SimTime::ZERO + Duration::from_secs(30), Ev::Expire);
+        }
+        // §4.5 fault injection: expand the plan's injectors into concrete
+        // fault events up front, on the plan's own RNG stream keyed by
+        // `(plan seed, run seed)` — an empty plan schedules nothing and the
+        // run stays byte-identical.
+        let faults = self.broker.chaos.schedule(self.cfg.seed, self.cfg.horizon);
+        for (at, fault) in faults {
+            self.events.schedule(SimTime::ZERO + at, Ev::Fault(fault));
         }
 
         let horizon = SimTime::ZERO + self.cfg.horizon;
@@ -223,7 +236,93 @@ impl Sim {
                 self.broker
                     .expire_idle(self.now, &mut self.fleet.idle, &mut self.events);
             }
+            Ev::Fault(f) => self.inject(f),
+            Ev::Recover { req } => self.recover_ready(req),
         }
+    }
+
+    /// Apply one scheduled fault: kill a victim instance outright, or arm a
+    /// one-shot fault that the next matching park site consumes.
+    fn inject(&mut self, fault: Fault) {
+        if let Fault::InstanceCrash { selector } = fault {
+            let Some(p) = self.broker.platform.as_mut() else {
+                return; // no platform, nothing to crash
+            };
+            // Victims: instances serving an active FaaS lane, plus the warm
+            // idle cache. Reserved replacements (crashed/pending lanes) are
+            // busy on the platform but absent from both sets, so a fault
+            // can never kill the instance a recovery is waiting for.
+            let mut ids = self.lifecycle.faas_instances();
+            ids.extend(self.fleet.idle.iter().copied().filter(|&i| p.is_warm(i)));
+            ids.sort_unstable();
+            ids.dedup();
+            ids.retain(|&i| p.is_alive(i));
+            if ids.is_empty() {
+                return;
+            }
+            let victim = ids[(selector % ids.len() as u64) as usize];
+            p.kill(self.now, victim);
+            self.fleet.idle.retain(|&i| i != victim);
+            self.fleet.funcs.remove(&victim);
+            self.broker.chaos.stats.crashes += 1;
+            self.obs.add(self.now, "crashes", 1);
+            if tele::enabled() {
+                tele::instant(
+                    tele::Track::Platform,
+                    "chaos:crash",
+                    &[("instance", tele::Arg::UInt(victim as u64))],
+                );
+            }
+            return;
+        }
+        if tele::enabled() {
+            let name = match fault {
+                Fault::InstanceCrash { .. } => unreachable!("handled above"),
+                Fault::BootFailure => "chaos:boot_failure",
+                Fault::RpcDrop { .. } => "chaos:arm_rpc_drop",
+                Fault::RpcDelay { .. } => "chaos:arm_rpc_delay",
+                Fault::NetworkDegrade { .. } => "chaos:net_degrade",
+                Fault::DbConnDrop { .. } => "chaos:arm_db_drop",
+            };
+            tele::instant(tele::Track::Sim, name, &[]);
+        }
+        self.broker.chaos.arm(self.now, fault);
+    }
+
+    /// `Ev::Recover`: the replacement instance and the retry backoff are
+    /// both ready — restore the crashed session from its last durable
+    /// snapshot (§4.5) and park it on the resumed need.
+    fn recover_ready(&mut self, rid: u64) {
+        let Some((mut session, fid, runtime, cold, detected)) = self.lifecycle.take_crashed(rid)
+        else {
+            return;
+        };
+        self.fleet.booting = self.fleet.booting.saturating_sub(1);
+        if cold {
+            self.broker
+                .platform
+                .as_mut()
+                .expect("platform exists")
+                .boot_complete(self.now, fid);
+        }
+        let mut func = runtime
+            .map(|b| *b)
+            .unwrap_or_else(|| FunctionRuntime::new(fid, &self.cfg.app.program, self.cost_model));
+        let step = session.recover(&mut self.server, &mut func);
+        self.fleet.funcs.insert(fid, func);
+        let latency = self.now.saturating_since(detected);
+        self.obs.recovery(self.now, latency);
+        self.broker.chaos.stats.recovery.record(latency);
+        self.lifecycle.resume_recovered(
+            rid,
+            session,
+            fid,
+            step,
+            self.now,
+            &mut self.broker,
+            &mut self.events,
+            &mut self.obs,
+        );
     }
 
     /// Advance a request until it parks or finishes; account completions.
@@ -392,6 +491,10 @@ impl Sim {
         };
         self.fleet.booting = self.fleet.booting.saturating_sub(1);
         tele::end(tele::Track::Instance(fid), "boot", &[]);
+        if self.broker.chaos.take_boot_failure() {
+            self.boot_failed(rid, args, fid);
+            return;
+        }
         if cold {
             self.broker
                 .platform
@@ -419,8 +522,63 @@ impl Sim {
         if shadow {
             self.acct.shadows += 1;
         }
-        self.lifecycle.attach_offload(rid, session, fid);
+        self.lifecycle.attach_offload(rid, session, fid, self.now);
         self.step(rid);
+    }
+
+    /// An armed boot failure claimed this boot: the instance never comes
+    /// up. Kill it and consult the retry policy — re-arm the pending boot
+    /// on a fresh instance after the backoff, or (retries exhausted)
+    /// degrade: shadow warm-ups are dropped, real requests reroute to a
+    /// fresh server session.
+    fn boot_failed(&mut self, rid: u64, args: Vec<Value>, fid: u32) {
+        let p = self.broker.platform.as_mut().expect("platform exists");
+        p.kill(self.now, fid);
+        self.fleet.idle.retain(|&i| i != fid);
+        self.fleet.funcs.remove(&fid);
+        self.broker.chaos.stats.boot_failures += 1;
+        self.obs.add(self.now, "boot_failures", 1);
+        tele::instant(tele::Track::Instance(fid), "chaos:boot_failure", &[]);
+        let attempt = self.lifecycle.bump_recovery_attempts(rid);
+        // A pending boot has no session, so no writes are ever committed.
+        match self.broker.chaos.policy.decide(attempt, false) {
+            RetryDecision::Retry { backoff } => {
+                let p = self.broker.platform.as_mut().expect("platform exists");
+                let (new_fid, ready, kind) = p.acquire(self.now);
+                self.fleet.idle.retain(|&i| i != new_fid);
+                self.fleet.booting += 1;
+                self.broker.chaos.stats.retries += 1;
+                self.obs.add(self.now, "retries", 1);
+                let cold = kind == BootKind::Cold;
+                let boot_metric = if cold { "boots_cold" } else { "boots_warm" };
+                self.obs.add(self.now, boot_metric, 1);
+                if tele::enabled() {
+                    tele::begin(
+                        tele::Track::Instance(new_fid),
+                        "boot",
+                        &[("cold", tele::Arg::Bool(cold))],
+                    );
+                }
+                self.lifecycle.retry_boot(rid, args, new_fid, cold);
+                self.events.schedule(
+                    std::cmp::max(ready, self.now + backoff),
+                    Ev::Boot { req: rid },
+                );
+            }
+            RetryDecision::Degrade => {
+                if self.cfg.shadow_enabled {
+                    // The pending boot is a shadow warm-up; the real
+                    // request already runs on the server. Nothing to save.
+                    self.lifecycle.drop_request(rid);
+                    return;
+                }
+                self.broker.chaos.stats.degraded_to_server += 1;
+                self.obs.add(self.now, "degraded_to_server", 1);
+                let session = ServerSession::start(&mut self.server, self.cfg.app.root, args);
+                self.lifecycle.reroute_to_server(rid, session);
+                self.step(rid);
+            }
+        }
     }
 
     fn complete(&mut self, done: Done) {
@@ -484,6 +642,7 @@ impl Sim {
         };
         let mapping_bytes = self.server.mapping_footprint_bytes();
         let trace = if self.cfg.trace { tele::take() } else { None };
+        let chaos = self.broker.chaos.stats.clone();
         self.acct.finish(
             self.now,
             &self.fleet,
@@ -491,6 +650,7 @@ impl Sim {
             self.broker.scaler.as_ref(),
             self.server.stats,
             mapping_bytes,
+            chaos,
             trace,
             self.obs.into_registry(),
             profile,

@@ -285,6 +285,14 @@ impl Obs {
         self.observe(now, "gc_pause", pause);
         self.add(now, "gc_pause_ns", pause.as_nanos());
     }
+
+    /// Record one completed §4.5 recovery: the detection-to-resume latency
+    /// histogram plus the cumulative recovery counter, the pair the
+    /// recovery site emits.
+    pub(crate) fn recovery(&mut self, now: SimTime, latency: Duration) {
+        self.observe(now, "recovery_latency", latency);
+        self.add(now, "recoveries", 1);
+    }
 }
 
 #[cfg(test)]

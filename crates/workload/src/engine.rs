@@ -337,6 +337,7 @@ mod tests {
     use crate::driver::ArrivalPattern;
     use crate::Strategy;
     use beehive_apps::{App, AppKind, Fidelity};
+    use beehive_chaos::{Fault, FaultPlan, Injector};
     use beehive_sim::Duration;
 
     fn tiny_scenarios(n: usize) -> Vec<Scenario> {
@@ -369,6 +370,44 @@ mod tests {
             assert_eq!(a.result.rejected, b.result.rejected);
             assert_eq!(a.result.end, b.result.end);
         }
+    }
+
+    fn chaos_scenarios(n: usize) -> Vec<Scenario> {
+        let app = App::build(AppKind::Thumbnail, Fidelity::Scaled(4096));
+        (0..n)
+            .map(|i| {
+                let mut cfg = SimConfig::new(app.clone(), Strategy::BeeHiveOpenWhisk);
+                cfg.arrivals = ArrivalPattern::constant(6.0);
+                cfg.horizon = Duration::from_secs(4);
+                cfg.seed = 11 + i as u64;
+                let mut plan = FaultPlan::new(0xC0FFEE + i as u64);
+                plan.push(Injector::Rate {
+                    fault: Fault::InstanceCrash { selector: 0 },
+                    per_sec: 1.0,
+                    start: Duration::ZERO,
+                    end: Duration::from_secs(4),
+                });
+                cfg.faults = plan;
+                Scenario::new(format!("c{i}"), cfg)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn chaos_parallel_matches_serial() {
+        let serial = run_all_with_workers(chaos_scenarios(3), 1);
+        let parallel = run_all_with_workers(chaos_scenarios(3), 3);
+        let mut crashes = 0;
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.result.completed, b.result.completed);
+            assert_eq!(a.result.end, b.result.end);
+            assert_eq!(a.result.chaos.crashes, b.result.chaos.crashes);
+            assert_eq!(a.result.chaos.retries, b.result.chaos.retries);
+            assert_eq!(a.result.chaos.re_executed_ns, b.result.chaos.re_executed_ns);
+            crashes += a.result.chaos.crashes;
+        }
+        assert!(crashes > 0, "the plan injected no crashes");
     }
 
     #[test]

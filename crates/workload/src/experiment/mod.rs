@@ -14,6 +14,7 @@
 //! | §5.6 shadow execution | [`breakdown::shadow_breakdown`] |
 //! | Design ablations | [`ablation::ablation`] |
 //! | §5.7 combination mode | [`combination::combination`] |
+//! | §4.5 failure recovery | [`recovery::recovery`] |
 //!
 //! Every driver takes a [`Profile`] selecting full (paper-scale) or quick
 //! (CI/bench-scale) horizons and a seed; all results are deterministic for a
@@ -26,6 +27,7 @@ pub mod fig2;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod recovery;
 pub mod slo;
 pub mod table2;
 pub mod table5;

@@ -12,7 +12,11 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use beehive_core::{Need, OffloadSession, Resource, ServerRuntime, ServerSession, SessionStep};
+use beehive_chaos::{RetryDecision, RpcFault};
+use beehive_core::{
+    FunctionRuntime, Need, OffloadSession, Resource, ServerRuntime, ServerSession, SessionStep,
+};
+use beehive_faas::BootKind;
 use beehive_sim::{EventQueue, SimTime};
 use beehive_telemetry as tele;
 use beehive_vm::{Execution, Value};
@@ -45,6 +49,23 @@ pub(crate) enum Lane {
         endpoint: FaasEndpoint,
         /// Whether the boot is cold (closure computation overlaps it).
         cold: bool,
+    },
+    /// The serving instance died (§4.5); the session waits out the
+    /// replacement's boot plus the retry backoff, then resumes from its
+    /// last snapshot on `Ev::Recover`.
+    Crashed {
+        /// The crashed session, carrying the snapshot to restore from.
+        session: OffloadSession,
+        /// The replacement's runtime when the platform handed back a warm
+        /// instance from the idle rotation — stashed here so neither
+        /// dispatch nor victim selection can touch the reserved instance.
+        runtime: Option<Box<FunctionRuntime>>,
+        /// The lane's endpoint identity (instance = the replacement).
+        endpoint: FaasEndpoint,
+        /// Whether the replacement boot is cold.
+        cold: bool,
+        /// When the crash was detected (recovery latency starts here).
+        detected: SimTime,
     },
 }
 
@@ -86,6 +107,7 @@ impl Lane {
             Lane::Server { endpoint, .. } => endpoint,
             Lane::Faas { endpoint, .. } => endpoint,
             Lane::PendingBoot { endpoint, .. } => endpoint,
+            Lane::Crashed { endpoint, .. } => endpoint,
         }
     }
 }
@@ -105,6 +127,15 @@ pub(crate) struct Request {
     open_span: Option<&'static str>,
     /// The execution lane.
     pub(crate) lane: Lane,
+    /// Session snapshot count last seen by the lifecycle (watermark for
+    /// `progress`).
+    snap_seen: u64,
+    /// Virtual time of the last durable snapshot (or the session start):
+    /// work after this point is lost to a crash and re-executed.
+    progress: SimTime,
+    /// Failed offload attempts so far (crashes and boot failures), feeding
+    /// the retry/backoff policy.
+    recovery_attempts: u32,
 }
 
 impl Request {
@@ -116,8 +147,21 @@ impl Request {
             closed_loop,
             open_span: None,
             lane,
+            snap_seen: 0,
+            progress: arrival,
+            recovery_attempts: 0,
         }
     }
+}
+
+/// What became of a request whose instance died.
+enum AfterCrash {
+    /// Parked as [`Lane::Crashed`] awaiting `Ev::Recover`, or dropped
+    /// entirely (dead shadow warm-ups leave nothing to recover).
+    Parked,
+    /// Retries exhausted with a clean write journal: the request degraded
+    /// to a fresh server session — keep stepping it.
+    Degraded(Box<Request>),
 }
 
 /// A finished request, handed back to the driver for accounting.
@@ -146,6 +190,8 @@ pub struct TransitionTally {
     pub lock_waits: u64,
     /// `Finished` completions.
     pub finished: u64,
+    /// `Crashed` transitions (§4.5): a lane's instance died under it.
+    pub crashes: u64,
 }
 
 /// The per-request state machine over every in-flight request.
@@ -202,9 +248,223 @@ impl Lifecycle {
 
     /// Switch a booted request onto its FaaS lane (`Ev::Boot`, after the
     /// session started on the fresh instance).
-    pub(crate) fn attach_offload(&mut self, rid: u64, session: OffloadSession, instance: u32) {
+    pub(crate) fn attach_offload(
+        &mut self,
+        rid: u64,
+        session: OffloadSession,
+        instance: u32,
+        now: SimTime,
+    ) {
         let req = self.requests.get_mut(&rid).expect("still present");
+        // The session starts executing now: boot queueing is not lost work.
+        req.progress = now;
         req.lane = Lane::faas(session, instance);
+    }
+
+    /// The §4.5 `Crashed` transition: the instance serving `rid` died while
+    /// the request was parked. Dead shadows are abandoned; real requests
+    /// consult the retry policy — provision a replacement and park as
+    /// [`Lane::Crashed`], or (retries exhausted, write journal clean)
+    /// degrade to a fresh server session.
+    #[allow(clippy::too_many_arguments)]
+    fn crashed(
+        &mut self,
+        rid: u64,
+        mut req: Request,
+        now: SimTime,
+        server: &mut ServerRuntime,
+        fleet: &mut Fleet,
+        broker: &mut Broker,
+        events: &mut EventQueue<Ev>,
+        obs: &mut Obs,
+    ) -> AfterCrash {
+        self.tally.crashes += 1;
+        let placeholder = Lane::pending_boot(Vec::new(), u32::MAX, false);
+        let Lane::Faas { mut session, .. } = std::mem::replace(&mut req.lane, placeholder) else {
+            unreachable!("crash detected on a faas lane");
+        };
+        if session.is_shadow() {
+            // A dead warm-up leaves nothing to recover — the real request
+            // (if any) already runs on the server. Release lock state and
+            // drop; the instance is dead, so nothing is released to the
+            // platform either.
+            session.abandon(server);
+            return AfterCrash::Parked;
+        }
+        // Everything since the last durable snapshot is lost and will be
+        // re-executed after the restore.
+        let lost = now.saturating_since(req.progress);
+        broker.chaos.stats.re_executed_ns += lost.as_nanos();
+        obs.add(now, "re_executed_ns", lost.as_nanos());
+        req.recovery_attempts += 1;
+        let attempt = req.recovery_attempts;
+        match broker
+            .chaos
+            .policy
+            .decide(attempt, session.committed_writes())
+        {
+            RetryDecision::Retry { backoff } => {
+                let platform = broker
+                    .platform
+                    .as_mut()
+                    .expect("faas lanes exist only with a platform");
+                let (fid, ready, kind) = platform.acquire(now);
+                // The platform may hand back a warm instance from the
+                // fleet's idle rotation: reserve it fully — id out of the
+                // rotation, runtime stashed on the lane — so neither
+                // dispatch nor crash victim selection can touch it while
+                // the backoff runs.
+                fleet.idle.retain(|&i| i != fid);
+                let runtime = fleet.funcs.remove(&fid).map(Box::new);
+                fleet.booting += 1;
+                broker.chaos.stats.retries += 1;
+                obs.add(now, "retries", 1);
+                if tele::enabled() {
+                    tele::begin(
+                        tele::Track::Request(session.request_id()),
+                        "recovery",
+                        &[
+                            ("attempt", tele::Arg::UInt(attempt as u64)),
+                            ("replacement", tele::Arg::UInt(fid as u64)),
+                        ],
+                    );
+                }
+                let endpoint = FaasEndpoint {
+                    instance: fid,
+                    request: Some(session.request_id()),
+                };
+                req.lane = Lane::Crashed {
+                    session,
+                    runtime,
+                    endpoint,
+                    cold: kind == BootKind::Cold,
+                    detected: now,
+                };
+                events.schedule(
+                    std::cmp::max(ready, now + backoff),
+                    Ev::Recover { req: rid },
+                );
+                self.requests.insert(rid, req);
+                AfterCrash::Parked
+            }
+            RetryDecision::Degrade => {
+                broker.chaos.stats.degraded_to_server += 1;
+                obs.add(now, "degraded_to_server", 1);
+                tele::instant(
+                    tele::Track::Request(session.request_id()),
+                    "recovery:degrade",
+                    &[],
+                );
+                let root = session.root();
+                let args = session.args().to_vec();
+                session.abandon(server);
+                req.lane = Lane::server(ServerSession::start(server, root, args), 0);
+                AfterCrash::Degraded(Box::new(req))
+            }
+        }
+    }
+
+    /// Take the crashed session of `rid` for recovery (`Ev::Recover`):
+    /// `(session, replacement id, stashed runtime, cold, detected)`.
+    /// Returns `None` when the request is gone.
+    ///
+    /// # Panics
+    ///
+    /// The request exists but is not on a crashed lane.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn take_crashed(
+        &mut self,
+        rid: u64,
+    ) -> Option<(
+        OffloadSession,
+        u32,
+        Option<Box<FunctionRuntime>>,
+        bool,
+        SimTime,
+    )> {
+        let req = self.requests.get_mut(&rid)?;
+        let placeholder = Lane::pending_boot(Vec::new(), u32::MAX, false);
+        let Lane::Crashed {
+            session,
+            runtime,
+            endpoint,
+            cold,
+            detected,
+        } = std::mem::replace(&mut req.lane, placeholder)
+        else {
+            panic!("recover event for a non-crashed request");
+        };
+        Some((session, endpoint.instance, runtime, cold, detected))
+    }
+
+    /// Put a recovered session back on its FaaS lane and park it on the
+    /// first resumed need (the one `OffloadSession::recover` popped).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn resume_recovered(
+        &mut self,
+        rid: u64,
+        session: OffloadSession,
+        instance: u32,
+        step: SessionStep,
+        now: SimTime,
+        broker: &mut Broker,
+        events: &mut EventQueue<Ev>,
+        obs: &mut Obs,
+    ) {
+        let mut req = self.requests.remove(&rid).expect("crashed request present");
+        tele::end(tele::Track::Request(session.request_id()), "recovery", &[]);
+        // The restore is durable: the lost-work clock restarts here.
+        req.snap_seen = session.stats.snapshots;
+        req.progress = now;
+        req.lane = Lane::faas(session, instance);
+        let SessionStep::Need(n) = step else {
+            unreachable!("recovery resumes on a queued need");
+        };
+        self.tally.needs += 1;
+        self.park_on_need(rid, &mut req, n, now, broker, events, obs);
+        self.requests.insert(rid, req);
+    }
+
+    /// Bump and return the failed-attempt count of `rid` (boot failures).
+    pub(crate) fn bump_recovery_attempts(&mut self, rid: u64) -> u32 {
+        let req = self.requests.get_mut(&rid).expect("still present");
+        req.recovery_attempts += 1;
+        req.recovery_attempts
+    }
+
+    /// Re-arm a pending boot whose instance failed to come up: same
+    /// request, fresh replacement instance.
+    pub(crate) fn retry_boot(&mut self, rid: u64, args: Vec<Value>, instance: u32, cold: bool) {
+        let req = self.requests.get_mut(&rid).expect("still present");
+        req.lane = Lane::pending_boot(args, instance, cold);
+    }
+
+    /// Degrade a boot-failed request to a fresh server session on pool 0.
+    pub(crate) fn reroute_to_server(&mut self, rid: u64, session: ServerSession) {
+        let req = self.requests.get_mut(&rid).expect("still present");
+        req.lane = Lane::server(session, 0);
+    }
+
+    /// Drop a request entirely (abandoned shadow warm-ups).
+    pub(crate) fn drop_request(&mut self, rid: u64) {
+        self.requests.remove(&rid);
+    }
+
+    /// Instances currently serving an active FaaS lane (sorted) — the
+    /// busy-victim candidates for fault injection. Reserved replacements
+    /// (crashed/pending lanes) are deliberately absent.
+    pub(crate) fn faas_instances(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = self
+            .requests
+            .values()
+            .filter_map(|r| match &r.lane {
+                Lane::Faas { endpoint, .. } => Some(endpoint.instance),
+                _ => None,
+            })
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
     }
 
     /// Advance request `rid` until it parks on a resource or finishes.
@@ -230,6 +490,20 @@ impl Lifecycle {
             tele::end(req.lane.endpoint().track(), name, &[]);
         }
         loop {
+            // §4.5 crash detection: the wait that just completed resumed
+            // into an instance the fault injector killed in the meantime —
+            // the RPC timeout is the failure detector.
+            if let Lane::Faas { endpoint, .. } = &req.lane {
+                if !fleet.funcs.contains_key(&endpoint.instance) {
+                    match self.crashed(rid, req, now, server, fleet, broker, events, obs) {
+                        AfterCrash::Parked => return None,
+                        AfterCrash::Degraded(r) => {
+                            req = *r;
+                            continue;
+                        }
+                    }
+                }
+            }
             let step = match &mut req.lane {
                 Lane::Server { session, .. } => session.next(server),
                 Lane::Faas { session, endpoint } => {
@@ -238,10 +512,16 @@ impl Lifecycle {
                     let s = session.next(server, &mut func);
                     fleet.funcs.insert(fid, func);
                     fleet.note_gcs(fid, now, obs);
+                    if session.stats.snapshots > req.snap_seen {
+                        // A new durable snapshot: work before `now` would
+                        // survive a crash.
+                        req.snap_seen = session.stats.snapshots;
+                        req.progress = now;
+                    }
                     s
                 }
-                Lane::PendingBoot { .. } => {
-                    // Waits for Ev::Boot.
+                Lane::PendingBoot { .. } | Lane::Crashed { .. } => {
+                    // Waits for Ev::Boot / Ev::Recover.
                     self.requests.insert(rid, req);
                     return None;
                 }
@@ -370,7 +650,29 @@ impl Lifecycle {
                 events.schedule(now + d, Ev::Step(rid));
             }
             Resource::Net => {
-                events.schedule(now + n.amount, Ev::Step(rid));
+                let mut wait = n.amount;
+                let factor = broker.chaos.net_factor(now);
+                if factor != 1.0 {
+                    wait = wait.mul_f64(factor);
+                }
+                if n.fallback {
+                    match broker.chaos.rpc_fault() {
+                        Some(RpcFault::Drop { timeout }) => {
+                            // The round-trip is lost: the caller times out
+                            // and re-sends over the degraded leg.
+                            broker.chaos.stats.retries += 1;
+                            obs.add(now, "retries", 1);
+                            tele::instant(track, "chaos:rpc_drop", &[]);
+                            wait = wait + timeout + wait;
+                        }
+                        Some(RpcFault::Delay { delay }) => {
+                            tele::instant(track, "chaos:rpc_delay", &[]);
+                            wait += delay;
+                        }
+                        None => {}
+                    }
+                }
+                events.schedule(now + wait, Ev::Step(rid));
             }
             Resource::Db => {
                 if tele::enabled() {
@@ -381,7 +683,16 @@ impl Lifecycle {
                     );
                 }
                 obs.add(now, db_metric, 1);
-                broker.db_pool.add(now, rid, n.amount);
+                let mut demand = n.amount;
+                if let Some(reconnect) = broker.chaos.db_drop() {
+                    // Connection dropped: pay the reconnect before the
+                    // round is served.
+                    broker.chaos.stats.retries += 1;
+                    obs.add(now, "retries", 1);
+                    tele::instant(tele::Track::Db, "chaos:db_reconnect", &[]);
+                    demand += reconnect;
+                }
+                broker.db_pool.add(now, rid, demand);
                 broker.schedule_db_event(events);
             }
         }
@@ -429,11 +740,13 @@ impl Lifecycle {
 mod tests {
     use super::*;
     use beehive_apps::{App, AppKind, Fidelity};
+    use beehive_chaos::RetryPolicy;
     use beehive_core::config::BeeHiveConfig;
     use beehive_core::FunctionRuntime;
     use beehive_db::Database;
+    use beehive_faas::{FaasPlatform, PlatformConfig};
     use beehive_proxy::Proxy;
-    use beehive_sim::Rng;
+    use beehive_sim::{Duration, Rng};
     use beehive_vm::CostModel;
     use std::collections::HashMap;
     use std::sync::Arc;
@@ -533,12 +846,47 @@ mod tests {
             rid
         }
 
+        /// The driver's `Ev::Recover` glue: restore the crashed session on
+        /// its replacement and park it on the resumed need.
+        fn recover(&mut self, rid: u64) {
+            let Some((mut session, fid, runtime, cold, detected)) = self.life.take_crashed(rid)
+            else {
+                return;
+            };
+            self.fleet.booting = self.fleet.booting.saturating_sub(1);
+            if cold {
+                self.broker
+                    .platform
+                    .as_mut()
+                    .expect("platform exists")
+                    .boot_complete(self.now, fid);
+            }
+            let mut func = runtime.map(|b| *b).unwrap_or_else(|| {
+                FunctionRuntime::new(fid, &self.app.program, CostModel::default())
+            });
+            let step = session.recover(&mut self.server, &mut func);
+            self.fleet.funcs.insert(fid, func);
+            let latency = self.now.saturating_since(detected);
+            self.broker.chaos.stats.recovery.record(latency);
+            self.life.resume_recovered(
+                rid,
+                session,
+                fid,
+                step,
+                self.now,
+                &mut self.broker,
+                &mut self.events,
+                &mut self.obs,
+            );
+        }
+
         /// Run the event queue dry, advancing virtual time.
         fn drain(&mut self) {
             while let Some((t, ev)) = self.events.pop() {
                 self.now = t;
                 match ev {
                     Ev::Step(rid) => self.step(rid),
+                    Ev::Recover { req } => self.recover(req),
                     Ev::ServerPool { pool, epoch } => {
                         if let Some(job) =
                             self.broker
@@ -665,6 +1013,60 @@ mod tests {
         let t = w.life.tally();
         assert!(t.server_gcs > 0, "no ServerGc under a full heap: {t:?}");
         assert_eq!(t.finished, 1, "the request completes after the GC: {t:?}");
+    }
+
+    #[test]
+    fn crashed_lane_recovers_on_a_replacement_instance() {
+        let mut w = world(true);
+        w.broker.platform = Some(FaasPlatform::new(PlatformConfig::openwhisk(), Rng::new(1)));
+        // Instance 5 is killed while its request is parked on a need; the
+        // completed wait is the failure detector. The platform's fresh
+        // replacement gets id 0, so the ids cannot collide.
+        w.start_faas(5, false);
+        w.fleet.funcs.remove(&5);
+        w.drain();
+        let t = w.life.tally();
+        assert_eq!(t.crashes, 1, "{t:?}");
+        assert_eq!(t.finished, 1, "{t:?}");
+        assert_eq!(w.broker.chaos.stats.retries, 1);
+        assert_eq!(w.broker.chaos.stats.recoveries(), 1);
+        assert_eq!(w.broker.chaos.stats.degraded_to_server, 0);
+        let (session, inst) = w.done[0].faas.as_ref().expect("finished on faas");
+        assert_eq!(*inst, 0, "resumed on the replacement instance");
+        assert_eq!(session.stats.recoveries, 1);
+        assert_eq!(w.life.inflight(), 0);
+    }
+
+    #[test]
+    fn exhausted_retries_degrade_clean_requests_to_the_server() {
+        let mut w = world(true);
+        // Zero retries: the first crash immediately consults the policy and
+        // degrades (the write journal is clean right after dispatch).
+        w.broker.chaos.policy = RetryPolicy::new(Duration::from_millis(50), 0);
+        w.start_faas(3, false);
+        w.fleet.funcs.remove(&3);
+        w.drain();
+        let t = w.life.tally();
+        assert_eq!(t.crashes, 1, "{t:?}");
+        assert_eq!(t.finished, 1, "{t:?}");
+        assert_eq!(w.broker.chaos.stats.degraded_to_server, 1);
+        assert_eq!(w.broker.chaos.stats.retries, 0);
+        assert_eq!(w.broker.chaos.stats.recoveries(), 0);
+        assert!(w.done[0].faas.is_none(), "finished on the server lane");
+        assert_eq!(w.life.inflight(), 0);
+    }
+
+    #[test]
+    fn dead_shadow_warmups_are_dropped() {
+        let mut w = world(true);
+        w.start_faas(0, true);
+        w.fleet.funcs.remove(&0);
+        w.drain();
+        let t = w.life.tally();
+        assert_eq!(t.crashes, 1, "{t:?}");
+        assert_eq!(t.finished, 0, "a dead warm-up leaves nothing to finish");
+        assert!(w.done.is_empty());
+        assert_eq!(w.life.inflight(), 0);
     }
 
     #[test]

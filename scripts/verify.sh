@@ -78,12 +78,23 @@ head -c 32 "$profile_dir/shadow.profile.json" | grep -q '^{"scenarios":\[' \
   || { echo "profile file is not a profile document"; exit 1; }
 rm -rf "$profile_dir"
 
+echo "==> golden: repro recovery --quick is byte-stable at any worker count"
+# The §4.5 fault-injection sweep must be deterministic in the worker pool
+# size: the fault plan is expanded from its own seeded stream, and recovery
+# happens inside each scenario's single-threaded event loop.
+for w in 1 2 8; do
+  BEEHIVE_WORKERS=$w ./target/release/repro recovery --quick --seed 42 --json \
+    > /tmp/beehive_recovery_quick.json
+  diff -u scripts/golden/recovery_quick.json /tmp/beehive_recovery_quick.json
+done
+rm -f /tmp/beehive_recovery_quick.json
+
 echo "==> metrics gate: repro compare against scripts/golden/metrics_quick"
 # A fixed path (not mktemp) so the committed BENCH_metrics.json is
 # byte-stable across verify runs.
 metrics_dir="target/metrics_quick"
 rm -rf "$metrics_dir" && mkdir -p "$metrics_dir"
-BEEHIVE_WORKERS=2 ./target/release/repro shadow fig9 --quick --seed 42 \
+BEEHIVE_WORKERS=2 ./target/release/repro shadow fig9 recovery --quick --seed 42 \
   --metrics "$metrics_dir" > /dev/null
 ./target/release/repro compare scripts/golden/metrics_quick "$metrics_dir" \
   --bench-out BENCH_metrics.json

@@ -8,6 +8,8 @@
 //! and downstream users can depend on a single crate:
 //!
 //! * [`sim`] — deterministic discrete-event simulation kernel,
+//! * [`chaos`] — seeded fault plans and the retry/backoff policy driving
+//!   §4.5 failure recovery in the workload,
 //! * [`telemetry`] — virtual-time tracing/metrics with Chrome-trace and
 //!   critical-path exporters,
 //! * [`vm`] — the managed runtime (bytecode, heap, GC, monitors, natives),
@@ -39,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub use beehive_apps as apps;
+pub use beehive_chaos as chaos;
 pub use beehive_core as core;
 pub use beehive_db as db;
 pub use beehive_faas as faas;
