@@ -2,12 +2,14 @@
 //!
 //! ```text
 //! repro [--quick] [--seed N] [--chaos-seed N] [--json] [--trace DIR]
-//!       [--metrics DIR] [--profile DIR]
+//!       [--metrics DIR] [--profile DIR] [--insight DIR]
 //!       [list|all|fig2|table1|table2|fig7|table3|fig8|
 //!        fig9|table4|fig10|table5|gcstats|shadow|ablations|combination|
 //!        recovery]
 //! repro compare BASELINE CURRENT [--bench-out FILE]
+//! repro diff BASELINE CURRENT [--bench-out FILE]
 //! repro top ITEM [--quick] [--seed N] [--chaos-seed N] [--top N]
+//! repro explain ITEM [--quick] [--seed N] [--chaos-seed N] [--slowest N]
 //! ```
 //!
 //! Without a subcommand, everything runs in paper order; `repro list`
@@ -40,12 +42,33 @@
 //! runs one item with profiling on and prints the per-lane hottest-method
 //! tables directly.
 //!
+//! `--insight DIR` records a trace of every simulation and writes, per
+//! experiment, a latency-attribution + SLO document
+//! (`DIR/<item>.insight.json`, the `beehive_insight` JSON shape): each
+//! completed request's latency decomposed into typed components that sum
+//! exactly to the measured latency, slowest-K exemplar breakdowns, and
+//! per-scenario error-budget/burn-rate evaluation. Byte-identical at any
+//! worker count for a fixed seed.
+//!
 //! `repro compare BASELINE CURRENT` diffs two such snapshot directories
 //! over the watched-metric table (P50/P99 request latency, fallback count,
 //! cold-boot count, total GC pause) and exits non-zero when any watched
 //! metric regresses beyond its tolerance — the perf gate `scripts/verify.sh`
-//! runs against the checked-in golden baseline. `--bench-out FILE`
-//! additionally writes the full delta table as JSON.
+//! runs against the checked-in golden baseline. Deltas that *cleared* the
+//! tolerance band downward are flagged `improved` (informational; the exit
+//! code only reflects regressions). `--bench-out FILE` additionally writes
+//! the full delta table as JSON.
+//!
+//! `repro diff BASELINE CURRENT` is `compare` plus root-cause diagnosis:
+//! when the two directories also hold `--insight` documents (and,
+//! optionally, `--profile` folded stacks), every regressed latency metric
+//! is attributed to the attribution component whose per-request mean grew
+//! the most, the watched counters that moved, and the hottest grown
+//! profiler frame.
+//!
+//! `repro explain ITEM [--slowest N]` runs one item with tracing on and
+//! prints each scenario's latency-attribution table, SLO evaluation, and
+//! slowest-request component breakdowns.
 //!
 //! Unknown flags, unknown items and malformed arguments exit with status 2
 //! and a one-line error.
@@ -76,10 +99,16 @@ use beehive_workload::experiment::{
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("compare") {
-        run_compare(&args[1..]);
+        run_compare(&args[1..], false);
+    }
+    if args.first().map(String::as_str) == Some("diff") {
+        run_compare(&args[1..], true);
     }
     if args.first().map(String::as_str) == Some("top") {
         run_top(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("explain") {
+        run_explain(&args[1..]);
     }
     let mut profile = Profile::full();
     let mut json = false;
@@ -87,6 +116,7 @@ fn main() {
     let mut trace_dir: Option<std::path::PathBuf> = None;
     let mut metrics_dir: Option<std::path::PathBuf> = None;
     let mut profile_dir: Option<std::path::PathBuf> = None;
+    let mut insight_dir: Option<std::path::PathBuf> = None;
     let mut cmds: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -115,12 +145,17 @@ fn main() {
             "--profile" => {
                 profile_dir = Some(dir_value(&mut it, "--profile"));
             }
+            "--insight" => {
+                insight_dir = Some(dir_value(&mut it, "--insight"));
+            }
             "--help" | "-h" => {
                 println!(
-                    "repro [--quick] [--seed N] [--chaos-seed N] [--json] [--trace DIR] [--metrics DIR] [--profile DIR] [list|all|fig2|table1|table2|fig7|table3|fig8|fig9|table4|fig10|table5|gcstats|shadow|ablations|combination|recovery]"
+                    "repro [--quick] [--seed N] [--chaos-seed N] [--json] [--trace DIR] [--metrics DIR] [--profile DIR] [--insight DIR] [list|all|fig2|table1|table2|fig7|table3|fig8|fig9|table4|fig10|table5|gcstats|shadow|ablations|combination|recovery]"
                 );
                 println!("repro compare BASELINE CURRENT [--bench-out FILE]");
+                println!("repro diff BASELINE CURRENT [--bench-out FILE]");
                 println!("repro top ITEM [--quick] [--seed N] [--chaos-seed N] [--top N]");
+                println!("repro explain ITEM [--quick] [--seed N] [--chaos-seed N] [--slowest N]");
                 return;
             }
             other if other.starts_with('-') => {
@@ -166,6 +201,12 @@ fn main() {
             .unwrap_or_else(|e| die(&format!("creating {}: {e}", dir.display())));
         beehive_workload::engine::set_trace_default(true);
     }
+    if let Some(dir) = &insight_dir {
+        std::fs::create_dir_all(dir)
+            .unwrap_or_else(|e| die(&format!("creating {}: {e}", dir.display())));
+        // Attribution reads the recorded trace.
+        beehive_workload::engine::set_trace_default(true);
+    }
     if let Some(dir) = &metrics_dir {
         std::fs::create_dir_all(dir)
             .unwrap_or_else(|e| die(&format!("creating {}: {e}", dir.display())));
@@ -181,6 +222,20 @@ fn main() {
             .unwrap_or_else(|e| die(&format!("creating {}: {e}", dir.display())));
         beehive_workload::engine::set_profile_default(true);
     }
+
+    // One artifact flush per item: profiles feed the trace summary, traces
+    // feed both the trace files and the insight document.
+    let flush = |name: &str| {
+        let profiles = flush_profiles(profile_dir.as_deref(), name);
+        let traces = if trace_dir.is_some() || insight_dir.is_some() {
+            beehive_workload::engine::drain_traces()
+        } else {
+            Vec::new()
+        };
+        flush_traces(trace_dir.as_deref(), name, &traces, &profiles);
+        flush_insight(insight_dir.as_deref(), name, &traces);
+        flush_metrics(metrics_dir.as_deref(), name);
+    };
 
     let all = cmds.iter().any(|c| c == "all");
     let want = |name: &str| all || cmds.iter().any(|c| c == name);
@@ -223,9 +278,7 @@ fn main() {
             banner("Figure 2");
             println!("{rep}");
         }
-        let profiles = flush_profiles(profile_dir.as_deref(), "fig2");
-        flush_traces(trace_dir.as_deref(), "fig2", &profiles);
-        flush_metrics(metrics_dir.as_deref(), "fig2");
+        flush("fig2");
     }
 
     if want("table2") {
@@ -306,9 +359,7 @@ fn main() {
                 }
             }
         }
-        let profiles = flush_profiles(profile_dir.as_deref(), "fig7");
-        flush_traces(trace_dir.as_deref(), "fig7", &profiles);
-        flush_metrics(metrics_dir.as_deref(), "fig7");
+        flush("fig7");
     }
 
     if want("fig8") {
@@ -324,9 +375,7 @@ fn main() {
                 println!("{}", fig8(kind, profile));
             }
         }
-        let profiles = flush_profiles(profile_dir.as_deref(), "fig8");
-        flush_traces(trace_dir.as_deref(), "fig8", &profiles);
-        flush_metrics(metrics_dir.as_deref(), "fig8");
+        flush("fig8");
     }
 
     if want("fig9") {
@@ -346,9 +395,7 @@ fn main() {
                 println!("{}", fig9(kind, profile));
             }
         }
-        let profiles = flush_profiles(profile_dir.as_deref(), "fig9");
-        flush_traces(trace_dir.as_deref(), "fig9", &profiles);
-        flush_metrics(metrics_dir.as_deref(), "fig9");
+        flush("fig9");
     }
 
     if want("table4") {
@@ -359,9 +406,7 @@ fn main() {
             banner("Table 4");
             println!("{rep}");
         }
-        let profiles = flush_profiles(profile_dir.as_deref(), "table4");
-        flush_traces(trace_dir.as_deref(), "table4", &profiles);
-        flush_metrics(metrics_dir.as_deref(), "table4");
+        flush("table4");
     }
 
     if want("fig10") {
@@ -372,9 +417,7 @@ fn main() {
             banner("Figure 10");
             println!("{rep}");
         }
-        let profiles = flush_profiles(profile_dir.as_deref(), "fig10");
-        flush_traces(trace_dir.as_deref(), "fig10", &profiles);
-        flush_metrics(metrics_dir.as_deref(), "fig10");
+        flush("fig10");
     }
 
     if want("table5") {
@@ -385,9 +428,7 @@ fn main() {
             banner("Table 5");
             println!("{rep}");
         }
-        let profiles = flush_profiles(profile_dir.as_deref(), "table5");
-        flush_traces(trace_dir.as_deref(), "table5", &profiles);
-        flush_metrics(metrics_dir.as_deref(), "table5");
+        flush("table5");
     }
 
     if want("gcstats") {
@@ -398,9 +439,7 @@ fn main() {
             banner("§5.6 — memory consumption and GC");
             println!("{rep}");
         }
-        let profiles = flush_profiles(profile_dir.as_deref(), "gcstats");
-        flush_traces(trace_dir.as_deref(), "gcstats", &profiles);
-        flush_metrics(metrics_dir.as_deref(), "gcstats");
+        flush("gcstats");
     }
 
     if want("shadow") {
@@ -419,9 +458,7 @@ fn main() {
                 println!("{}", shadow_breakdown(kind, profile));
             }
         }
-        let profiles = flush_profiles(profile_dir.as_deref(), "shadow");
-        flush_traces(trace_dir.as_deref(), "shadow", &profiles);
-        flush_metrics(metrics_dir.as_deref(), "shadow");
+        flush("shadow");
     }
 
     if want("ablations") {
@@ -432,9 +469,7 @@ fn main() {
             banner("Ablations");
             println!("{rep}");
         }
-        let profiles = flush_profiles(profile_dir.as_deref(), "ablations");
-        flush_traces(trace_dir.as_deref(), "ablations", &profiles);
-        flush_metrics(metrics_dir.as_deref(), "ablations");
+        flush("ablations");
     }
 
     if want("combination") {
@@ -445,9 +480,7 @@ fn main() {
             banner("§5.7 — combination mode");
             println!("{rep}");
         }
-        let profiles = flush_profiles(profile_dir.as_deref(), "combination");
-        flush_traces(trace_dir.as_deref(), "combination", &profiles);
-        flush_metrics(metrics_dir.as_deref(), "combination");
+        flush("combination");
     }
 
     if want("recovery") {
@@ -458,9 +491,7 @@ fn main() {
             banner("§4.5 — failure recovery under fault injection");
             println!("{rep}");
         }
-        let profiles = flush_profiles(profile_dir.as_deref(), "recovery");
-        flush_traces(trace_dir.as_deref(), "recovery", &profiles);
-        flush_metrics(metrics_dir.as_deref(), "recovery");
+        flush("recovery");
     }
 
     if json {
@@ -524,31 +555,53 @@ fn list_items() {
     for (name, desc) in items {
         println!("  {name:<12} {desc}");
     }
+    let subcommands: [(&str, &str); 4] = [
+        (
+            "top",
+            "hottest simulated frames for one item (repro top ITEM)",
+        ),
+        (
+            "explain",
+            "latency attribution, SLO burn and slowest requests (repro explain ITEM)",
+        ),
+        (
+            "compare",
+            "regression-gate two --metrics directories (repro compare BASE CUR)",
+        ),
+        (
+            "diff",
+            "compare plus root-cause diagnosis of regressed latency (repro diff BASE CUR)",
+        ),
+    ];
+    println!("Subcommands:");
+    for (name, desc) in subcommands {
+        println!("  {name:<12} {desc}");
+    }
 }
 
-/// Write the traces drained from the engine as `DIR/<name>.trace.json`
-/// (Chrome trace-event format) plus `DIR/<name>.summary.json` (per-request
-/// critical-path summary). When `profiles` holds a call-tree profile for a
-/// scenario label, that scenario's summary gains a `"hottest"` per-lane
-/// top-methods table. No-op when tracing is off or nothing ran.
+/// Write the drained traces as `DIR/<name>.trace.json` (Chrome trace-event
+/// format) plus `DIR/<name>.summary.json` (per-request critical-path
+/// summary). When `profiles` holds a call-tree profile for a scenario
+/// label, that scenario's summary gains a `"hottest"` per-lane top-methods
+/// table. No-op when tracing is off or nothing ran.
 fn flush_traces(
     dir: Option<&std::path::Path>,
     name: &str,
+    traces: &[(String, beehive_telemetry::Trace)],
     profiles: &[(String, beehive_profiler::Profile)],
 ) {
     let Some(dir) = dir else { return };
-    let traces = beehive_workload::engine::drain_traces();
     if traces.is_empty() {
         return;
     }
     let trace_path = dir.join(format!("{name}.trace.json"));
     std::fs::write(
         &trace_path,
-        beehive_telemetry::chrome::chrome_trace_string(&traces),
+        beehive_telemetry::chrome::chrome_trace_string(traces),
     )
     .unwrap_or_else(|e| die(&format!("writing {}: {e}", trace_path.display())));
     let summary_path = dir.join(format!("{name}.summary.json"));
-    let summary = beehive_telemetry::summary::critical_path_with(&traces, &|label| {
+    let summary = beehive_telemetry::summary::critical_path_with(traces, &|label| {
         profiles
             .iter()
             .find(|(l, _)| l == label)
@@ -561,6 +614,33 @@ fn flush_traces(
         trace_path.display(),
         traces.len(),
         summary_path.display()
+    );
+}
+
+/// Write the latency-attribution + SLO document for the drained traces as
+/// `DIR/<name>.insight.json` (the `beehive_insight` JSON shape). No-op
+/// when `--insight` is off or nothing ran.
+fn flush_insight(
+    dir: Option<&std::path::Path>,
+    name: &str,
+    traces: &[(String, beehive_telemetry::Trace)],
+) {
+    let Some(dir) = dir else { return };
+    if traces.is_empty() {
+        return;
+    }
+    let doc = beehive_insight::InsightDoc::from_traces(
+        traces,
+        &beehive_insight::SloPolicy::default(),
+        beehive_metrics::EXEMPLAR_K,
+    );
+    let path = dir.join(format!("{name}.insight.json"));
+    std::fs::write(&path, doc.to_json().render())
+        .unwrap_or_else(|e| die(&format!("writing {}: {e}", path.display())));
+    eprintln!(
+        "insight: wrote {} ({} scenarios)",
+        path.display(),
+        doc.attributions.len()
     );
 }
 
@@ -624,10 +704,11 @@ fn flush_profiles(
     profiles
 }
 
-/// Run one item with profiling enabled, discarding its report. The list of
-/// simulations mirrors the main dispatch (`table1`/`table2` run no
-/// simulations and are rejected by the caller).
-fn run_profiled_item(item: &str, profile: Profile, chaos_seed: u64) {
+/// Run one item's simulations, discarding its report — the instrumentation
+/// defaults (profiling for `repro top`, tracing for `repro explain`) decide
+/// what the engine records. The list of simulations mirrors the main
+/// dispatch (`table1`/`table2` run none and are rejected here).
+fn run_item(item: &str, profile: Profile, chaos_seed: u64) {
     let apps = AppKind::all();
     match item {
         "fig2" => {
@@ -679,7 +760,7 @@ fn run_profiled_item(item: &str, profile: Profile, chaos_seed: u64) {
             recovery(AppKind::Pybbs, profile, chaos_seed);
         }
         other => die(&format!(
-            "item {other:?} has no simulations to profile (run `repro list`)"
+            "item {other:?} runs no simulations (run `repro list`)"
         )),
     }
 }
@@ -729,7 +810,7 @@ fn run_top(args: &[String]) -> ! {
         die("usage: repro top ITEM [--quick] [--seed N] [--chaos-seed N] [--top N]");
     };
     beehive_workload::engine::set_profile_default(true);
-    run_profiled_item(item, profile, chaos_seed.unwrap_or(profile.seed));
+    run_item(item, profile, chaos_seed.unwrap_or(profile.seed));
     let profiles = beehive_workload::engine::drain_profiles();
     if profiles.is_empty() {
         die(&format!("item {item:?} produced no profile"));
@@ -749,6 +830,132 @@ fn run_top(args: &[String]) -> ! {
                     r.self_ns as f64 / 1e6,
                     r.total_ns as f64 / 1e6,
                     r.calls
+                );
+            }
+        }
+    }
+    std::process::exit(0)
+}
+
+/// Basis points rendered as a multiplier: `12_345` → `"1.23x"`.
+fn bp_x(bp: u64) -> String {
+    format!("{}.{:02}x", bp / 10_000, (bp % 10_000) / 100)
+}
+
+/// `repro explain ITEM [--quick] [--seed N] [--chaos-seed N] [--slowest N]`:
+/// run one item with tracing on and print, per scenario, the latency
+/// attribution table, the SLO evaluation, and the slowest requests'
+/// component breakdowns. Integer-only formatting keeps the output
+/// byte-identical across worker counts.
+fn run_explain(args: &[String]) -> ! {
+    let mut profile = Profile::full();
+    let mut chaos_seed: Option<u64> = None;
+    let mut k = beehive_metrics::EXEMPLAR_K;
+    let mut items: Vec<String> = Vec::new();
+    let mut it = args.iter().cloned();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => profile.quick = true,
+            "--seed" => {
+                profile.seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "--chaos-seed" => {
+                chaos_seed = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| die("--chaos-seed needs an integer")),
+                );
+            }
+            "--slowest" => {
+                k = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| die("--slowest needs a positive integer"));
+            }
+            other if other.starts_with('-') => {
+                die(&format!("unknown flag {other:?} for `repro explain`"))
+            }
+            other => items.push(other.to_string()),
+        }
+    }
+    let [item] = items.as_slice() else {
+        die("usage: repro explain ITEM [--quick] [--seed N] [--chaos-seed N] [--slowest N]");
+    };
+    beehive_workload::engine::set_trace_default(true);
+    run_item(item, profile, chaos_seed.unwrap_or(profile.seed));
+    let traces = beehive_workload::engine::drain_traces();
+    if traces.is_empty() {
+        die(&format!("item {item:?} produced no trace"));
+    }
+    let doc = beehive_insight::InsightDoc::from_traces(
+        &traces,
+        &beehive_insight::SloPolicy::default(),
+        k,
+    );
+    for (rep, slo) in doc.attributions.iter().zip(&doc.slo) {
+        banner(&format!("{item} — {}", rep.label));
+        println!(
+            "requests {} (shadows {})   attributed {}us   gc {}us   residual {}ns",
+            rep.requests,
+            rep.shadows,
+            rep.total_ns / 1_000,
+            rep.gc_pause_ns / 1_000,
+            rep.residual_ns()
+        );
+        if rep.requests > 0 {
+            println!(
+                "\n  {:<18} {:>12} {:>12} {:>8}",
+                "component", "total_us", "per-req_us", "share"
+            );
+            for c in beehive_insight::Component::ALL {
+                let ns = rep.components[c as usize];
+                if ns == 0 {
+                    continue;
+                }
+                // Share in per-mille of the attributed total.
+                let pm = ns * 1_000 / rep.total_ns.max(1);
+                println!(
+                    "  {:<18} {:>12} {:>12} {:>7}.{}%",
+                    c.name(),
+                    ns / 1_000,
+                    rep.mean_ns(c) / 1_000,
+                    pm / 10,
+                    pm % 10
+                );
+            }
+        }
+        println!(
+            "\n  SLO p({}.{:02}%) <= {}ms: {} — good {}/{}, budget consumed {}",
+            slo.objective_bp / 100,
+            slo.objective_bp % 100,
+            slo.threshold_ns / 1_000_000,
+            if slo.met() { "met" } else { "MISSED" },
+            slo.good,
+            slo.total,
+            bp_x(slo.budget_consumed_bp)
+        );
+        for (w_ns, burn) in &slo.burn {
+            println!("  burn[{:>5}s] max {}", w_ns / 1_000_000_000, bp_x(*burn));
+        }
+        if !rep.slowest.is_empty() {
+            println!("\n  slowest requests:");
+            for r in &rep.slowest {
+                let mut parts: Vec<(&'static str, u64)> = r.nonzero();
+                parts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+                let breakdown: Vec<String> = parts
+                    .iter()
+                    .map(|(n, ns)| format!("{n} {}us", ns / 1_000))
+                    .collect();
+                println!(
+                    "  #{} {} {}us = {}",
+                    r.rid,
+                    r.kind,
+                    r.total_ns / 1_000,
+                    breakdown.join(" + ")
                 );
             }
         }
@@ -817,10 +1024,26 @@ fn load_snapshots(dir: &std::path::Path) -> Vec<(String, beehive_metrics::Metric
         .collect()
 }
 
-/// `repro compare BASELINE CURRENT [--bench-out FILE]`: diff every watched
-/// metric of the snapshots in two `--metrics` output directories. Exits 0
-/// when nothing regressed, 1 when something did, 2 on usage errors.
-fn run_compare(args: &[String]) -> ! {
+/// Read one item's `*.insight.json` from an artifact directory, when
+/// present. Unparseable documents are usage-grade errors (exit 2).
+fn load_insight(dir: &std::path::Path, item: &str) -> Option<beehive_insight::InsightDoc> {
+    let path = dir.join(format!("{item}.insight.json"));
+    let text = std::fs::read_to_string(&path).ok()?;
+    Some(
+        beehive_insight::InsightDoc::parse(&text)
+            .unwrap_or_else(|e| die(&format!("parsing {}: {e}", path.display()))),
+    )
+}
+
+/// `repro compare BASELINE CURRENT [--bench-out FILE]` and its diagnosing
+/// sibling `repro diff`: diff every watched metric of the snapshots in two
+/// `--metrics` output directories. With `diagnose` (diff), regressed
+/// latency metrics are additionally root-caused from the directories'
+/// `--insight` documents and `--profile` folded stacks, when present.
+/// Exits 0 when nothing regressed, 1 when something did, 2 on usage
+/// errors.
+fn run_compare(args: &[String], diagnose: bool) -> ! {
+    let cmd = if diagnose { "diff" } else { "compare" };
     let mut dirs: Vec<std::path::PathBuf> = Vec::new();
     let mut bench_out: Option<std::path::PathBuf> = None;
     let mut it = args.iter().cloned();
@@ -831,13 +1054,15 @@ fn run_compare(args: &[String]) -> ! {
                 _ => die("--bench-out needs a file"),
             },
             other if other.starts_with('-') => {
-                die(&format!("unknown flag {other:?} for `repro compare`"))
+                die(&format!("unknown flag {other:?} for `repro {cmd}`"))
             }
             other => dirs.push(std::path::PathBuf::from(other)),
         }
     }
     let [baseline_dir, current_dir] = dirs.as_slice() else {
-        die("usage: repro compare BASELINE CURRENT [--bench-out FILE]");
+        die(&format!(
+            "usage: repro {cmd} BASELINE CURRENT [--bench-out FILE]"
+        ));
     };
 
     let baseline = load_snapshots(baseline_dir);
@@ -851,11 +1076,11 @@ fn run_compare(args: &[String]) -> ! {
     let mut file_reports: Vec<Json> = Vec::new();
     for (item, base) in &baseline {
         let current_path = current_dir.join(format!("{item}.metrics.json"));
-        let deltas = match std::fs::read_to_string(&current_path) {
+        let (deltas, cur) = match std::fs::read_to_string(&current_path) {
             Ok(text) => {
                 let cur = beehive_metrics::MetricsSnapshot::parse(&text)
                     .unwrap_or_else(|e| die(&format!("parsing {}: {e}", current_path.display())));
-                beehive_metrics::compare(base, &cur)
+                (beehive_metrics::compare(base, &cur), cur)
             }
             Err(_) => {
                 println!("{item}: MISSING {}", current_path.display());
@@ -867,9 +1092,24 @@ fn run_compare(args: &[String]) -> ! {
                 continue;
             }
         };
+        // Diff-mode diagnosis inputs, all optional per directory.
+        let base_insight = diagnose.then(|| load_insight(baseline_dir, item)).flatten();
+        let cur_insight = diagnose.then(|| load_insight(current_dir, item)).flatten();
+        let base_folded = diagnose
+            .then(|| std::fs::read_to_string(baseline_dir.join(format!("{item}.folded"))).ok())
+            .flatten();
+        let cur_folded = diagnose
+            .then(|| std::fs::read_to_string(current_dir.join(format!("{item}.folded"))).ok())
+            .flatten();
         let mut delta_json: Vec<Json> = Vec::new();
         for d in &deltas {
-            let verdict = if d.regressed { "REGRESSED" } else { "ok" };
+            let verdict = if d.regressed {
+                "REGRESSED"
+            } else if d.improved {
+                "improved"
+            } else {
+                "ok"
+            };
             let rel = d.relative();
             let change = if rel.is_finite() {
                 format!("{:+.1}%", rel * 100.0)
@@ -885,14 +1125,44 @@ fn run_compare(args: &[String]) -> ! {
                 d.tolerance * 100.0
             );
             regressed |= d.regressed;
-            delta_json.push(Json::obj([
+            let mut fields = vec![
                 ("scenario".into(), Json::from(d.scenario.clone())),
                 ("metric".into(), Json::from(d.metric.clone())),
                 ("baseline".into(), Json::from(d.baseline)),
                 ("current".into(), Json::from(d.current)),
                 ("tolerance".into(), Json::from(d.tolerance)),
                 ("regressed".into(), Json::from(d.regressed)),
-            ]));
+                ("improved".into(), Json::from(d.improved)),
+            ];
+            if d.regressed && diagnose && beehive_insight::is_latency_metric(&d.metric) {
+                let diag = beehive_insight::diagnose(
+                    d,
+                    base_insight
+                        .as_ref()
+                        .and_then(|i| i.attribution(&d.scenario)),
+                    cur_insight
+                        .as_ref()
+                        .and_then(|i| i.attribution(&d.scenario)),
+                    base.scenarios.iter().find(|s| s.label == d.scenario),
+                    cur.scenarios.iter().find(|s| s.label == d.scenario),
+                    match (base_folded.as_deref(), cur_folded.as_deref()) {
+                        (Some(b), Some(c)) => Some((b, c)),
+                        _ => None,
+                    },
+                );
+                match diag {
+                    Some(diag) => {
+                        let line = diag.render();
+                        println!("{item}: CAUSE     {:<40} {:<28} {line}", d.metric, d.scenario);
+                        fields.push(("cause".into(), Json::from(line)));
+                    }
+                    None => println!(
+                        "{item}: CAUSE     {:<40} {:<28} no insight artifacts (re-run with --insight)",
+                        d.metric, d.scenario
+                    ),
+                }
+            }
+            delta_json.push(Json::Obj(fields));
         }
         file_reports.push(Json::obj([
             ("item".into(), Json::from(item.clone())),
@@ -914,13 +1184,13 @@ fn run_compare(args: &[String]) -> ! {
         ]);
         std::fs::write(&path, doc.render())
             .unwrap_or_else(|e| die(&format!("writing {}: {e}", path.display())));
-        eprintln!("compare: wrote {}", path.display());
+        eprintln!("{cmd}: wrote {}", path.display());
     }
     if regressed {
-        eprintln!("compare: REGRESSED (see deltas above)");
+        eprintln!("{cmd}: REGRESSED (see deltas above)");
         std::process::exit(1);
     }
-    eprintln!("compare: ok — no watched metric regressed");
+    eprintln!("{cmd}: ok — no watched metric regressed");
     std::process::exit(0);
 }
 

@@ -1,0 +1,68 @@
+//! CLI-convention tests for the `repro` binary: usage errors exit 2 and
+//! say why, and `repro list` advertises every subcommand.
+
+use std::process::Command;
+
+fn repro(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("repro binary runs")
+}
+
+fn stderr(out: &std::process::Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    // Unknown flags, for every subcommand that parses its own.
+    for args in [
+        &["explain", "--nope", "shadow"][..],
+        &["compare", "--nope", "a", "b"][..],
+        &["diff", "--nope", "a", "b"][..],
+        &["top", "--nope", "shadow"][..],
+    ] {
+        let out = repro(args);
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        assert!(stderr(&out).contains("--nope"), "{args:?}");
+    }
+
+    // Missing or surplus ITEM.
+    let out = repro(&["explain"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("usage"));
+    let out = repro(&["explain", "shadow", "gcstats"]);
+    assert_eq!(out.status.code(), Some(2));
+
+    // --slowest needs a positive integer.
+    for bad in ["0", "-3", "many"] {
+        let out = repro(&["explain", "--slowest", bad, "shadow"]);
+        assert_eq!(out.status.code(), Some(2), "--slowest {bad}");
+    }
+
+    // Unreadable snapshot directories.
+    for cmd in ["compare", "diff"] {
+        let out = repro(&[cmd, "/nonexistent-baseline", "/nonexistent-current"]);
+        assert_eq!(out.status.code(), Some(2), "{cmd} with unreadable dirs");
+    }
+
+    // An item that runs no simulations cannot be explained.
+    let out = repro(&["explain", "table1"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn list_advertises_items_and_subcommands() {
+    let out = repro(&["list"]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    for row in [
+        "fig7", "shadow", "recovery", "top", "explain", "compare", "diff",
+    ] {
+        assert!(
+            text.lines().any(|l| l.trim_start().starts_with(row)),
+            "`repro list` lost the {row} row"
+        );
+    }
+}

@@ -1,0 +1,603 @@
+//! The attribution engine: every nanosecond of a request's latency, named.
+//!
+//! [`attribute`] folds one recorded [`Trace`] into an [`AttributionReport`]:
+//! each completed request's end-to-end latency decomposed into the
+//! non-overlapping [`Component`]s of the Semi-FaaS execution model —
+//! server/function execution, server-side assist work, cold-boot wait,
+//! the fallback round trips by kind, monitor synchronization, lock wait,
+//! database and network waits, and failure recovery. The decomposition is exhaustive by construction: the
+//! session span is cut at every boundary of every classified sub-span, each
+//! elementary segment is charged to the highest-priority span covering it
+//! (uncovered segments are execution on the session's endpoint), and the
+//! pre-session boot wait is added on top. The components of a request
+//! therefore sum *exactly* to its measured latency — [`RequestAttribution::
+//! residual_ns`] is zero, and the property test in `beehive-workload`
+//! asserts the aggregate equals the live `request_latency` histogram sum.
+//!
+//! GC pauses never land on request tracks (the VM charges them to the
+//! session's CPU budget, so they surface as execution time); the report
+//! carries the scenario-level pause total separately.
+
+use std::collections::BTreeMap;
+
+use beehive_sim::json::Json;
+use beehive_sim::SimTime;
+use beehive_telemetry::summary::{request_timelines, RequestTimeline};
+use beehive_telemetry::{EventKind, Trace};
+
+/// One typed latency component. The discriminant order is the canonical
+/// rendering order of every report.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(usize)]
+pub enum Component {
+    /// Server-side time inside an *offloaded* session: residence (queue +
+    /// service) on a server worker pool while the server computes closures
+    /// or coordinates synchronization on the function's behalf
+    /// (`wait:server_cpu`).
+    ServerAssist,
+    /// The server path end to end: uncovered time of a `req:server`
+    /// session. Plain server requests deliberately do not trace their
+    /// ~100s of pool parks, so this lumps pool queueing with execution.
+    ServerExec,
+    /// Function-side execution: the instance's vCPU-scaled CPU time
+    /// (`wait:function_cpu` — a dedicated grant, never contended) plus the
+    /// uncovered dispatch bookkeeping of a `req:offload` session. Grows
+    /// when a cold, un-JITted instance runs the first invocation itself.
+    FaasExec,
+    /// Waiting for an instance to boot before the session could start
+    /// (arrival → session start, the `boot:wait` complete).
+    BootWait,
+    /// Code-shipping fallback round trips (§3.2).
+    FallbackCode,
+    /// Data-object fallback round trips.
+    FallbackData,
+    /// Static-field fallback round trips.
+    FallbackStatic,
+    /// Database-proxy fallback round trips.
+    FallbackDb,
+    /// Native-method fallback round trips.
+    FallbackNative,
+    /// Monitor / volatile synchronization shipping (§3.3).
+    MonitorSync,
+    /// Parked on a contended server lock.
+    LockWait,
+    /// Database service time outside any fallback.
+    DbWait,
+    /// Network transfer time outside any fallback.
+    NetWait,
+    /// §4.5 failure recovery: crash detection through resume.
+    Recovery,
+}
+
+/// Number of components (the length of [`Component::ALL`]).
+pub const COMPONENTS: usize = 14;
+
+impl Component {
+    /// Every component, in canonical order.
+    pub const ALL: [Component; COMPONENTS] = [
+        Component::ServerAssist,
+        Component::ServerExec,
+        Component::FaasExec,
+        Component::BootWait,
+        Component::FallbackCode,
+        Component::FallbackData,
+        Component::FallbackStatic,
+        Component::FallbackDb,
+        Component::FallbackNative,
+        Component::MonitorSync,
+        Component::LockWait,
+        Component::DbWait,
+        Component::NetWait,
+        Component::Recovery,
+    ];
+
+    /// Stable snake/colon name used in reports and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Component::ServerAssist => "server_assist",
+            Component::ServerExec => "exec:server",
+            Component::FaasExec => "exec:faas",
+            Component::BootWait => "boot_wait",
+            Component::FallbackCode => "fallback:code",
+            Component::FallbackData => "fallback:data",
+            Component::FallbackStatic => "fallback:static",
+            Component::FallbackDb => "fallback:db",
+            Component::FallbackNative => "fallback:native",
+            Component::MonitorSync => "monitor_sync",
+            Component::LockWait => "lock_wait",
+            Component::DbWait => "db_wait",
+            Component::NetWait => "net_wait",
+            Component::Recovery => "recovery",
+        }
+    }
+
+    /// Inverse of [`Component::name`].
+    pub fn from_name(name: &str) -> Option<Component> {
+        Component::ALL.into_iter().find(|c| c.name() == name)
+    }
+}
+
+/// Classify a request-track span name into `(component, priority)`.
+///
+/// Priorities resolve nesting: an elementary segment covered by several
+/// spans is charged to the highest-priority one, so e.g. the `wait:net:fb`
+/// inside a `fallback:data` round trip stays part of the fallback, and
+/// everything under a `recovery` span is recovery. `None` means the span
+/// does not claim time (unknown names, and the `req:*` session spans
+/// themselves).
+fn classify(name: &'static str) -> Option<(Component, u8)> {
+    Some(match name {
+        "recovery" => (Component::Recovery, 100),
+        "fallback:code" => (Component::FallbackCode, 90),
+        "fallback:data" => (Component::FallbackData, 90),
+        "fallback:static" => (Component::FallbackStatic, 90),
+        "fallback:db" => (Component::FallbackDb, 90),
+        "fallback:native" => (Component::FallbackNative, 90),
+        "sync:monitor" | "sync:volatile" => (Component::MonitorSync, 80),
+        "wait:lock" => (Component::LockWait, 70),
+        // Fallback-flagged waits outside a fallback/sync span (there are
+        // none today, but the classification stays exhaustive) charge their
+        // underlying resource.
+        "wait:server_cpu:fb" => (Component::ServerAssist, 50),
+        "wait:function_cpu:fb" => (Component::FaasExec, 50),
+        "wait:net:fb" => (Component::NetWait, 50),
+        "wait:db:fb" => (Component::DbWait, 50),
+        "wait:db" => (Component::DbWait, 40),
+        "wait:net" => (Component::NetWait, 30),
+        "wait:server_cpu" => (Component::ServerAssist, 20),
+        "wait:function_cpu" => (Component::FaasExec, 10),
+        _ => return None,
+    })
+}
+
+/// One request's exhaustive latency decomposition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RequestAttribution {
+    /// Server-issued request id (what metric exemplars point at).
+    pub rid: u64,
+    /// Session kind: `"req:server"` or `"req:offload"`.
+    pub kind: String,
+    /// Measured end-to-end latency in nanoseconds (boot wait included) —
+    /// identical to what the driver's `request_latency` histogram recorded.
+    pub total_ns: u64,
+    /// Nanoseconds per component, indexed by [`Component::ALL`] order.
+    pub components: [u64; COMPONENTS],
+}
+
+impl RequestAttribution {
+    /// `total_ns` minus the component sum. Zero by construction; kept as a
+    /// checked quantity so reports and tests can assert exhaustiveness.
+    pub fn residual_ns(&self) -> i64 {
+        self.total_ns as i64 - self.components.iter().sum::<u64>() as i64
+    }
+
+    /// `(name, nanos)` for every non-zero component, canonical order.
+    pub fn nonzero(&self) -> Vec<(&'static str, u64)> {
+        Component::ALL
+            .into_iter()
+            .zip(self.components)
+            .filter(|&(_, ns)| ns > 0)
+            .map(|(c, ns)| (c.name(), ns))
+            .collect()
+    }
+}
+
+/// Attribute one completed request timeline.
+///
+/// The session span `[start, end]` is cut at every boundary of every
+/// classified sub-span; each elementary segment goes to the covering span
+/// with the highest priority (lowest [`Component`] index on ties), or to
+/// the endpoint's execution component when uncovered. `boot:wait`
+/// completes — recorded before the session span opens — are added on top,
+/// so the total matches the driver's arrival-to-completion latency.
+fn attribute_request(t: &RequestTimeline) -> Option<RequestAttribution> {
+    let (Some(kind), Some(end)) = (t.kind, t.end) else {
+        return None;
+    };
+    if kind != "req:server" && kind != "req:offload" {
+        return None;
+    }
+    let exec = if kind == "req:server" {
+        Component::ServerExec
+    } else {
+        Component::FaasExec
+    };
+    let start = t.start;
+    let mut components = [0u64; COMPONENTS];
+
+    // Classified sub-spans, clipped to the session window.
+    let mut claimed: Vec<(SimTime, SimTime, Component, u8)> = Vec::new();
+    let mut cuts: Vec<SimTime> = vec![start, end];
+    for s in &t.spans {
+        let Some((comp, prio)) = classify(s.name) else {
+            continue;
+        };
+        let (b, e) = (s.begin.max(start), s.end.min(end));
+        if b >= e {
+            continue;
+        }
+        claimed.push((b, e, comp, prio));
+        cuts.push(b);
+        cuts.push(e);
+    }
+    cuts.sort();
+    cuts.dedup();
+    for w in cuts.windows(2) {
+        let (b, e) = (w[0], w[1]);
+        let mut winner = exec;
+        let mut best = 0u8;
+        for &(cb, ce, comp, prio) in &claimed {
+            if cb <= b && ce >= e && (prio > best || (prio == best && comp < winner)) {
+                winner = comp;
+                best = prio;
+            }
+        }
+        components[winner as usize] += e.saturating_since(b).as_nanos();
+    }
+
+    // Pre-session boot wait (arrival → session start) is disjoint from the
+    // span by construction: additive.
+    for (name, _, d) in &t.completes {
+        if *name == "boot:wait" {
+            components[Component::BootWait as usize] += d.as_nanos();
+        }
+    }
+
+    let total_ns =
+        end.saturating_since(start).as_nanos() + components[Component::BootWait as usize];
+    Some(RequestAttribution {
+        rid: t.rid,
+        kind: kind.to_string(),
+        total_ns,
+        components,
+    })
+}
+
+/// The per-scenario attribution report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AttributionReport {
+    /// Scenario label (matches the metrics snapshot's scenario label).
+    pub label: String,
+    /// Completed requests attributed (`req:server` + `req:offload`).
+    pub requests: u64,
+    /// Completed shadow executions (warm-up machinery, not request latency;
+    /// excluded from the component sums).
+    pub shadows: u64,
+    /// Sum of all attributed request latencies in nanoseconds.
+    pub total_ns: u64,
+    /// Summed nanoseconds per component, [`Component::ALL`] order.
+    pub components: [u64; COMPONENTS],
+    /// Scenario-level GC pause total (charged to execution budgets, never
+    /// to the request clock — reported beside the decomposition).
+    pub gc_pause_ns: u64,
+    /// The slowest-K requests with their full decompositions, slowest
+    /// first, ties broken by ascending request id — the same order the
+    /// metrics registry keeps its `request_latency` exemplars in.
+    pub slowest: Vec<RequestAttribution>,
+}
+
+impl AttributionReport {
+    /// Aggregate residual: `total_ns` minus the component sum (zero).
+    pub fn residual_ns(&self) -> i64 {
+        self.total_ns as i64 - self.components.iter().sum::<u64>() as i64
+    }
+
+    /// Mean nanoseconds per request of one component (0 when no requests).
+    pub fn mean_ns(&self, c: Component) -> u64 {
+        self.components[c as usize]
+            .checked_div(self.requests)
+            .unwrap_or(0)
+    }
+
+    /// JSON shape (round-trips through [`AttributionReport::from_json`]):
+    ///
+    /// ```text
+    /// {"label", "requests", "shadows", "total_ns", "gc_pause_ns",
+    ///  "components": {name: ns, ...},            // all 15, canonical order
+    ///  "slowest": [{"request", "kind", "total_ns",
+    ///               "components": {name: ns}}]}  // non-zero only
+    /// ```
+    pub fn to_json(&self) -> Json {
+        let comp_obj = |full: bool, components: &[u64; COMPONENTS]| {
+            Json::Obj(
+                Component::ALL
+                    .into_iter()
+                    .zip(components)
+                    .filter(|&(_, ns)| full || *ns > 0)
+                    .map(|(c, ns)| (c.name().to_string(), Json::Int(*ns as i128)))
+                    .collect(),
+            )
+        };
+        Json::obj([
+            ("label".into(), Json::from(self.label.clone())),
+            ("requests".into(), Json::Int(self.requests as i128)),
+            ("shadows".into(), Json::Int(self.shadows as i128)),
+            ("total_ns".into(), Json::Int(self.total_ns as i128)),
+            ("gc_pause_ns".into(), Json::Int(self.gc_pause_ns as i128)),
+            ("components".into(), comp_obj(true, &self.components)),
+            (
+                "slowest".into(),
+                Json::Arr(
+                    self.slowest
+                        .iter()
+                        .map(|r| {
+                            Json::obj([
+                                ("request".into(), Json::Int(r.rid as i128)),
+                                ("kind".into(), Json::from(r.kind.clone())),
+                                ("total_ns".into(), Json::Int(r.total_ns as i128)),
+                                ("components".into(), comp_obj(false, &r.components)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Strict inverse of [`AttributionReport::to_json`].
+    pub fn from_json(j: &Json) -> Result<AttributionReport, String> {
+        fn u64_field(j: &Json, key: &str) -> Result<u64, String> {
+            match j.get(key) {
+                Some(Json::Int(v)) if *v >= 0 => Ok(*v as u64),
+                _ => Err(format!("missing or invalid {key:?}")),
+            }
+        }
+        fn components_of(j: &Json) -> Result<[u64; COMPONENTS], String> {
+            let Some(Json::Obj(pairs)) = j.get("components") else {
+                return Err("missing components object".into());
+            };
+            let mut out = [0u64; COMPONENTS];
+            for (k, v) in pairs {
+                let c =
+                    Component::from_name(k).ok_or_else(|| format!("unknown component {k:?}"))?;
+                match v {
+                    Json::Int(ns) if *ns >= 0 => out[c as usize] = *ns as u64,
+                    _ => return Err(format!("invalid nanos for component {k:?}")),
+                }
+            }
+            Ok(out)
+        }
+        let label = match j.get("label") {
+            Some(Json::Str(s)) => s.clone(),
+            _ => return Err("missing label".into()),
+        };
+        let mut slowest = Vec::new();
+        if let Some(Json::Arr(items)) = j.get("slowest") {
+            for item in items {
+                let kind = match item.get("kind") {
+                    Some(Json::Str(s)) => s.clone(),
+                    _ => return Err("slowest entry missing kind".into()),
+                };
+                slowest.push(RequestAttribution {
+                    rid: u64_field(item, "request")?,
+                    kind,
+                    total_ns: u64_field(item, "total_ns")?,
+                    components: components_of(item)?,
+                });
+            }
+        } else {
+            return Err("missing slowest array".into());
+        }
+        Ok(AttributionReport {
+            label,
+            requests: u64_field(j, "requests")?,
+            shadows: u64_field(j, "shadows")?,
+            total_ns: u64_field(j, "total_ns")?,
+            components: components_of(j)?,
+            gc_pause_ns: u64_field(j, "gc_pause_ns")?,
+            slowest,
+        })
+    }
+}
+
+/// Attribute every completed request of one labelled trace, keeping the
+/// `k` slowest decompositions as exemplars.
+pub fn attribute(label: &str, trace: &Trace, k: usize) -> AttributionReport {
+    let timelines = request_timelines(trace);
+    let mut requests = 0u64;
+    let mut shadows = 0u64;
+    let mut total_ns = 0u64;
+    let mut components = [0u64; COMPONENTS];
+    let mut attributed: Vec<RequestAttribution> = Vec::new();
+    for t in &timelines {
+        if t.kind == Some("req:shadow") {
+            if t.end.is_some() {
+                shadows += 1;
+            }
+            continue;
+        }
+        let Some(r) = attribute_request(t) else {
+            continue;
+        };
+        requests += 1;
+        total_ns += r.total_ns;
+        for (slot, ns) in components.iter_mut().zip(r.components) {
+            *slot += ns;
+        }
+        attributed.push(r);
+    }
+    attributed.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.rid.cmp(&b.rid)));
+    attributed.truncate(k);
+
+    let gc_pause_ns = trace
+        .events
+        .iter()
+        .filter(|e| e.name == "gc")
+        .filter_map(|e| match e.kind {
+            EventKind::Complete(d) => Some(d.as_nanos()),
+            _ => None,
+        })
+        .sum();
+
+    AttributionReport {
+        label: label.to_string(),
+        requests,
+        shadows,
+        total_ns,
+        components,
+        gc_pause_ns,
+        slowest: attributed,
+    }
+}
+
+/// Attribute every labelled trace of a run, in input order.
+pub fn attribute_all(traces: &[(String, Trace)], k: usize) -> Vec<AttributionReport> {
+    traces
+        .iter()
+        .map(|(label, t)| attribute(label, t, k))
+        .collect()
+}
+
+/// Component means per request as a `name → mean-ns` table (reporting aid).
+pub fn mean_table(r: &AttributionReport) -> BTreeMap<&'static str, u64> {
+    Component::ALL
+        .into_iter()
+        .map(|c| (c.name(), r.mean_ns(c)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beehive_sim::Duration;
+    use beehive_telemetry::{TraceEvent, Track};
+
+    fn at(us: u64) -> SimTime {
+        SimTime::ZERO + Duration::from_micros(us)
+    }
+
+    fn ev(t: u64, track: Track, name: &'static str, kind: EventKind) -> TraceEvent {
+        TraceEvent {
+            at: at(t),
+            track,
+            name,
+            kind,
+            args: vec![],
+        }
+    }
+
+    /// An offload request: 2 µs boot wait, then [0,20] µs of session time
+    /// with a function CPU grant [0,3], a fallback [5,9] whose inner net
+    /// wait [6,8] must *not* double-count, and a monitor sync [12,15].
+    fn offload_trace() -> Trace {
+        Trace {
+            events: vec![
+                ev(
+                    2,
+                    Track::Request(7),
+                    "boot:wait",
+                    EventKind::Complete(Duration::from_micros(2)),
+                ),
+                ev(2, Track::Request(7), "req:offload", EventKind::Begin),
+                ev(2, Track::Request(7), "wait:function_cpu", EventKind::Begin),
+                ev(5, Track::Request(7), "wait:function_cpu", EventKind::End),
+                ev(7, Track::Request(7), "fallback:data", EventKind::Begin),
+                ev(8, Track::Request(7), "wait:net:fb", EventKind::Begin),
+                ev(10, Track::Request(7), "wait:net:fb", EventKind::End),
+                ev(11, Track::Request(7), "fallback:data", EventKind::End),
+                ev(14, Track::Request(7), "sync:monitor", EventKind::Begin),
+                ev(17, Track::Request(7), "sync:monitor", EventKind::End),
+                ev(22, Track::Request(7), "req:offload", EventKind::End),
+                ev(
+                    30,
+                    Track::Instance(0),
+                    "gc",
+                    EventKind::Complete(Duration::from_micros(4)),
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn components_sum_exactly_to_measured_latency() {
+        let rep = attribute("s", &offload_trace(), 8);
+        assert_eq!(rep.requests, 1);
+        let r = &rep.slowest[0];
+        assert_eq!(r.rid, 7);
+        // 20 µs of session + 2 µs boot wait.
+        assert_eq!(r.total_ns, 22_000);
+        assert_eq!(r.residual_ns(), 0);
+        assert_eq!(rep.residual_ns(), 0);
+        let ns = |c: Component| r.components[c as usize];
+        assert_eq!(ns(Component::BootWait), 2_000);
+        // The whole [7,11] fallback including its nested net wait.
+        assert_eq!(ns(Component::FallbackData), 4_000);
+        assert_eq!(ns(Component::NetWait), 0);
+        assert_eq!(ns(Component::MonitorSync), 3_000);
+        // The [2,5] CPU grant plus uncovered session time
+        // [5,7] + [11,14] + [17,22] = 13 µs of function-side execution.
+        assert_eq!(ns(Component::FaasExec), 13_000);
+        assert_eq!(rep.gc_pause_ns, 4_000, "GC stays scenario-level");
+    }
+
+    #[test]
+    fn priority_resolves_overlap_to_the_outer_machinery() {
+        // A recovery span covering a fallback: all recovery.
+        let t = Trace {
+            events: vec![
+                ev(0, Track::Request(1), "req:offload", EventKind::Begin),
+                ev(2, Track::Request(1), "recovery", EventKind::Begin),
+                ev(3, Track::Request(1), "fallback:code", EventKind::Begin),
+                ev(5, Track::Request(1), "fallback:code", EventKind::End),
+                ev(8, Track::Request(1), "recovery", EventKind::End),
+                ev(10, Track::Request(1), "req:offload", EventKind::End),
+            ],
+        };
+        let rep = attribute("s", &t, 8);
+        let r = &rep.slowest[0];
+        assert_eq!(r.components[Component::Recovery as usize], 6_000);
+        assert_eq!(r.components[Component::FallbackCode as usize], 0);
+        assert_eq!(r.components[Component::FaasExec as usize], 4_000);
+        assert_eq!(r.residual_ns(), 0);
+    }
+
+    #[test]
+    fn server_requests_and_shadows_are_separated() {
+        let t = Trace {
+            events: vec![
+                ev(0, Track::Request(1), "req:server", EventKind::Begin),
+                ev(1, Track::Request(1), "wait:server_cpu", EventKind::Begin),
+                ev(3, Track::Request(1), "wait:server_cpu", EventKind::End),
+                ev(6, Track::Request(1), "req:server", EventKind::End),
+                ev(0, Track::Request(2), "req:shadow", EventKind::Begin),
+                ev(9, Track::Request(2), "req:shadow", EventKind::End),
+                // In flight at the horizon: not attributed.
+                ev(4, Track::Request(3), "req:offload", EventKind::Begin),
+            ],
+        };
+        let rep = attribute("s", &t, 8);
+        assert_eq!((rep.requests, rep.shadows), (1, 1));
+        let r = &rep.slowest[0];
+        assert_eq!(r.kind, "req:server");
+        assert_eq!(r.components[Component::ServerAssist as usize], 2_000);
+        assert_eq!(r.components[Component::ServerExec as usize], 4_000);
+        assert_eq!(rep.total_ns, 6_000);
+    }
+
+    #[test]
+    fn slowest_k_orders_by_latency_then_rid_and_report_round_trips() {
+        let mut events = Vec::new();
+        for rid in 0..4u64 {
+            events.push(ev(0, Track::Request(rid), "req:server", EventKind::Begin));
+            events.push(ev(5, Track::Request(rid), "req:server", EventKind::End));
+        }
+        events.push(ev(0, Track::Request(9), "req:server", EventKind::Begin));
+        events.push(ev(8, Track::Request(9), "req:server", EventKind::End));
+        let rep = attribute("s", &Trace { events }, 3);
+        let order: Vec<u64> = rep.slowest.iter().map(|r| r.rid).collect();
+        assert_eq!(order, vec![9, 0, 1]);
+
+        let rendered = rep.to_json().render();
+        let back = AttributionReport::from_json(&Json::parse(&rendered).unwrap()).unwrap();
+        assert_eq!(back, rep);
+        assert_eq!(back.to_json().render(), rendered);
+    }
+
+    #[test]
+    fn component_names_round_trip() {
+        for c in Component::ALL {
+            assert_eq!(Component::from_name(c.name()), Some(c));
+        }
+        assert_eq!(Component::from_name("nope"), None);
+    }
+}

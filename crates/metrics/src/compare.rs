@@ -96,6 +96,12 @@ pub struct Delta {
     /// `true` when the current value exceeds baseline × (1 + tolerance), or
     /// the metric/scenario disappeared.
     pub regressed: bool,
+    /// `true` when the current value cleared the tolerance band *downward*:
+    /// below baseline × (1 − tolerance), or simply below baseline for
+    /// zero-tolerance metrics. Informational only — improvements never
+    /// change the exit code, they just tell the reader a delta is a win
+    /// rather than noise inside the band.
+    pub improved: bool,
 }
 
 impl Delta {
@@ -141,6 +147,7 @@ pub fn compare(baseline: &MetricsSnapshot, current: &MetricsSnapshot) -> Vec<Del
                 current: None,
                 tolerance: 0.0,
                 regressed: true,
+                improved: false,
             });
             continue;
         };
@@ -152,6 +159,13 @@ pub fn compare(baseline: &MetricsSnapshot, current: &MetricsSnapshot) -> Vec<Del
                 (Some(_), None) => true,
                 (Some(b), Some(c)) => c as f64 > b as f64 * (1.0 + w.tolerance),
             };
+            // The mirror image of the regression rule: strictly below the
+            // lower edge of the tolerance band (strictly below baseline for
+            // zero-tolerance metrics, where the band has no width).
+            let improved = match (b, c) {
+                (Some(b), Some(c)) => (c as f64) < b as f64 * (1.0 - w.tolerance),
+                _ => false,
+            };
             if b.is_none() && c.is_none() {
                 continue;
             }
@@ -162,6 +176,7 @@ pub fn compare(baseline: &MetricsSnapshot, current: &MetricsSnapshot) -> Vec<Del
                 current: c,
                 tolerance: w.tolerance,
                 regressed,
+                improved,
             });
         }
     }
@@ -270,6 +285,53 @@ mod tests {
         assert!(deltas
             .iter()
             .all(|d| d.metric != "fallbacks.total" || !d.regressed));
+    }
+
+    #[test]
+    fn improvements_are_flagged_without_regressing() {
+        // p99 halves: well below baseline × 0.9, so the delta is an
+        // improvement — and still not a regression.
+        let deltas = compare(&snap(100, 2), &snap(50, 2));
+        let d = deltas
+            .iter()
+            .find(|d| d.metric == "request_latency.p99_ns")
+            .unwrap();
+        assert!(d.improved && !d.regressed, "{d:?}");
+        // A zero-tolerance counter improves on any strict decrease…
+        let d = deltas.iter().find(|d| d.metric == "fallbacks.total");
+        assert!(d.is_none() || !d.unwrap().improved);
+        let deltas = compare(&snap(50, 3), &snap(50, 2));
+        let d = deltas
+            .iter()
+            .find(|d| d.metric == "fallbacks.total")
+            .unwrap();
+        assert!(d.improved && !d.regressed, "{d:?}");
+        // …and an unchanged run improves nothing.
+        let a = snap(50, 2);
+        let deltas = compare(&a, &a.clone());
+        assert!(deltas.iter().all(|d| !d.improved), "{deltas:?}");
+        // Inside the tolerance band (−10% exactly is *not* strictly below
+        // the lower edge) a shrink is neither regression nor improvement.
+        fn gc(total_ns: u64) -> MetricsSnapshot {
+            let mut r = Registry::new(DEFAULT_WINDOW);
+            r.add("gc_pause_ns", SimTime::ZERO, total_ns);
+            MetricsSnapshot {
+                window: DEFAULT_WINDOW,
+                scenarios: vec![r.snapshot("s")],
+            }
+        }
+        let deltas = compare(&gc(1_000_000), &gc(900_000));
+        let d = deltas
+            .iter()
+            .find(|d| d.metric == "gc_pause_ns.total")
+            .unwrap();
+        assert!(!d.improved && !d.regressed, "{d:?}");
+        let deltas = compare(&gc(1_000_000), &gc(899_999));
+        let d = deltas
+            .iter()
+            .find(|d| d.metric == "gc_pause_ns.total")
+            .unwrap();
+        assert!(d.improved, "{d:?}");
     }
 
     #[test]

@@ -53,5 +53,5 @@ pub use prom::prometheus;
 pub use reduce::{reduce, reduce_one};
 pub use registry::{
     CounterSeries, GaugeSeries, HistogramSummary, MetricsSnapshot, Registry, ScenarioMetrics,
-    DEFAULT_WINDOW,
+    DEFAULT_WINDOW, EXEMPLAR_K,
 };

@@ -110,7 +110,13 @@ pub fn reduce_one(label: &str, trace: &Trace, window: Duration) -> ScenarioMetri
                         .and_then(|stack| stack.pop());
                     if let Some(start) = begun {
                         reg.add("requests_completed", e.at, 1);
-                        reg.observe("request_latency", e.at, e.at - start);
+                        // The track id is the server-issued request id the
+                        // live path records as the latency exemplar.
+                        let rid = match e.track {
+                            Track::Request(rid) => rid,
+                            _ => u64::MAX,
+                        };
+                        reg.observe_exemplar("request_latency", e.at, e.at - start, rid);
                         if e.name == "req:offload" {
                             reg.add("requests_offloaded", e.at, 1);
                         }

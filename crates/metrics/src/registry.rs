@@ -18,6 +18,9 @@ use crate::hist::LogLinearHistogram;
 /// The default time-series window: one second of virtual time.
 pub const DEFAULT_WINDOW: Duration = Duration::from_secs(1);
 
+/// How many slowest-observation exemplars a histogram keeps.
+pub const EXEMPLAR_K: usize = 5;
+
 #[derive(Debug, Default)]
 struct CounterState {
     total: u64,
@@ -37,6 +40,10 @@ pub struct Registry {
     counters: BTreeMap<&'static str, CounterState>,
     gauges: BTreeMap<&'static str, GaugeState>,
     hists: BTreeMap<&'static str, LogLinearHistogram>,
+    /// Slowest-K `(nanos, request id)` exemplars per histogram, kept sorted
+    /// by duration descending, ties by ascending id — a total order, so the
+    /// list is identical however completions interleave.
+    exemplars: BTreeMap<&'static str, Vec<(u64, u64)>>,
 }
 
 impl Registry {
@@ -52,6 +59,7 @@ impl Registry {
             counters: BTreeMap::new(),
             gauges: BTreeMap::new(),
             hists: BTreeMap::new(),
+            exemplars: BTreeMap::new(),
         }
     }
 
@@ -87,6 +95,17 @@ impl Registry {
         self.hists.entry(name).or_default().record(d.as_nanos());
     }
 
+    /// [`Registry::observe`] plus exemplar capture: `request` competes for
+    /// the histogram's slowest-[`EXEMPLAR_K`] list, so an alarming quantile
+    /// can be traced back to concrete request ids.
+    pub fn observe_exemplar(&mut self, name: &'static str, at: SimTime, d: Duration, request: u64) {
+        self.observe(name, at, d);
+        let ex = self.exemplars.entry(name).or_default();
+        ex.push((d.as_nanos(), request));
+        ex.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        ex.truncate(EXEMPLAR_K);
+    }
+
     /// Freeze into the snapshot form under scenario `label`.
     pub fn snapshot(&self, label: &str) -> ScenarioMetrics {
         ScenarioMetrics {
@@ -112,7 +131,13 @@ impl Registry {
             histograms: self
                 .hists
                 .iter()
-                .map(|(&name, h)| HistogramSummary::of(name, h))
+                .map(|(&name, h)| {
+                    HistogramSummary::of(
+                        name,
+                        h,
+                        self.exemplars.get(name).cloned().unwrap_or_default(),
+                    )
+                })
                 .collect(),
         }
     }
@@ -160,10 +185,14 @@ pub struct HistogramSummary {
     pub p99_ns: u64,
     /// Sparse `(bucket index, count)` pairs in the fixed log-linear layout.
     pub buckets: Vec<(u64, u64)>,
+    /// Slowest-K `(nanos, request id)` exemplars, duration descending (ties
+    /// by ascending id). Empty for histograms observed without ids; omitted
+    /// from the JSON form when empty, so pre-exemplar documents still parse.
+    pub exemplars: Vec<(u64, u64)>,
 }
 
 impl HistogramSummary {
-    fn of(name: &str, h: &LogLinearHistogram) -> HistogramSummary {
+    fn of(name: &str, h: &LogLinearHistogram, exemplars: Vec<(u64, u64)>) -> HistogramSummary {
         HistogramSummary {
             name: name.to_string(),
             count: h.count(),
@@ -173,6 +202,7 @@ impl HistogramSummary {
             p90_ns: h.quantile(0.90),
             p99_ns: h.quantile(0.99),
             buckets: h.nonzero_buckets(),
+            exemplars,
         }
     }
 
@@ -254,7 +284,7 @@ impl ToJson for GaugeSeries {
 
 impl ToJson for HistogramSummary {
     fn to_json(&self) -> Json {
-        Json::obj([
+        let mut fields = vec![
             ("name".into(), Json::from(self.name.clone())),
             ("count".into(), Json::from(self.count)),
             ("sum_ns".into(), Json::from(self.sum_ns)),
@@ -263,7 +293,11 @@ impl ToJson for HistogramSummary {
             ("p90_ns".into(), Json::from(self.p90_ns)),
             ("p99_ns".into(), Json::from(self.p99_ns)),
             ("buckets".into(), pairs_json(&self.buckets)),
-        ])
+        ];
+        if !self.exemplars.is_empty() {
+            fields.push(("exemplars".into(), pairs_json(&self.exemplars)));
+        }
+        Json::Obj(fields)
     }
 }
 
@@ -393,6 +427,13 @@ impl MetricsSnapshot {
                             p90_ns: want_u64(field(h, "p90_ns", &name)?, "p90_ns")?,
                             p99_ns: want_u64(field(h, "p99_ns", &name)?, "p99_ns")?,
                             buckets: parse_u64_pairs(field(h, "buckets", &name)?, "buckets")?,
+                            // Optional: pre-exemplar documents omit it, and
+                            // the renderer drops it again when empty, so the
+                            // round trip stays exact either way.
+                            exemplars: match h.get("exemplars") {
+                                Some(e) => parse_u64_pairs(e, "exemplars")?,
+                                None => Vec::new(),
+                            },
                             name,
                         })
                     })

@@ -6,6 +6,14 @@
 //! requests. All durations are integer microseconds and all aggregates use
 //! the log-scale [`LogHistogram`], so the rendered JSON is byte-stable — it
 //! is what `scripts/verify.sh` diffs against a golden file.
+//!
+//! The per-request fold is exposed as [`request_timelines`]: one
+//! [`RequestTimeline`] per request track, carrying the closed span
+//! intervals, completes, and instants in recorded order. The summary
+//! renders from timelines, and `beehive-insight` consumes the same
+//! extraction to attribute every nanosecond of a request's latency to a
+//! typed component — both views are guaranteed to read the trace the same
+//! way because there is only one reader.
 
 use std::collections::BTreeMap;
 use std::collections::HashMap;
@@ -14,6 +22,131 @@ use beehive_sim::json::Json;
 use beehive_sim::{Duration, SimTime};
 
 use crate::{EventKind, LogHistogram, Trace, Track};
+
+/// One closed `Begin`/`End` span on a request track.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanInterval {
+    /// Span name, e.g. `"wait:net"` or `"fallback:data"`.
+    pub name: &'static str,
+    /// Virtual time the span opened.
+    pub begin: SimTime,
+    /// Virtual time the span closed.
+    pub end: SimTime,
+}
+
+impl SpanInterval {
+    /// Wall (virtual) time the span covered.
+    pub fn duration(&self) -> Duration {
+        self.end.saturating_since(self.begin)
+    }
+}
+
+/// Everything a trace recorded about one request, in recorded order.
+///
+/// Spans left open at the horizon are dropped (the request never finished
+/// them); `End` events with no matching `Begin` are ignored, mirroring the
+/// tolerance of the rendered summary.
+#[derive(Clone, Debug)]
+pub struct RequestTimeline {
+    /// Request id (the server-issued rid stamped on the track).
+    pub rid: u64,
+    /// Session kind (`req:server` / `req:offload` / `req:shadow`), when the
+    /// request track carried one.
+    pub kind: Option<&'static str>,
+    /// Virtual time the session span opened.
+    pub start: SimTime,
+    /// Virtual time the session span closed; `None` while in flight.
+    pub end: Option<SimTime>,
+    /// Closed sub-spans, in close order.
+    pub spans: Vec<SpanInterval>,
+    /// `Complete` events: `(name, start, duration)`.
+    pub completes: Vec<(&'static str, SimTime, Duration)>,
+    /// `Instant` events: `(name, at)`.
+    pub instants: Vec<(&'static str, SimTime)>,
+}
+
+impl RequestTimeline {
+    fn new(rid: u64) -> Self {
+        RequestTimeline {
+            rid,
+            kind: None,
+            start: SimTime::ZERO,
+            end: None,
+            spans: Vec::new(),
+            completes: Vec::new(),
+            instants: Vec::new(),
+        }
+    }
+
+    /// End-to-end latency of the session span; `None` while in flight.
+    pub fn latency(&self) -> Option<Duration> {
+        self.end.map(|end| end.saturating_since(self.start))
+    }
+
+    /// Phase table: `name -> (count, total nanoseconds)`. Spans and
+    /// completes contribute their durations; instants count with zero time.
+    pub fn phases(&self) -> BTreeMap<&'static str, (u64, u64)> {
+        let mut phases: BTreeMap<&'static str, (u64, u64)> = BTreeMap::new();
+        for s in &self.spans {
+            let e = phases.entry(s.name).or_default();
+            e.0 += 1;
+            e.1 += s.duration().as_nanos();
+        }
+        for (name, _, d) in &self.completes {
+            let e = phases.entry(name).or_default();
+            e.0 += 1;
+            e.1 += d.as_nanos();
+        }
+        for (name, _) in &self.instants {
+            phases.entry(name).or_default().0 += 1;
+        }
+        phases
+    }
+}
+
+/// Extract one [`RequestTimeline`] per request track, sorted by request id.
+///
+/// This is the single reader of request tracks: the rendered summary and
+/// the insight attribution engine both build on it, so they cannot drift in
+/// how they interpret a trace.
+pub fn request_timelines(trace: &Trace) -> Vec<RequestTimeline> {
+    let mut reqs: HashMap<u64, RequestTimeline> = HashMap::new();
+    let mut open: HashMap<u64, Vec<(&'static str, SimTime)>> = HashMap::new();
+    for e in &trace.events {
+        let Track::Request(rid) = e.track else {
+            continue;
+        };
+        let r = reqs.entry(rid).or_insert_with(|| RequestTimeline::new(rid));
+        match e.kind {
+            EventKind::Begin if e.name.starts_with("req:") => {
+                r.kind = Some(e.name);
+                r.start = e.at;
+            }
+            EventKind::End if e.name.starts_with("req:") => {
+                r.end = Some(e.at);
+            }
+            EventKind::Begin => open.entry(rid).or_default().push((e.name, e.at)),
+            EventKind::End => {
+                if let Some(stack) = open.get_mut(&rid) {
+                    if let Some(pos) = stack.iter().rposition(|(n, _)| *n == e.name) {
+                        let (name, began) = stack.remove(pos);
+                        r.spans.push(SpanInterval {
+                            name,
+                            begin: began,
+                            end: e.at,
+                        });
+                    }
+                }
+            }
+            EventKind::Complete(d) => r.completes.push((e.name, e.at, d)),
+            EventKind::Instant => r.instants.push((e.name, e.at)),
+            EventKind::Counter(_) => {}
+        }
+    }
+    let mut timelines: Vec<RequestTimeline> = reqs.into_values().collect();
+    timelines.sort_by_key(|r| r.rid);
+    timelines
+}
 
 #[derive(Default)]
 struct PhaseAgg {
@@ -32,15 +165,6 @@ impl PhaseAgg {
     fn tick(&mut self) {
         self.count += 1;
     }
-}
-
-#[derive(Default)]
-struct ReqState {
-    kind: Option<&'static str>,
-    start: SimTime,
-    end: Option<SimTime>,
-    open: Vec<(&'static str, SimTime)>,
-    phases: BTreeMap<&'static str, (u64, u64)>, // name -> (count, nanos)
 }
 
 fn us(nanos: u64) -> Json {
@@ -96,82 +220,61 @@ pub fn critical_path_with(
 }
 
 fn scenario_summary(label: &str, trace: &Trace) -> Json {
-    let mut reqs: HashMap<u64, ReqState> = HashMap::new();
+    let timelines = request_timelines(trace);
+
+    // Phase aggregates across all requests.
     let mut phase_aggs: BTreeMap<&'static str, PhaseAgg> = BTreeMap::new();
+    for t in &timelines {
+        for s in &t.spans {
+            phase_aggs.entry(s.name).or_default().add(s.duration());
+        }
+        for (name, _, d) in &t.completes {
+            phase_aggs.entry(name).or_default().add(*d);
+        }
+        for (name, _) in &t.instants {
+            phase_aggs.entry(name).or_default().tick();
+        }
+    }
+
     // Open B/E spans on non-request tracks (e.g. instance boot spans).
     let mut open_endpoint: HashMap<(Track, &'static str), Vec<SimTime>> = HashMap::new();
     let mut endpoint_aggs: BTreeMap<&'static str, PhaseAgg> = BTreeMap::new();
-
     for e in &trace.events {
-        match e.track {
-            Track::Request(rid) => {
-                let r = reqs.entry(rid).or_default();
-                match e.kind {
-                    EventKind::Begin if e.name.starts_with("req:") => {
-                        r.kind = Some(e.name);
-                        r.start = e.at;
+        if matches!(e.track, Track::Request(_)) {
+            continue;
+        }
+        match e.kind {
+            EventKind::Begin => open_endpoint
+                .entry((e.track, e.name))
+                .or_default()
+                .push(e.at),
+            EventKind::End => {
+                if let Some(stack) = open_endpoint.get_mut(&(e.track, e.name)) {
+                    if let Some(began) = stack.pop() {
+                        endpoint_aggs
+                            .entry(e.name)
+                            .or_default()
+                            .add(e.at.saturating_since(began));
                     }
-                    EventKind::End if e.name.starts_with("req:") => {
-                        r.end = Some(e.at);
-                    }
-                    EventKind::Begin => r.open.push((e.name, e.at)),
-                    EventKind::End => {
-                        if let Some(pos) = r.open.iter().rposition(|(n, _)| *n == e.name) {
-                            let (_, began) = r.open.remove(pos);
-                            let d = e.at.saturating_since(began);
-                            let entry = r.phases.entry(e.name).or_default();
-                            entry.0 += 1;
-                            entry.1 += d.as_nanos();
-                            phase_aggs.entry(e.name).or_default().add(d);
-                        }
-                    }
-                    EventKind::Complete(d) => {
-                        let entry = r.phases.entry(e.name).or_default();
-                        entry.0 += 1;
-                        entry.1 += d.as_nanos();
-                        phase_aggs.entry(e.name).or_default().add(d);
-                    }
-                    EventKind::Instant => {
-                        r.phases.entry(e.name).or_default().0 += 1;
-                        phase_aggs.entry(e.name).or_default().tick();
-                    }
-                    EventKind::Counter(_) => {}
                 }
             }
-            _ => match e.kind {
-                EventKind::Begin => open_endpoint
-                    .entry((e.track, e.name))
-                    .or_default()
-                    .push(e.at),
-                EventKind::End => {
-                    if let Some(stack) = open_endpoint.get_mut(&(e.track, e.name)) {
-                        if let Some(began) = stack.pop() {
-                            endpoint_aggs
-                                .entry(e.name)
-                                .or_default()
-                                .add(e.at.saturating_since(began));
-                        }
-                    }
-                }
-                EventKind::Complete(d) => endpoint_aggs.entry(e.name).or_default().add(d),
-                EventKind::Instant => endpoint_aggs.entry(e.name).or_default().tick(),
-                EventKind::Counter(_) => {}
-            },
+            EventKind::Complete(d) => endpoint_aggs.entry(e.name).or_default().add(d),
+            EventKind::Instant => endpoint_aggs.entry(e.name).or_default().tick(),
+            EventKind::Counter(_) => {}
         }
     }
 
     // Completed requests by session kind.
     let mut by_kind: BTreeMap<&'static str, (u64, LogHistogram)> = BTreeMap::new();
-    let mut completed: Vec<(u64, &ReqState, u64)> = Vec::new(); // (rid, state, latency)
-    for (&rid, r) in &reqs {
-        let (Some(kind), Some(end)) = (r.kind, r.end) else {
+    let mut completed: Vec<(u64, &RequestTimeline, u64)> = Vec::new(); // (rid, timeline, latency)
+    for t in &timelines {
+        let (Some(kind), Some(latency)) = (t.kind, t.latency()) else {
             continue;
         };
-        let latency = end.saturating_since(r.start);
         let e = by_kind.entry(kind).or_default();
         e.0 += 1;
         e.1.record(latency);
-        completed.push((rid, r, latency.as_nanos()));
+        completed.push((t.rid, t, latency.as_nanos()));
     }
     completed.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
     completed.truncate(8);
@@ -208,15 +311,15 @@ fn scenario_summary(label: &str, trace: &Trace) -> Json {
     let slowest = Json::Arr(
         completed
             .iter()
-            .map(|(rid, r, latency)| {
+            .map(|(rid, t, latency)| {
                 let mut phases: Vec<(&'static str, (u64, u64))> =
-                    r.phases.iter().map(|(n, v)| (*n, *v)).collect();
+                    t.phases().iter().map(|(n, v)| (*n, *v)).collect();
                 phases.sort_by(|a, b| b.1 .1.cmp(&a.1 .1).then(a.0.cmp(b.0)));
                 Json::obj([
                     ("request".into(), Json::Int(*rid as i128)),
                     (
                         "kind".into(),
-                        Json::from(r.kind.expect("completed requests have a kind")),
+                        Json::from(t.kind.expect("completed requests have a kind")),
                     ),
                     ("total_us".into(), us(*latency)),
                     (
@@ -348,5 +451,99 @@ mod tests {
             critical_path(&[("s".into(), t)]).render(),
             critical_path(&[("s".into(), sample_trace())]).render()
         );
+    }
+
+    #[test]
+    fn timelines_expose_spans_completes_and_instants() {
+        let timelines = request_timelines(&sample_trace());
+        assert_eq!(timelines.len(), 3, "one timeline per request track");
+        assert_eq!(timelines[0].rid, 1);
+        assert_eq!(timelines[0].kind, Some("req:offload"));
+        assert_eq!(timelines[0].latency(), Some(Duration::from_micros(12)));
+        assert_eq!(
+            timelines[0].spans,
+            vec![
+                SpanInterval {
+                    name: "net",
+                    begin: at(0),
+                    end: at(5)
+                },
+                SpanInterval {
+                    name: "fallback:data",
+                    begin: at(5),
+                    end: at(9)
+                },
+            ]
+        );
+        // Request 3 never completed: kind is known, latency is not.
+        assert_eq!(timelines[2].rid, 3);
+        assert_eq!(timelines[2].kind, Some("req:server"));
+        assert_eq!(timelines[2].latency(), None);
+    }
+
+    #[test]
+    fn request_with_zero_recorded_phases_summarizes_cleanly() {
+        // A bare session span — no sub-spans, completes, or instants — is a
+        // legal trace (e.g. a server request that never waited on anything).
+        let t = Trace {
+            events: vec![
+                ev(4, Track::Request(9), "req:server", EventKind::Begin),
+                ev(7, Track::Request(9), "req:server", EventKind::End),
+            ],
+        };
+        let timelines = request_timelines(&t);
+        assert_eq!(timelines.len(), 1);
+        assert!(timelines[0].phases().is_empty());
+        assert_eq!(timelines[0].latency(), Some(Duration::from_micros(3)));
+        let rendered = critical_path(&[("s".into(), t)]).render();
+        // The request counts and appears in the slowest list with an empty
+        // phase breakdown.
+        assert!(
+            rendered.contains("\"req:server\":{\"count\":1"),
+            "{rendered}"
+        );
+        assert!(
+            rendered.contains("\"request\":9,\"kind\":\"req:server\",\"total_us\":3,\"phases\":[]"),
+            "{rendered}"
+        );
+    }
+
+    #[test]
+    fn slowest_k_ties_break_by_request_id_regardless_of_event_order() {
+        // Twelve requests, all with identical 5 µs latencies: the slowest-8
+        // list must keep the lowest request ids in ascending order, and the
+        // rendering must not depend on the order request tracks appear in
+        // the trace (requests land in a HashMap before the final sort).
+        let mut forward = Vec::new();
+        for rid in 0..12u64 {
+            forward.push(ev(rid, Track::Request(rid), "req:server", EventKind::Begin));
+            forward.push(ev(
+                rid + 5,
+                Track::Request(rid),
+                "req:server",
+                EventKind::End,
+            ));
+        }
+        let mut backward = Vec::new();
+        for rid in (0..12u64).rev() {
+            backward.push(ev(rid, Track::Request(rid), "req:server", EventKind::Begin));
+            backward.push(ev(
+                rid + 5,
+                Track::Request(rid),
+                "req:server",
+                EventKind::End,
+            ));
+        }
+        let a = critical_path(&[("s".into(), Trace { events: forward })]).render();
+        let b = critical_path(&[("s".into(), Trace { events: backward })]).render();
+        assert_eq!(a, b, "interleaving must not change the slowest list");
+        // Lowest ids win the tie, in ascending order.
+        for rid in 0..8 {
+            assert!(a.contains(&format!("\"request\":{rid},")), "{a}");
+        }
+        assert!(!a.contains("\"request\":8,"), "{a}");
+        let r0 = a.find("\"request\":0,").unwrap();
+        let r7 = a.find("\"request\":7,").unwrap();
+        assert!(r0 < r7, "ties must render in ascending request id");
     }
 }

@@ -274,19 +274,22 @@ impl Acct {
     }
 
     /// Record a finished request: latency samplers, the timeline, and the
-    /// completion counters (recorded requests only).
+    /// completion counters (recorded requests only). `request` is the
+    /// session's server-issued id, kept as the histogram exemplar so a
+    /// latency quantile can be traced back to concrete requests.
     pub(crate) fn on_complete(
         &mut self,
         now: SimTime,
         record_from: Duration,
         latency: Duration,
         record: bool,
+        request: u64,
         obs: &mut Obs,
     ) {
         if record {
             self.completed += 1;
             obs.add(now, "requests_completed", 1);
-            obs.observe(now, "request_latency", latency);
+            obs.observe_exemplar(now, "request_latency", latency, request);
             self.all.record(latency);
             self.timeline.record(now, latency);
             if now.saturating_since(SimTime::ZERO) >= record_from {

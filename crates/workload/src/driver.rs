@@ -311,7 +311,7 @@ impl Sim {
         let step = session.recover(&mut self.server, &mut func);
         self.fleet.funcs.insert(fid, func);
         let latency = self.now.saturating_since(detected);
-        self.obs.recovery(self.now, latency);
+        self.obs.recovery(self.now, latency, session.request_id());
         self.broker.chaos.stats.recovery.record(latency);
         self.lifecycle.resume_recovered(
             rid,
@@ -486,7 +486,7 @@ impl Sim {
     }
 
     fn boot_ready(&mut self, rid: u64) {
-        let Some((args, fid, cold)) = self.lifecycle.take_pending_boot(rid) else {
+        let Some((args, fid, cold, arrival)) = self.lifecycle.take_pending_boot(rid) else {
             return;
         };
         self.fleet.booting = self.fleet.booting.saturating_sub(1);
@@ -521,6 +521,19 @@ impl Sim {
         self.fleet.note_gcs(fid, self.now, &mut self.obs);
         if shadow {
             self.acct.shadows += 1;
+        }
+        if tele::enabled() {
+            // The session span begins now, after the boot — so the wait from
+            // dispatch to instance-up is invisible on the request track
+            // without this event. Recording it makes a request's attributed
+            // components sum to the driver's arrival-to-completion latency
+            // even when shadowing is off and the client eats the cold tail.
+            tele::complete(
+                tele::Track::Request(session.request_id()),
+                "boot:wait",
+                self.now.saturating_since(arrival),
+                &[("cold", tele::Arg::Bool(cold))],
+            );
         }
         self.lifecycle.attach_offload(rid, session, fid, self.now);
         self.step(rid);
@@ -588,6 +601,7 @@ impl Sim {
             self.cfg.record_from,
             latency,
             done.record,
+            done.request,
             &mut self.obs,
         );
         if let Some((session, instance)) = done.faas {

@@ -279,6 +279,20 @@ impl Obs {
         }
     }
 
+    /// Record `d` in the histogram `name`, remembering `request` as a
+    /// slowest-K exemplar.
+    pub(crate) fn observe_exemplar(
+        &mut self,
+        now: SimTime,
+        name: &'static str,
+        d: Duration,
+        request: u64,
+    ) {
+        if let Some(m) = self.registry.as_mut() {
+            m.observe_exemplar(name, now, d, request);
+        }
+    }
+
     /// Record one GC pause: the `gc_pause` histogram plus the cumulative
     /// `gc_pause_ns` counter, the pair every GC site emits.
     pub(crate) fn gc_pause(&mut self, now: SimTime, pause: Duration) {
@@ -288,9 +302,10 @@ impl Obs {
 
     /// Record one completed §4.5 recovery: the detection-to-resume latency
     /// histogram plus the cumulative recovery counter, the pair the
-    /// recovery site emits.
-    pub(crate) fn recovery(&mut self, now: SimTime, latency: Duration) {
-        self.observe(now, "recovery_latency", latency);
+    /// recovery site emits. The recovered request's id is kept as an
+    /// exemplar.
+    pub(crate) fn recovery(&mut self, now: SimTime, latency: Duration, request: u64) {
+        self.observe_exemplar(now, "recovery_latency", latency, request);
         self.add(now, "recoveries", 1);
     }
 }

@@ -172,6 +172,9 @@ pub(crate) struct Done {
     pub record: bool,
     /// Whether a closed-loop client reissues.
     pub closed_loop: bool,
+    /// The server-issued request id of the finishing session (its telemetry
+    /// track) — the id metric exemplars point at.
+    pub request: u64,
     /// The finished offload session and its instance, for FaaS lanes.
     pub faas: Option<(OffloadSession, u32)>,
 }
@@ -227,14 +230,19 @@ impl Lifecycle {
         rid
     }
 
-    /// Take the boot payload of a pending-boot request (`Ev::Boot`).
-    /// Returns `None` when the request is gone.
+    /// Take the boot payload of a pending-boot request (`Ev::Boot`):
+    /// `(args, instance, cold, arrival)`. Returns `None` when the request is
+    /// gone.
     ///
     /// # Panics
     ///
     /// The request exists but is not on a pending-boot lane.
-    pub(crate) fn take_pending_boot(&mut self, rid: u64) -> Option<(Vec<Value>, u32, bool)> {
+    pub(crate) fn take_pending_boot(
+        &mut self,
+        rid: u64,
+    ) -> Option<(Vec<Value>, u32, bool, SimTime)> {
         let req = self.requests.get_mut(&rid)?;
+        let arrival = req.arrival;
         let Lane::PendingBoot {
             args,
             endpoint,
@@ -243,7 +251,7 @@ impl Lifecycle {
         else {
             panic!("boot event for a non-pending request");
         };
-        Some((std::mem::take(args), endpoint.instance, *cold))
+        Some((std::mem::take(args), endpoint.instance, *cold, arrival))
     }
 
     /// Switch a booted request onto its FaaS lane (`Ev::Boot`, after the
@@ -580,6 +588,16 @@ impl Lifecycle {
                 }
                 SessionStep::AwaitLock { canonical } => {
                     self.tally.lock_waits += 1;
+                    if tele::enabled() {
+                        // Lock hand-off residence: opened here, closed by the
+                        // `open_span` mechanism when the waiter resumes — the
+                        // same shape as the resource spans of `park_on_need`,
+                        // so the insight attribution sees lock wait as its
+                        // own component instead of folding it into execution.
+                        let name = "wait:lock";
+                        tele::begin(req.lane.endpoint().track(), name, &[]);
+                        req.open_span = Some(name);
+                    }
                     if std::env::var_os("BEEHIVE_DEBUG_SYNC").is_some() {
                         eprintln!("[lock] t={now:?} park rid={rid} lock={canonical:?}");
                     }
@@ -592,10 +610,18 @@ impl Lifecycle {
                 }
                 SessionStep::Finished(_v) => {
                     self.tally.finished += 1;
+                    let request = match &req.lane {
+                        Lane::Server { session, .. } => session.request_id(),
+                        Lane::Faas { session, .. } => session.request_id(),
+                        Lane::PendingBoot { .. } | Lane::Crashed { .. } => {
+                            unreachable!("finished requests run on an active lane")
+                        }
+                    };
                     return Some(Done {
                         arrival: req.arrival,
                         record: req.record,
                         closed_loop: req.closed_loop,
+                        request,
                         faas: match req.lane {
                             Lane::Faas { session, endpoint } => Some((session, endpoint.instance)),
                             _ => None,
@@ -939,8 +965,9 @@ mod tests {
         // Still parked: a pending boot consumes no steps until Ev::Boot.
         assert_eq!(w.life.inflight(), 1);
         assert_eq!(w.life.tally().needs, 0);
-        let (args, fid, cold) = w.life.take_pending_boot(rid).expect("present");
+        let (args, fid, cold, arrival) = w.life.take_pending_boot(rid).expect("present");
         assert_eq!((args.len(), fid, cold), (0, 5, true));
+        assert_eq!(arrival, SimTime::ZERO);
     }
 
     #[test]

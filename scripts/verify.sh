@@ -89,15 +89,33 @@ for w in 1 2 8; do
 done
 rm -f /tmp/beehive_recovery_quick.json
 
-echo "==> metrics gate: repro compare against scripts/golden/metrics_quick"
-# A fixed path (not mktemp) so the committed BENCH_metrics.json is
-# byte-stable across verify runs.
-metrics_dir="target/metrics_quick"
-rm -rf "$metrics_dir" && mkdir -p "$metrics_dir"
-BEEHIVE_WORKERS=2 ./target/release/repro shadow fig9 recovery --quick --seed 42 \
-  --metrics "$metrics_dir" > /dev/null
-./target/release/repro compare scripts/golden/metrics_quick "$metrics_dir" \
-  --bench-out BENCH_metrics.json
-rm -rf "$metrics_dir"
+echo "==> golden: repro explain is byte-stable at any worker count"
+# The attribution + SLO breakdown is pure integer rendering over the
+# deterministic trace, so the whole report is byte-identical at any
+# worker-pool size.
+for w in 1 2 8; do
+  BEEHIVE_WORKERS=$w ./target/release/repro explain --quick --seed 42 --slowest 3 shadow \
+    > /tmp/beehive_explain_quick.txt
+  diff -u scripts/golden/explain_shadow_quick.txt /tmp/beehive_explain_quick.txt
+done
+rm -f /tmp/beehive_explain_quick.txt
 
-echo "OK: style, lint, build, tests, quick repro, goldens, and the metrics gate all pass."
+echo "==> metrics+insight gate: repro diff against scripts/golden/metrics_quick"
+# A fixed path (not mktemp) so the committed BENCH_metrics.json is
+# byte-stable across verify runs. The golden directory carries both the
+# metrics snapshots and the insight documents, so this exercises the full
+# root-cause path of `repro diff`; with nothing regressed its verdict table
+# must be byte-stable too, at every worker count.
+metrics_dir="target/metrics_quick"
+for w in 1 2 8; do
+  rm -rf "$metrics_dir" && mkdir -p "$metrics_dir"
+  BEEHIVE_WORKERS=$w ./target/release/repro shadow fig9 recovery --quick --seed 42 \
+    --metrics "$metrics_dir" --insight "$metrics_dir" > /dev/null
+  diff -u scripts/golden/metrics_quick/shadow.insight.json "$metrics_dir/shadow.insight.json"
+  ./target/release/repro diff scripts/golden/metrics_quick "$metrics_dir" \
+    --bench-out BENCH_metrics.json > /tmp/beehive_diff_quick.txt
+  diff -u scripts/golden/diff_quick.txt /tmp/beehive_diff_quick.txt
+done
+rm -rf "$metrics_dir" /tmp/beehive_diff_quick.txt
+
+echo "OK: style, lint, build, tests, quick repro, goldens, and the metrics+insight gates all pass."

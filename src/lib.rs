@@ -12,6 +12,11 @@
 //!   §4.5 failure recovery in the workload,
 //! * [`telemetry`] — virtual-time tracing/metrics with Chrome-trace and
 //!   critical-path exporters,
+//! * [`metrics`] — deterministic counter/gauge/histogram registry with
+//!   Prometheus export, trace reduction and regression comparison,
+//! * [`profiler`] — exact-attribution virtual-time call-tree profiler,
+//! * [`insight`] — per-request latency attribution, SLO burn-rate
+//!   evaluation and regression root-cause diagnosis,
 //! * [`vm`] — the managed runtime (bytecode, heap, GC, monitors, natives),
 //! * [`faas`] — simulated FaaS platforms (OpenWhisk-like, Lambda-like),
 //! * [`proxy`] — proxy-based connection management,
@@ -45,6 +50,9 @@ pub use beehive_chaos as chaos;
 pub use beehive_core as core;
 pub use beehive_db as db;
 pub use beehive_faas as faas;
+pub use beehive_insight as insight;
+pub use beehive_metrics as metrics;
+pub use beehive_profiler as profiler;
 pub use beehive_proxy as proxy;
 pub use beehive_scaling as scaling;
 pub use beehive_sim as sim;
