@@ -1,0 +1,200 @@
+//! Conformance-checker overhead guard.
+//!
+//! The sentinel's cost model has two sides:
+//!
+//! * `feed/*` — the per-event cost of the streaming checker itself: a
+//!   legal session open/close cycle on a request track, and the
+//!   lifecycle-machine path for instance events,
+//! * `run/offload` — a hot end-to-end experiment iteration with the
+//!   checker *disarmed* (no recorder installed), the path every unchecked
+//!   simulation pays.
+//!
+//! Run it once normally and once with the checker compiled out, then
+//! compare the `run/offload` rows — they should be indistinguishable:
+//!
+//! ```text
+//! cargo bench -p beehive-bench --bench sentinel
+//! CARGO_TARGET_DIR=target/compile-off \
+//!     cargo bench -p beehive-bench --bench sentinel \
+//!     --features beehive-sentinel/compile-off,beehive-telemetry/compile-off
+//! ```
+//!
+//! The header line reports which mode the binary was compiled in. Give the
+//! compiled-off run its own `CARGO_TARGET_DIR` (see `telemetry.rs` for
+//! why).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use beehive_apps::{App, AppKind, Fidelity};
+use beehive_bench::{black_box, BenchConfig, Harness};
+use beehive_core::config::BeeHiveConfig;
+use beehive_core::{FunctionRuntime, OffloadSession, ServerRuntime, SessionStep};
+use beehive_db::Database;
+use beehive_proxy::Proxy;
+use beehive_sentinel::{Sentinel, SentinelConfig};
+use beehive_sim::SimTime;
+use beehive_telemetry::{Arg, EventKind, TraceEvent, Track};
+use beehive_vm::{CostModel, Value};
+
+fn ev(
+    track: Track,
+    name: &'static str,
+    kind: EventKind,
+    args: &[(&'static str, Arg)],
+) -> TraceEvent {
+    TraceEvent {
+        at: SimTime::ZERO,
+        track,
+        name,
+        kind,
+        args: args.to_vec(),
+    }
+}
+
+fn bench_feed(h: &mut Harness) {
+    // A legal warm offload session cycle, replayed forever on one track:
+    // decision → dispatch → session begin/end. State stays bounded (the
+    // multiset empties every iteration), so memory is flat.
+    let mut s = Sentinel::new(SentinelConfig::default());
+    s.feed(&ev(
+        Track::Instance(1),
+        "instance:warm_start",
+        EventKind::Instant,
+        &[],
+    ));
+    let decision = ev(
+        Track::Server,
+        "offload:decision",
+        EventKind::Instant,
+        &[("offload", Arg::Bool(true)), ("engaged", Arg::Bool(true))],
+    );
+    let dispatch = ev(
+        Track::Server,
+        "offload:dispatch",
+        EventKind::Instant,
+        &[("outcome", Arg::Str("warm"))],
+    );
+    let mut rid = 0u64;
+    h.bench("feed/session_cycle", || {
+        rid += 1;
+        let track = Track::Request(black_box(rid));
+        s.feed(&decision);
+        s.feed(&dispatch);
+        s.feed(&ev(
+            track,
+            "req:offload",
+            EventKind::Begin,
+            &[("instance", Arg::UInt(1)), ("warm", Arg::Bool(true))],
+        ));
+        s.feed(&ev(track, "req:offload", EventKind::End, &[]));
+    });
+
+    let mut s = Sentinel::new(SentinelConfig::default());
+    let release = ev(
+        Track::Instance(2),
+        "instance:release",
+        EventKind::Instant,
+        &[("busy_us", Arg::UInt(10))],
+    );
+    let activate = ev(
+        Track::Instance(2),
+        "instance:warm_start",
+        EventKind::Instant,
+        &[],
+    );
+    s.feed(&activate);
+    h.bench("feed/lifecycle_hop", || {
+        s.feed(black_box(&release));
+        s.feed(black_box(&activate));
+    });
+}
+
+fn fresh_server(app: &App) -> ServerRuntime {
+    let mut server = ServerRuntime::new(
+        Arc::clone(&app.program),
+        BeeHiveConfig::default(),
+        Proxy::new(Database::new()),
+        CostModel::default(),
+    );
+    app.install(&mut server);
+    server
+}
+
+fn drive_offload(
+    server: &mut ServerRuntime,
+    session: &mut OffloadSession,
+    funcs: &mut HashMap<u32, FunctionRuntime>,
+) -> Value {
+    loop {
+        let id = session.function_id;
+        let mut f = funcs.remove(&id).unwrap();
+        let step = session.next(server, &mut f);
+        funcs.insert(id, f);
+        match step {
+            SessionStep::Need(_) => {}
+            SessionStep::SyncFromPeer { .. }
+            | SessionStep::ServerGc
+            | SessionStep::AwaitLock { .. } => unreachable!("single instance, no peers"),
+            SessionStep::Finished(v) => return v,
+        }
+    }
+}
+
+fn bench_offload_request(h: &mut Harness) {
+    // The disarmed path: no telemetry recorder, no checker — every probe
+    // site collapses to one thread-local check. Identical in shape to
+    // `telemetry.rs`'s hot request so the two guards are comparable.
+    let app = App::build(AppKind::Pybbs, Fidelity::Scaled(2048));
+    let mut server = fresh_server(&app);
+    let mut funcs = HashMap::new();
+    funcs.insert(
+        0,
+        FunctionRuntime::new(0, &app.program, CostModel::default()),
+    );
+    let net = server.config.net;
+    let mut warm = OffloadSession::start(
+        &mut server,
+        funcs.get_mut(&0).unwrap(),
+        app.root,
+        vec![Value::I64(1)],
+        false,
+        net,
+        false,
+    );
+    drive_offload(&mut server, &mut warm, &mut funcs);
+    let mut arg = 0i64;
+    h.bench("run/offload", || {
+        arg = (arg + 1) % 997;
+        let mut s = {
+            let f = funcs.get_mut(&0).unwrap();
+            OffloadSession::start(
+                &mut server,
+                f,
+                app.root,
+                vec![Value::I64(arg)],
+                false,
+                net,
+                false,
+            )
+        };
+        drive_offload(&mut server, &mut s, &mut funcs)
+    });
+}
+
+fn main() {
+    println!(
+        "sentinel mode: {}",
+        if beehive_sentinel::COMPILED_OFF {
+            "compiled off (feature beehive-sentinel/compile-off)"
+        } else {
+            "live checker (feed sites active)"
+        }
+    );
+    let mut h = Harness::new(BenchConfig::default().samples(20));
+    if !beehive_sentinel::COMPILED_OFF {
+        bench_feed(&mut h);
+    }
+    bench_offload_request(&mut h);
+    h.finish();
+}

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! repro [--quick] [--seed N] [--chaos-seed N] [--json] [--trace DIR]
-//!       [--metrics DIR] [--profile DIR] [--insight DIR]
+//!       [--metrics DIR] [--profile DIR] [--insight DIR] [--obs DIR]
+//!       [--sentinel]
 //!       [list|all|fig2|table1|table2|fig7|table3|fig8|
 //!        fig9|table4|fig10|table5|gcstats|shadow|ablations|combination|
 //!        recovery]
@@ -10,6 +11,7 @@
 //! repro diff BASELINE CURRENT [--bench-out FILE]
 //! repro top ITEM [--quick] [--seed N] [--chaos-seed N] [--top N]
 //! repro explain ITEM [--quick] [--seed N] [--chaos-seed N] [--slowest N]
+//! repro check ITEM... [--quick] [--strict] [--json] [--seed N] [--chaos-seed N]
 //! ```
 //!
 //! Without a subcommand, everything runs in paper order; `repro list`
@@ -70,8 +72,23 @@
 //! prints each scenario's latency-attribution table, SLO evaluation, and
 //! slowest-request component breakdowns.
 //!
+//! `repro check ITEM...` runs the named items with tracing on, replays
+//! every recorded trace through the `beehive_sentinel` conformance engine,
+//! prints the per-scenario verdicts (`--json` for the `SentinelReport`
+//! document) and exits 1 when any invariant was violated. `--strict`
+//! escalates unknown-event-vocabulary warnings to violations. For a fixed
+//! seed the report is byte-identical at any `BEEHIVE_WORKERS`.
+//!
+//! `--sentinel` runs the same checker *online* inside every simulation of
+//! the selected items (no trace is retained; events stream through the
+//! checker as they are recorded) and exits 1 when any run violated an
+//! invariant. `--obs DIR` is the umbrella observability flag: it implies
+//! `--trace DIR --metrics DIR --profile DIR --insight DIR --sentinel` and
+//! additionally writes `DIR/<item>.sentinel.json` conformance reports, so
+//! one pass captures every artifact the toolchain can produce.
+//!
 //! Unknown flags, unknown items and malformed arguments exit with status 2
-//! and a one-line error.
+//! and a one-line error on stderr (stdout stays clean).
 //!
 //! Every driver fans its independent simulations out over the parallel
 //! scenario engine (`beehive_workload::engine`); pin the worker count with
@@ -110,6 +127,9 @@ fn main() {
     if args.first().map(String::as_str) == Some("explain") {
         run_explain(&args[1..]);
     }
+    if args.first().map(String::as_str) == Some("check") {
+        run_check(&args[1..]);
+    }
     let mut profile = Profile::full();
     let mut json = false;
     let mut chaos_seed: Option<u64> = None;
@@ -117,6 +137,8 @@ fn main() {
     let mut metrics_dir: Option<std::path::PathBuf> = None;
     let mut profile_dir: Option<std::path::PathBuf> = None;
     let mut insight_dir: Option<std::path::PathBuf> = None;
+    let mut obs_dir: Option<std::path::PathBuf> = None;
+    let mut sentinel = false;
     let mut cmds: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -148,14 +170,21 @@ fn main() {
             "--insight" => {
                 insight_dir = Some(dir_value(&mut it, "--insight"));
             }
+            "--obs" => {
+                obs_dir = Some(dir_value(&mut it, "--obs"));
+            }
+            "--sentinel" => sentinel = true,
             "--help" | "-h" => {
                 println!(
-                    "repro [--quick] [--seed N] [--chaos-seed N] [--json] [--trace DIR] [--metrics DIR] [--profile DIR] [--insight DIR] [list|all|fig2|table1|table2|fig7|table3|fig8|fig9|table4|fig10|table5|gcstats|shadow|ablations|combination|recovery]"
+                    "repro [--quick] [--seed N] [--chaos-seed N] [--json] [--trace DIR] [--metrics DIR] [--profile DIR] [--insight DIR] [--obs DIR] [--sentinel] [list|all|fig2|table1|table2|fig7|table3|fig8|fig9|table4|fig10|table5|gcstats|shadow|ablations|combination|recovery]"
                 );
                 println!("repro compare BASELINE CURRENT [--bench-out FILE]");
                 println!("repro diff BASELINE CURRENT [--bench-out FILE]");
                 println!("repro top ITEM [--quick] [--seed N] [--chaos-seed N] [--top N]");
                 println!("repro explain ITEM [--quick] [--seed N] [--chaos-seed N] [--slowest N]");
+                println!(
+                    "repro check ITEM... [--quick] [--strict] [--json] [--seed N] [--chaos-seed N]"
+                );
                 return;
             }
             other if other.starts_with('-') => {
@@ -196,6 +225,16 @@ fn main() {
             ));
         }
     }
+    // `--obs DIR` is the umbrella: every artifact family, one directory,
+    // one pass. Specific flags given alongside it keep their own
+    // directories.
+    if let Some(dir) = &obs_dir {
+        trace_dir.get_or_insert_with(|| dir.clone());
+        metrics_dir.get_or_insert_with(|| dir.clone());
+        profile_dir.get_or_insert_with(|| dir.clone());
+        insight_dir.get_or_insert_with(|| dir.clone());
+        sentinel = true;
+    }
     if let Some(dir) = &trace_dir {
         std::fs::create_dir_all(dir)
             .unwrap_or_else(|e| die(&format!("creating {}: {e}", dir.display())));
@@ -222,9 +261,17 @@ fn main() {
             .unwrap_or_else(|e| die(&format!("creating {}: {e}", dir.display())));
         beehive_workload::engine::set_profile_default(true);
     }
+    if sentinel {
+        if beehive_telemetry::COMPILED_OFF || beehive_sentinel::COMPILED_OFF {
+            die("--sentinel is unavailable: this binary was built with telemetry or sentinel compile-off");
+        }
+        beehive_workload::engine::set_sentinel_default(true);
+    }
 
     // One artifact flush per item: profiles feed the trace summary, traces
-    // feed both the trace files and the insight document.
+    // feed both the trace files and the insight document, the online
+    // checker's verdicts gate the exit status.
+    let sentinel_violations = std::cell::Cell::new(0usize);
     let flush = |name: &str| {
         let profiles = flush_profiles(profile_dir.as_deref(), name);
         let traces = if trace_dir.is_some() || insight_dir.is_some() {
@@ -235,6 +282,10 @@ fn main() {
         flush_traces(trace_dir.as_deref(), name, &traces, &profiles);
         flush_insight(insight_dir.as_deref(), name, &traces);
         flush_metrics(metrics_dir.as_deref(), name);
+        if sentinel {
+            let v = flush_sentinel(obs_dir.as_deref(), name);
+            sentinel_violations.set(sentinel_violations.get() + v);
+        }
     };
 
     let all = cmds.iter().any(|c| c == "all");
@@ -508,6 +559,13 @@ fn main() {
         );
         println!("{}", doc.render());
     }
+    if sentinel_violations.get() > 0 {
+        eprintln!(
+            "sentinel: {} invariant violation(s) detected (see above)",
+            sentinel_violations.get()
+        );
+        std::process::exit(1);
+    }
 }
 
 /// `repro list`: every runnable item with a one-line description.
@@ -555,7 +613,7 @@ fn list_items() {
     for (name, desc) in items {
         println!("  {name:<12} {desc}");
     }
-    let subcommands: [(&str, &str); 4] = [
+    let subcommands: [(&str, &str); 5] = [
         (
             "top",
             "hottest simulated frames for one item (repro top ITEM)",
@@ -563,6 +621,10 @@ fn list_items() {
         (
             "explain",
             "latency attribution, SLO burn and slowest requests (repro explain ITEM)",
+        ),
+        (
+            "check",
+            "replay traces through the conformance engine (repro check ITEM...)",
         ),
         (
             "compare",
@@ -577,6 +639,11 @@ fn list_items() {
     for (name, desc) in subcommands {
         println!("  {name:<12} {desc}");
     }
+    println!("Umbrella flags:");
+    println!(
+        "  --obs DIR    write every artifact family in one pass: trace + metrics + profile + insight + sentinel conformance reports"
+    );
+    println!("  --sentinel   run the online conformance checker in every simulation (exit 1 on violations)");
 }
 
 /// Write the drained traces as `DIR/<name>.trace.json` (Chrome trace-event
@@ -963,6 +1030,112 @@ fn run_explain(args: &[String]) -> ! {
     std::process::exit(0)
 }
 
+/// Drain the engine's online conformance checks and, with `--obs`, write
+/// them as `DIR/<name>.sentinel.json`. Violating scenarios are rendered to
+/// stderr; returns the violation count so `main` can gate the exit status.
+/// No-op when the checker is off or nothing ran.
+fn flush_sentinel(dir: Option<&std::path::Path>, name: &str) -> usize {
+    let checks = beehive_workload::engine::drain_sentinel();
+    if checks.is_empty() {
+        return 0;
+    }
+    let report = beehive_sentinel::SentinelReport::from_checks(false, checks);
+    if let Some(dir) = dir {
+        let path = dir.join(format!("{name}.sentinel.json"));
+        std::fs::write(&path, report.to_json().render())
+            .unwrap_or_else(|e| die(&format!("writing {}: {e}", path.display())));
+        eprintln!(
+            "sentinel: wrote {} ({} scenarios)",
+            path.display(),
+            report.scenarios.len()
+        );
+    }
+    let violations = report.violations();
+    if violations > 0 {
+        eprint!("{}", report.render_text());
+        eprintln!("sentinel: {name}: {violations} violation(s)");
+    }
+    violations
+}
+
+/// `repro check ITEM... [--quick] [--strict] [--json] [--seed N]
+/// [--chaos-seed N]`: run the named items with tracing on, replay every
+/// recorded trace through a fresh conformance engine, print the verdicts
+/// (text, or the `SentinelReport` JSON document with `--json`) and exit 1
+/// when any invariant was violated. Scenario labels are prefixed with the
+/// item name, so one report covers several items without collisions.
+fn run_check(args: &[String]) -> ! {
+    if beehive_telemetry::COMPILED_OFF {
+        die("`repro check` is unavailable: this binary was built with beehive-telemetry/compile-off");
+    }
+    let mut profile = Profile::full();
+    let mut strict = false;
+    let mut json = false;
+    let mut chaos_seed: Option<u64> = None;
+    let mut items: Vec<String> = Vec::new();
+    let mut it = args.iter().cloned();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => profile.quick = true,
+            "--strict" => strict = true,
+            "--json" => json = true,
+            "--seed" => {
+                profile.seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "--chaos-seed" => {
+                chaos_seed = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| die("--chaos-seed needs an integer")),
+                );
+            }
+            other if other.starts_with('-') => {
+                die(&format!("unknown flag {other:?} for `repro check`"))
+            }
+            other => items.push(other.to_string()),
+        }
+    }
+    if items.is_empty() {
+        die("usage: repro check ITEM... [--quick] [--strict] [--json] [--seed N] [--chaos-seed N]");
+    }
+    beehive_workload::engine::set_trace_default(true);
+    let cfg = beehive_sentinel::SentinelConfig {
+        strict,
+        // The experiment drivers all run the default retry policy; pinning
+        // it lets the checker bound when `recovery:degrade` may fire.
+        max_retries: Some(beehive_chaos::RetryPolicy::default().max_retries),
+        ..Default::default()
+    };
+    let mut scenarios = Vec::new();
+    for item in &items {
+        run_item(item, profile, chaos_seed.unwrap_or(profile.seed));
+        let traces = beehive_workload::engine::drain_traces();
+        if traces.is_empty() {
+            die(&format!("item {item:?} produced no trace"));
+        }
+        let labelled: Vec<(String, beehive_telemetry::Trace)> = traces
+            .into_iter()
+            .map(|(label, trace)| (format!("{item}/{label}"), trace))
+            .collect();
+        scenarios.extend(beehive_sentinel::SentinelReport::from_traces(&labelled, &cfg).scenarios);
+    }
+    let report = beehive_sentinel::SentinelReport::from_checks(strict, scenarios);
+    if json {
+        println!("{}", report.to_json().render());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if !report.clean() {
+        eprintln!("check: {} invariant violation(s)", report.violations());
+        std::process::exit(1);
+    }
+    eprintln!("check: ok — {} scenario(s) conform", report.scenarios.len());
+    std::process::exit(0)
+}
+
 /// Pull the directory value of `flag` off the argument iterator; a missing
 /// value or one that looks like another flag is a usage error.
 fn dir_value(it: &mut impl Iterator<Item = String>, flag: &str) -> std::path::PathBuf {
@@ -1202,5 +1375,6 @@ fn banner(title: &str) {
 
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
+    eprintln!("usage: run `repro --help` for flags, items and subcommands");
     std::process::exit(2)
 }

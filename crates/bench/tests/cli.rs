@@ -1,5 +1,6 @@
-//! CLI-convention tests for the `repro` binary: usage errors exit 2 and
-//! say why, and `repro list` advertises every subcommand.
+//! CLI-convention tests for the `repro` binary: usage errors exit 2 with a
+//! one-line hint on stderr (stdout stays clean), `repro list` advertises
+//! every subcommand, and the conformance subcommand/flags behave.
 
 use std::process::Command;
 
@@ -14,6 +15,10 @@ fn stderr(out: &std::process::Output) -> String {
     String::from_utf8_lossy(&out.stderr).into_owned()
 }
 
+fn stdout(out: &std::process::Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
 #[test]
 fn usage_errors_exit_2() {
     // Unknown flags, for every subcommand that parses its own.
@@ -22,6 +27,7 @@ fn usage_errors_exit_2() {
         &["compare", "--nope", "a", "b"][..],
         &["diff", "--nope", "a", "b"][..],
         &["top", "--nope", "shadow"][..],
+        &["check", "--nope", "shadow"][..],
     ] {
         let out = repro(args);
         assert_eq!(out.status.code(), Some(2), "{args:?}");
@@ -34,6 +40,9 @@ fn usage_errors_exit_2() {
     assert!(stderr(&out).contains("usage"));
     let out = repro(&["explain", "shadow", "gcstats"]);
     assert_eq!(out.status.code(), Some(2));
+    let out = repro(&["check"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("usage"));
 
     // --slowest needs a positive integer.
     for bad in ["0", "-3", "many"] {
@@ -47,22 +56,118 @@ fn usage_errors_exit_2() {
         assert_eq!(out.status.code(), Some(2), "{cmd} with unreadable dirs");
     }
 
-    // An item that runs no simulations cannot be explained.
+    // An item that runs no simulations cannot be explained or checked.
     let out = repro(&["explain", "table1"]);
     assert_eq!(out.status.code(), Some(2));
+    let out = repro(&["check", "table1"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn usage_errors_go_to_stderr_with_a_hint_and_a_clean_stdout() {
+    // Every argument-error path: stderr carries a one-line `error:` plus
+    // the usage hint, stdout stays byte-empty, exit status is 2.
+    for args in [
+        &["--nope"][..],
+        &["nonsense-item"][..],
+        &["--seed", "many"][..],
+        &["--chaos-seed"][..],
+        &["--trace"][..],
+        &["--obs"][..],
+        &["--obs", "--quick"][..],
+        &["check"][..],
+        &["check", "--seed"][..],
+        &["top"][..],
+        &["compare", "onlyone"][..],
+    ] {
+        let out = repro(args);
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        assert!(
+            stdout(&out).is_empty(),
+            "{args:?} leaked onto stdout: {:?}",
+            stdout(&out)
+        );
+        let err = stderr(&out);
+        assert!(err.starts_with("error: "), "{args:?} stderr: {err:?}");
+        assert!(
+            err.contains("repro --help"),
+            "{args:?} lost the usage hint: {err:?}"
+        );
+    }
 }
 
 #[test]
 fn list_advertises_items_and_subcommands() {
     let out = repro(&["list"]);
     assert_eq!(out.status.code(), Some(0));
-    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    let text = stdout(&out);
     for row in [
-        "fig7", "shadow", "recovery", "top", "explain", "compare", "diff",
+        "fig7",
+        "shadow",
+        "recovery",
+        "top",
+        "explain",
+        "check",
+        "compare",
+        "diff",
+        "--obs",
+        "--sentinel",
     ] {
         assert!(
             text.lines().any(|l| l.trim_start().starts_with(row)),
             "`repro list` lost the {row} row"
         );
     }
+}
+
+#[test]
+fn check_runs_clean_and_emits_parseable_json() {
+    let out = repro(&["check", "fig2", "--quick", "--json"]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "check should pass: {}",
+        stderr(&out)
+    );
+    let text = stdout(&out);
+    let report =
+        beehive_sentinel::SentinelReport::parse(&text).expect("check --json output parses");
+    assert!(report.clean());
+    assert!(!report.scenarios.is_empty());
+    assert!(report
+        .scenarios
+        .iter()
+        .all(|s| s.label.starts_with("fig2/")));
+    assert!(stderr(&out).contains("check: ok"));
+}
+
+#[test]
+fn obs_writes_every_artifact_family_and_sentinel_gates() {
+    let dir = std::env::temp_dir().join(format!("beehive-obs-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = repro(&["--quick", "--obs", dir.to_str().unwrap(), "fig2"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    for artifact in [
+        "fig2.trace.json",
+        "fig2.summary.json",
+        "fig2.metrics.json",
+        "fig2.prom",
+        "fig2.folded",
+        "fig2.profile.json",
+        "fig2.insight.json",
+        "fig2.sentinel.json",
+    ] {
+        assert!(
+            dir.join(artifact).is_file(),
+            "--obs did not write {artifact}"
+        );
+    }
+    let text = std::fs::read_to_string(dir.join("fig2.sentinel.json")).unwrap();
+    let report = beehive_sentinel::SentinelReport::parse(&text).expect("sentinel artifact parses");
+    assert!(report.clean());
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // The online checker alone: clean run, exit 0, no artifacts needed.
+    let out = repro(&["--quick", "--sentinel", "fig2"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
 }

@@ -1,0 +1,515 @@
+//! beehive-sentinel — online trace-invariant conformance engine.
+//!
+//! The workspace already emits four observability artifacts (traces,
+//! metrics, profiles, per-request attribution), but nothing validated that
+//! the event stream itself obeys BeeHive's semantics — so a simulator bug
+//! could silently corrupt every downstream report. This crate turns the
+//! telemetry layer into a correctness oracle: a streaming [`Sentinel`]
+//! consumes [`beehive_telemetry::TraceEvent`]s in virtual-time order —
+//! either online during a simulation (a second telemetry consumer fed via
+//! [`beehive_telemetry::visit_from`]) or by replaying a recorded
+//! [`beehive_telemetry::Trace`] — and checks typed invariants as events
+//! arrive:
+//!
+//! * **time-monotonic** — virtual time never runs backwards across the
+//!   recorded stream,
+//! * **span-nesting** — every span `End` matches an open `Begin` on its
+//!   track, and residence (`wait:*`) spans never overlap (the lifecycle's
+//!   `open_span` mechanism guarantees at most one),
+//! * **session-protocol** — one session per request track, no activity
+//!   after a terminal event, and an instance is never released while the
+//!   session it serves is still open,
+//! * **offload-conservation** — every `offload:decision` that chose to
+//!   offload is terminated by exactly one `offload:dispatch` (warm reuse,
+//!   new spawn, or saturated fallback to the server) at the same virtual
+//!   instant,
+//! * **lifecycle-legality** — per-instance state machine
+//!   `Unseen → Booting → Active → {Idle, Dead}` over the platform's
+//!   `instance:*` instants, chaos-aware: `Platform::kill` is legal from any
+//!   live state and boot-failure retries re-enter via a fresh instance,
+//!   while activations without a boot, double kills, and events on dead
+//!   instances are violations (`boots_cold + boots_warm = activations` by
+//!   construction of the machine),
+//! * **handoff-conservation** — a dirty-set sync that ships bytes must
+//!   ship objects; hand-off totals are accumulated for cross-checks,
+//! * **recovery-protocol** — recovery spans never nest, attempt numbers
+//!   strictly increase, `recovery:degrade` is terminal and only legal once
+//!   the retry policy's budget is exhausted,
+//! * **exactly-once** — a request completes at most once (a re-executed
+//!   request that double-applies its effects shows up as a second session
+//!   `End`),
+//! * **vocabulary** — unknown event names are warnings (instrumentation
+//!   drift), escalated to violations under `--strict`.
+//!
+//! Each [`Violation`] carries the invariant name, the offending track, the
+//! virtual time, and a minimal K-event window around the failure so it
+//! reads like a root-caused bug report. The [`SentinelReport`] JSON is
+//! deterministic and byte-identical across `BEEHIVE_WORKERS` settings;
+//! `scripts/verify.sh` golden-diffs it at 1/2/8 workers.
+
+#![warn(missing_docs)]
+
+mod engine;
+
+pub use engine::{Sentinel, SentinelConfig};
+
+use beehive_sim::json::Json;
+use beehive_telemetry::Trace;
+
+/// `true` when the crate was built with the `compile-off` feature and
+/// [`Sentinel::feed`] compiles to nothing (the overhead-measurement build).
+pub const COMPILED_OFF: bool = cfg!(feature = "compile-off");
+
+/// The typed invariant classes the sentinel checks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Invariant {
+    /// Virtual time never decreases across the event stream.
+    TimeMonotonic,
+    /// Span `End`s match open `Begin`s; residence spans never overlap.
+    SpanNesting,
+    /// One session per track, quiet after terminal, release only after the
+    /// session ends.
+    SessionProtocol,
+    /// Every offload decision terminates in exactly one dispatch.
+    OffloadConservation,
+    /// The per-instance lifecycle state machine.
+    LifecycleLegality,
+    /// Dirty-set syncs shipping bytes must ship objects.
+    HandoffConservation,
+    /// Recovery spans: non-nesting, increasing attempts, bounded degrade.
+    RecoveryProtocol,
+    /// A request completes at most once.
+    ExactlyOnce,
+    /// Event-name vocabulary drift (violation only under strict).
+    Vocabulary,
+}
+
+impl Invariant {
+    /// Every invariant class, in catalog order.
+    pub const ALL: [Invariant; 9] = [
+        Invariant::TimeMonotonic,
+        Invariant::SpanNesting,
+        Invariant::SessionProtocol,
+        Invariant::OffloadConservation,
+        Invariant::LifecycleLegality,
+        Invariant::HandoffConservation,
+        Invariant::RecoveryProtocol,
+        Invariant::ExactlyOnce,
+        Invariant::Vocabulary,
+    ];
+
+    /// The stable kebab-case name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Invariant::TimeMonotonic => "time-monotonic",
+            Invariant::SpanNesting => "span-nesting",
+            Invariant::SessionProtocol => "session-protocol",
+            Invariant::OffloadConservation => "offload-conservation",
+            Invariant::LifecycleLegality => "lifecycle-legality",
+            Invariant::HandoffConservation => "handoff-conservation",
+            Invariant::RecoveryProtocol => "recovery-protocol",
+            Invariant::ExactlyOnce => "exactly-once",
+            Invariant::Vocabulary => "vocabulary",
+        }
+    }
+
+    /// One-line catalog description (`repro check` and the README list it).
+    pub fn describe(self) -> &'static str {
+        match self {
+            Invariant::TimeMonotonic => "virtual time never runs backwards",
+            Invariant::SpanNesting => "span ends match opens; residence spans never overlap",
+            Invariant::SessionProtocol => {
+                "one session per track, quiet after terminal, release after end"
+            }
+            Invariant::OffloadConservation => {
+                "every offload decision terminates in exactly one dispatch"
+            }
+            Invariant::LifecycleLegality => {
+                "instances follow Unseen>Booting>Active>{Idle,Dead}; kills chaos-aware"
+            }
+            Invariant::HandoffConservation => "dirty-set syncs shipping bytes ship objects",
+            Invariant::RecoveryProtocol => {
+                "recovery spans non-nesting, attempts increase, degrade bounded by the retry policy"
+            }
+            Invariant::ExactlyOnce => "a request completes at most once",
+            Invariant::Vocabulary => "event names stay in the known vocabulary",
+        }
+    }
+
+    /// Inverse of [`Invariant::name`].
+    pub fn from_name(name: &str) -> Option<Invariant> {
+        Invariant::ALL.into_iter().find(|i| i.name() == name)
+    }
+}
+
+/// One conformance violation: the invariant, where, when, why, and the
+/// minimal event window around the failure (oldest first, offending event
+/// last).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Violation {
+    /// Which invariant class fired.
+    pub invariant: Invariant,
+    /// The offending track, rendered (`req:7`, `inst:3`, `server`, …).
+    pub track: String,
+    /// Virtual time of the offending event, nanoseconds since t=0.
+    pub at_ns: u64,
+    /// What went wrong.
+    pub message: String,
+    /// The K events around the failure on the offending track, rendered.
+    pub window: Vec<String>,
+}
+
+impl Violation {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("invariant".into(), Json::from(self.invariant.name())),
+            ("track".into(), Json::from(self.track.as_str())),
+            ("at_ns".into(), Json::from(self.at_ns)),
+            ("message".into(), Json::from(self.message.as_str())),
+            (
+                "window".into(),
+                Json::Arr(self.window.iter().map(|w| Json::from(w.as_str())).collect()),
+            ),
+        ])
+    }
+
+    fn from_json(j: &Json) -> Result<Violation, String> {
+        let invariant = str_field(j, "invariant").and_then(|s| {
+            Invariant::from_name(&s).ok_or_else(|| format!("unknown invariant {s}"))
+        })?;
+        let Some(Json::Arr(window)) = j.get("window") else {
+            return Err("violation missing window".into());
+        };
+        Ok(Violation {
+            invariant,
+            track: str_field(j, "track")?,
+            at_ns: u64_field(j, "at_ns")?,
+            message: str_field(j, "message")?,
+            window: window
+                .iter()
+                .map(|w| match w {
+                    Json::Str(s) => Ok(s.clone()),
+                    _ => Err("window entry is not a string".to_string()),
+                })
+                .collect::<Result<_, _>>()?,
+        })
+    }
+}
+
+macro_rules! counters {
+    ($($(#[$doc:meta])* $field:ident),+ $(,)?) => {
+        /// Conservation counters the sentinel accumulates while checking.
+        ///
+        /// `activations == boots_cold + boots_warm` holds by construction of
+        /// the lifecycle machine; the hand-off totals mirror the
+        /// `handoff_dirty_*` metrics so reports can be cross-checked.
+        #[derive(Clone, Debug, Default, PartialEq, Eq)]
+        pub struct Counters {
+            $($(#[$doc])* pub $field: u64,)+
+        }
+
+        impl Counters {
+            fn to_json(&self) -> Json {
+                Json::obj([$((stringify!($field).into(), Json::from(self.$field)),)+])
+            }
+
+            fn from_json(j: &Json) -> Result<Counters, String> {
+                Ok(Counters { $($field: u64_field(j, stringify!($field))?,)+ })
+            }
+        }
+    };
+}
+
+counters! {
+    /// Cold boots (`instance:cold_boot`).
+    boots_cold,
+    /// Warm starts (`instance:warm_start`).
+    boots_warm,
+    /// Instance activations; equals `boots_cold + boots_warm`.
+    activations,
+    /// Cold boots that came up (`instance:ready`).
+    readies,
+    /// Busy instances returned to the warm cache (`instance:release`).
+    releases,
+    /// Instances killed (`instance:kill`): chaos crashes and boot failures.
+    kills,
+    /// Idle instances reclaimed by the keep-alive sweep (`instance:expire`).
+    expires,
+    /// Instances pre-provisioned by the scaler (`instance:prewarm`).
+    prewarms,
+    /// Offloaded sessions begun (`req:offload`).
+    sessions_offload,
+    /// Shadow warm-up sessions begun (`req:shadow`).
+    sessions_shadow,
+    /// Server sessions begun (`req:server`).
+    sessions_server,
+    /// Sessions completed (request-span `End`s).
+    completions,
+    /// Offload decisions that chose to offload.
+    decisions_offload,
+    /// Offload decisions that kept the request on the server.
+    decisions_kept,
+    /// Dispatches reusing a warm instance.
+    dispatch_warm,
+    /// Dispatches spawning a new instance.
+    dispatch_spawn,
+    /// Dispatches that fell back to the server (platform saturated).
+    dispatch_server,
+    /// Requests refused by the saturated worker pool (`rejected`).
+    rejections,
+    /// Recovery spans begun (`recovery` after an instance crash).
+    recoveries,
+    /// Requests degraded to server execution (`recovery:degrade`).
+    degrades,
+    /// Armed boot failures consumed (`chaos:boot_failure`).
+    boot_failures,
+    /// Dirty-set syncs pulled from a peer (`sync:pull_dirty`).
+    handoff_syncs,
+    /// Objects shipped by dirty-set syncs.
+    handoff_objects,
+    /// Bytes shipped by dirty-set syncs.
+    handoff_bytes,
+    /// Monitor hand-offs completed (`sync:monitor` ends).
+    monitor_handoffs,
+    /// Dirty objects shipped with monitor hand-offs.
+    monitor_dirty,
+}
+
+/// One scenario's conformance result.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioCheck {
+    /// Scenario label (the engine's run label).
+    pub label: String,
+    /// Events checked.
+    pub events: u64,
+    /// Conservation counters.
+    pub counters: Counters,
+    /// Vocabulary warnings (unknown event names), first-seen order.
+    pub warnings: Vec<String>,
+    /// Violations, in stream order.
+    pub violations: Vec<Violation>,
+}
+
+impl ScenarioCheck {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("label".into(), Json::from(self.label.as_str())),
+            ("events".into(), Json::from(self.events)),
+            ("counters".into(), self.counters.to_json()),
+            (
+                "warnings".into(),
+                Json::Arr(
+                    self.warnings
+                        .iter()
+                        .map(|w| Json::from(w.as_str()))
+                        .collect(),
+                ),
+            ),
+            (
+                "violations".into(),
+                Json::Arr(self.violations.iter().map(|v| v.to_json()).collect()),
+            ),
+        ])
+    }
+
+    fn from_json(j: &Json) -> Result<ScenarioCheck, String> {
+        let Some(Json::Arr(warnings)) = j.get("warnings") else {
+            return Err("scenario missing warnings".into());
+        };
+        let Some(Json::Arr(violations)) = j.get("violations") else {
+            return Err("scenario missing violations".into());
+        };
+        let Some(counters) = j.get("counters") else {
+            return Err("scenario missing counters".into());
+        };
+        Ok(ScenarioCheck {
+            label: str_field(j, "label")?,
+            events: u64_field(j, "events")?,
+            counters: Counters::from_json(counters)?,
+            warnings: warnings
+                .iter()
+                .map(|w| match w {
+                    Json::Str(s) => Ok(s.clone()),
+                    _ => Err("warning is not a string".to_string()),
+                })
+                .collect::<Result<_, _>>()?,
+            violations: violations
+                .iter()
+                .map(Violation::from_json)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+}
+
+/// The on-disk / on-stdout `*.sentinel.json` document: one
+/// [`ScenarioCheck`] per scenario, in run order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SentinelReport {
+    /// Whether vocabulary warnings were escalated to violations.
+    pub strict: bool,
+    /// Per-scenario results.
+    pub scenarios: Vec<ScenarioCheck>,
+}
+
+impl SentinelReport {
+    /// Replay a run's labelled traces through a fresh [`Sentinel`] each.
+    pub fn from_traces(traces: &[(String, Trace)], cfg: &SentinelConfig) -> SentinelReport {
+        SentinelReport {
+            strict: cfg.strict,
+            scenarios: traces
+                .iter()
+                .map(|(label, trace)| {
+                    let mut s = Sentinel::new(cfg.clone());
+                    for e in &trace.events {
+                        s.feed(e);
+                    }
+                    s.finish(label.clone())
+                })
+                .collect(),
+        }
+    }
+
+    /// Assemble a report from checks harvested out of online runs (e.g.
+    /// `beehive_workload::engine::drain_sentinel`).
+    pub fn from_checks(strict: bool, scenarios: Vec<ScenarioCheck>) -> SentinelReport {
+        SentinelReport { strict, scenarios }
+    }
+
+    /// Total violations across scenarios.
+    pub fn violations(&self) -> usize {
+        self.scenarios.iter().map(|s| s.violations.len()).sum()
+    }
+
+    /// `true` when no scenario has violations.
+    pub fn clean(&self) -> bool {
+        self.violations() == 0
+    }
+
+    /// Render to the `*.sentinel.json` shape.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("strict".into(), Json::Bool(self.strict)),
+            (
+                "scenarios".into(),
+                Json::Arr(self.scenarios.iter().map(|s| s.to_json()).collect()),
+            ),
+        ])
+    }
+
+    /// Strict inverse of [`SentinelReport::to_json`].
+    pub fn parse(text: &str) -> Result<SentinelReport, String> {
+        let j = Json::parse(text).map_err(|e| e.to_string())?;
+        let Some(Json::Bool(strict)) = j.get("strict") else {
+            return Err("missing strict flag".into());
+        };
+        let Some(Json::Arr(scenarios)) = j.get("scenarios") else {
+            return Err("missing scenarios array".into());
+        };
+        Ok(SentinelReport {
+            strict: *strict,
+            scenarios: scenarios
+                .iter()
+                .map(ScenarioCheck::from_json)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+
+    /// Human-readable summary: one line per scenario, then each violation
+    /// as a root-caused block with its event window.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for s in &self.scenarios {
+            let _ = writeln!(
+                out,
+                "{}: {} events, {} warnings, {} violations",
+                s.label,
+                s.events,
+                s.warnings.len(),
+                s.violations.len()
+            );
+            for w in &s.warnings {
+                let _ = writeln!(out, "  warning: {w}");
+            }
+            for v in &s.violations {
+                let _ = writeln!(
+                    out,
+                    "  violation [{}] on {} at {}ns: {}",
+                    v.invariant.name(),
+                    v.track,
+                    v.at_ns,
+                    v.message
+                );
+                for line in &v.window {
+                    let _ = writeln!(out, "    | {line}");
+                }
+            }
+        }
+        out
+    }
+}
+
+fn str_field(j: &Json, key: &str) -> Result<String, String> {
+    match j.get(key) {
+        Some(Json::Str(s)) => Ok(s.clone()),
+        _ => Err(format!("missing string field {key}")),
+    }
+}
+
+fn u64_field(j: &Json, key: &str) -> Result<u64, String> {
+    match j.get(key) {
+        Some(Json::Int(i)) if *i >= 0 => Ok(*i as u64),
+        _ => Err(format!("missing integer field {key}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beehive_sim::{Duration, SimTime};
+    use beehive_telemetry::{EventKind, TraceEvent, Track};
+
+    fn ev(ms: u64, track: Track, name: &'static str, kind: EventKind) -> TraceEvent {
+        TraceEvent {
+            at: SimTime::ZERO + Duration::from_millis(ms),
+            track,
+            name,
+            kind,
+            args: vec![],
+        }
+    }
+
+    #[test]
+    fn invariant_names_round_trip() {
+        for i in Invariant::ALL {
+            assert_eq!(Invariant::from_name(i.name()), Some(i));
+            assert!(!i.describe().is_empty());
+        }
+        assert_eq!(Invariant::from_name("nope"), None);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let trace = Trace {
+            events: vec![
+                ev(1, Track::Request(3), "req:server", EventKind::Begin),
+                ev(4, Track::Request(3), "req:server", EventKind::End),
+                // An End without a Begin: one violation with a window.
+                ev(5, Track::Request(9), "wait:db", EventKind::End),
+            ],
+        };
+        let report =
+            SentinelReport::from_traces(&[("s".to_string(), trace)], &SentinelConfig::default());
+        assert_eq!(report.scenarios.len(), 1);
+        assert_eq!(report.violations(), 1);
+        assert!(!report.clean());
+        let v = &report.scenarios[0].violations[0];
+        assert_eq!(v.invariant, Invariant::SpanNesting);
+        assert!(!v.window.is_empty());
+        let rendered = report.to_json().render();
+        let back = SentinelReport::parse(&rendered).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(back.to_json().render(), rendered);
+        assert!(report.render_text().contains("span-nesting"));
+    }
+}

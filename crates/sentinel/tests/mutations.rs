@@ -1,0 +1,343 @@
+//! Mutation-test harness: every invariant class must fire.
+//!
+//! Each test takes a minimal *legal* event stream, applies exactly one
+//! targeted mutation — drop an `end`, double-apply a completion, hop the
+//! lifecycle machine illegally, and so on — and asserts the sentinel names
+//! the mutated invariant and pinpoints it with a non-empty K-event window
+//! ending at the offender. The legal baseline itself must check clean, so
+//! every failure here is attributable to the mutation alone.
+
+use beehive_sentinel::{Invariant, ScenarioCheck, Sentinel, SentinelConfig, Violation};
+use beehive_sim::{Duration, SimTime};
+use beehive_telemetry::{Arg, EventKind, TraceEvent, Track};
+
+fn ev(us: u64, track: Track, name: &'static str, kind: EventKind) -> TraceEvent {
+    TraceEvent {
+        at: SimTime::ZERO + Duration::from_micros(us),
+        track,
+        name,
+        kind,
+        args: vec![],
+    }
+}
+
+fn args(mut e: TraceEvent, a: &[(&'static str, Arg)]) -> TraceEvent {
+    e.args = a.to_vec();
+    e
+}
+
+/// A minimal legal offload: decision, dispatch, cold boot, session with a
+/// residence span and a dirty-set sync, completion, release.
+fn legal_offload() -> Vec<TraceEvent> {
+    vec![
+        args(
+            ev(1, Track::Server, "offload:decision", EventKind::Instant),
+            &[("offload", Arg::Bool(true)), ("engaged", Arg::Bool(true))],
+        ),
+        args(
+            ev(1, Track::Server, "offload:dispatch", EventKind::Instant),
+            &[("outcome", Arg::Str("spawn"))],
+        ),
+        args(
+            ev(
+                1,
+                Track::Instance(0),
+                "instance:cold_boot",
+                EventKind::Instant,
+            ),
+            &[("boot_us", Arg::UInt(500))],
+        ),
+        args(
+            ev(1, Track::Instance(0), "boot", EventKind::Begin),
+            &[("cold", Arg::Bool(true))],
+        ),
+        ev(501, Track::Instance(0), "boot", EventKind::End),
+        ev(
+            501,
+            Track::Instance(0),
+            "instance:ready",
+            EventKind::Instant,
+        ),
+        args(
+            ev(501, Track::Request(7), "req:offload", EventKind::Begin),
+            &[("instance", Arg::UInt(0)), ("warm", Arg::Bool(false))],
+        ),
+        ev(
+            510,
+            Track::Request(7),
+            "wait:function_cpu",
+            EventKind::Begin,
+        ),
+        ev(540, Track::Request(7), "wait:function_cpu", EventKind::End),
+        args(
+            ev(
+                545,
+                Track::Request(7),
+                "sync:pull_dirty",
+                EventKind::Instant,
+            ),
+            &[("objects", Arg::UInt(3)), ("bytes", Arg::UInt(96))],
+        ),
+        ev(550, Track::Request(7), "req:offload", EventKind::End),
+        args(
+            ev(
+                550,
+                Track::Instance(0),
+                "instance:release",
+                EventKind::Instant,
+            ),
+            &[("busy_us", Arg::UInt(49))],
+        ),
+    ]
+}
+
+fn check_with(events: &[TraceEvent], cfg: SentinelConfig) -> ScenarioCheck {
+    let mut s = Sentinel::new(cfg);
+    for e in events {
+        s.feed(e);
+    }
+    s.finish("mutated".to_string())
+}
+
+fn check(events: &[TraceEvent]) -> ScenarioCheck {
+    check_with(events, SentinelConfig::default())
+}
+
+/// The mutated stream must produce at least one violation of `invariant`,
+/// with a non-empty pinpointing window; returns it for further assertions.
+fn must_fire(c: &ScenarioCheck, invariant: Invariant) -> Violation {
+    assert!(
+        !c.violations.is_empty(),
+        "{}: the mutation went undetected",
+        invariant.name()
+    );
+    let v = c
+        .violations
+        .iter()
+        .find(|v| v.invariant == invariant)
+        .unwrap_or_else(|| {
+            panic!(
+                "{}: expected invariant, got {:?}",
+                invariant.name(),
+                c.violations
+            )
+        });
+    assert!(
+        !v.window.is_empty(),
+        "{}: violation carries no pinpointing window",
+        invariant.name()
+    );
+    assert!(!v.track.is_empty());
+    v.clone()
+}
+
+#[test]
+fn the_baseline_is_legal() {
+    let c = check(&legal_offload());
+    assert_eq!(
+        c.violations,
+        vec![],
+        "mutations must start from a clean stream"
+    );
+    assert!(c.warnings.is_empty());
+}
+
+#[test]
+fn mutation_time_regression_fires_time_monotonic() {
+    let mut events = legal_offload();
+    // Rewind the clock mid-stream.
+    events[8].at = SimTime::ZERO + Duration::from_micros(5);
+    let v = must_fire(&check(&events), Invariant::TimeMonotonic);
+    assert!(v.message.contains("backwards"), "{v:?}");
+}
+
+#[test]
+fn mutation_end_without_begin_fires_span_nesting() {
+    let mut events = legal_offload();
+    // Drop the residence span's begin; its end now closes nothing.
+    events.remove(7);
+    let v = must_fire(&check(&events), Invariant::SpanNesting);
+    assert!(v.message.contains("wait:function_cpu"), "{v:?}");
+    assert!(v.window.last().unwrap().contains("wait:function_cpu"));
+}
+
+#[test]
+fn mutation_dropped_session_end_fires_session_protocol() {
+    let mut events = legal_offload();
+    // Drop the session end: the instance is released while req:7's session
+    // is still open — the hole a lost completion event leaves.
+    events.retain(|e| !(e.name == "req:offload" && e.kind == EventKind::End));
+    let v = must_fire(&check(&events), Invariant::SessionProtocol);
+    assert!(v.message.contains("req:7"), "{v:?}");
+    assert_eq!(v.track, "inst:0");
+}
+
+#[test]
+fn mutation_double_applied_completion_fires_exactly_once() {
+    let mut events = legal_offload();
+    // Re-apply the completion: the session ends twice, the double-applied
+    // write of the recovery protocol's §4.5 exactly-once guarantee.
+    let end = events[10].clone();
+    assert_eq!(end.name, "req:offload");
+    events.insert(11, end);
+    let v = must_fire(&check(&events), Invariant::ExactlyOnce);
+    assert!(v.message.contains("completed twice"), "{v:?}");
+    assert_eq!(v.track, "req:7");
+}
+
+#[test]
+fn mutation_dispatch_without_decision_fires_offload_conservation() {
+    let mut events = legal_offload();
+    events.remove(0); // drop the decision; the dispatch is now orphaned
+    let v = must_fire(&check(&events), Invariant::OffloadConservation);
+    assert!(v.message.contains("without an offload decision"), "{v:?}");
+}
+
+#[test]
+fn mutation_undispatched_decision_fires_offload_conservation() {
+    let mut events = legal_offload();
+    events.remove(1); // drop the dispatch; the decision never terminates
+    let v = must_fire(&check(&events), Invariant::OffloadConservation);
+    assert!(v.message.contains("never dispatched"), "{v:?}");
+}
+
+#[test]
+fn mutation_illegal_lifecycle_hop_fires_lifecycle_legality() {
+    let mut events = legal_offload();
+    // Idle → ready is not an edge of the machine (ready only follows a
+    // boot): replay the ready after the release.
+    events.push(ev(
+        560,
+        Track::Instance(0),
+        "instance:ready",
+        EventKind::Instant,
+    ));
+    let v = must_fire(&check(&events), Invariant::LifecycleLegality);
+    assert!(v.message.contains("instance:ready"), "{v:?}");
+    assert!(v.message.contains("idle"), "{v:?}");
+    assert!(v.window.last().unwrap().contains("instance:ready"));
+}
+
+#[test]
+fn mutation_activity_on_dead_instance_fires_lifecycle_legality() {
+    let mut events = legal_offload();
+    events.push(args(
+        ev(560, Track::Instance(0), "instance:kill", EventKind::Instant),
+        &[],
+    ));
+    events.push(args(
+        ev(
+            570,
+            Track::Instance(0),
+            "instance:warm_start",
+            EventKind::Instant,
+        ),
+        &[],
+    ));
+    let v = must_fire(&check(&events), Invariant::LifecycleLegality);
+    assert!(v.message.contains("dead"), "{v:?}");
+}
+
+#[test]
+fn mutation_session_on_unbooted_instance_fires_lifecycle_legality() {
+    let events = vec![args(
+        ev(10, Track::Request(3), "req:offload", EventKind::Begin),
+        &[("instance", Arg::UInt(9)), ("warm", Arg::Bool(true))],
+    )];
+    let v = must_fire(&check(&events), Invariant::LifecycleLegality);
+    assert!(v.message.contains("activation without boot"), "{v:?}");
+}
+
+#[test]
+fn mutation_bytes_without_objects_fires_handoff_conservation() {
+    let mut events = legal_offload();
+    // Ship bytes for zero objects: the dirty-set accounting can't balance.
+    events[9] = args(
+        ev(
+            545,
+            Track::Request(7),
+            "sync:pull_dirty",
+            EventKind::Instant,
+        ),
+        &[("objects", Arg::UInt(0)), ("bytes", Arg::UInt(96))],
+    );
+    let v = must_fire(&check(&events), Invariant::HandoffConservation);
+    assert!(v.message.contains("96 bytes"), "{v:?}");
+}
+
+#[test]
+fn mutation_non_increasing_attempt_fires_recovery_protocol() {
+    let track = Track::Request(5);
+    let events = vec![
+        args(
+            ev(10, track, "recovery", EventKind::Begin),
+            &[("attempt", Arg::UInt(2))],
+        ),
+        ev(20, track, "recovery", EventKind::End),
+        args(
+            ev(30, track, "recovery", EventKind::Begin),
+            &[("attempt", Arg::UInt(2))], // must be 3
+        ),
+        ev(40, track, "recovery", EventKind::End),
+    ];
+    let v = must_fire(&check(&events), Invariant::RecoveryProtocol);
+    assert!(v.message.contains("did not increase"), "{v:?}");
+}
+
+#[test]
+fn mutation_premature_degrade_fires_recovery_protocol() {
+    let track = Track::Request(5);
+    let events = vec![
+        args(
+            ev(10, track, "recovery", EventKind::Begin),
+            &[("attempt", Arg::UInt(1))],
+        ),
+        ev(20, track, "recovery", EventKind::End),
+        // Degrading after attempt 1 with max_retries=3 abandons budgeted
+        // retries.
+        ev(30, track, "recovery:degrade", EventKind::Instant),
+    ];
+    let cfg = SentinelConfig {
+        max_retries: Some(3),
+        ..Default::default()
+    };
+    let v = must_fire(&check_with(&events, cfg), Invariant::RecoveryProtocol);
+    assert!(v.message.contains("still budgeted"), "{v:?}");
+}
+
+#[test]
+fn mutation_reexecution_outside_recovery_fires_recovery_protocol() {
+    let mut events = legal_offload();
+    // OffloadSession::recover's instant with no enclosing recovery span.
+    events.insert(
+        9,
+        args(
+            ev(542, Track::Request(7), "recovery", EventKind::Instant),
+            &[("from", Arg::UInt(0)), ("to", Arg::UInt(1))],
+        ),
+    );
+    let v = must_fire(&check(&events), Invariant::RecoveryProtocol);
+    assert!(v.message.contains("outside a recovery span"), "{v:?}");
+}
+
+#[test]
+fn mutation_unknown_event_is_a_warning_and_a_strict_violation() {
+    let mut events = legal_offload();
+    events.push(ev(
+        560,
+        Track::Request(99),
+        "not:a:real:event",
+        EventKind::Instant,
+    ));
+    let c = check(&events);
+    assert!(c.violations.is_empty());
+    assert_eq!(c.warnings.len(), 1);
+    assert!(c.warnings[0].contains("not:a:real:event"));
+
+    let strict = SentinelConfig {
+        strict: true,
+        ..Default::default()
+    };
+    let v = must_fire(&check_with(&events, strict), Invariant::Vocabulary);
+    assert!(v.message.contains("not:a:real:event"), "{v:?}");
+}

@@ -206,6 +206,27 @@ pub fn take() -> Option<Trace> {
         .map(|rec| Trace { events: rec.events })
 }
 
+/// Visit the events recorded on this thread since index `from` (a
+/// high-water mark from a previous call; start at 0) and return the new
+/// mark. This is the second-consumer API: an online checker like
+/// `beehive-sentinel` drains new events incrementally between simulation
+/// events without disturbing the recording sink. Returns `from` unchanged
+/// when no recorder is armed.
+pub fn visit_from(from: usize, mut f: impl FnMut(&TraceEvent)) -> usize {
+    if cfg!(feature = "compile-off") {
+        return from;
+    }
+    RECORDER.with(|r| match r.borrow().as_ref() {
+        Some(rec) => {
+            for e in rec.events.iter().skip(from) {
+                f(e);
+            }
+            rec.events.len()
+        }
+        None => from,
+    })
+}
+
 /// `true` while a recorder is armed on this thread. Call sites that build
 /// argument lists guard on this so the disabled path stays allocation-free.
 #[inline]
@@ -382,6 +403,25 @@ mod tests {
         assert_eq!(t.events[0].at.as_nanos(), 5_000);
         assert_eq!(t.events[2].at.as_nanos(), 9_000);
         assert_eq!(t.events[1].args, vec![("copied_bytes", Arg::UInt(128))]);
+    }
+
+    #[test]
+    fn visit_from_drains_incrementally_without_disturbing_the_sink() {
+        assert_eq!(visit_from(0, |_| panic!("no recorder, no visits")), 0);
+        install();
+        instant(Track::Server, "a", &[]);
+        instant(Track::Server, "b", &[]);
+        let mut seen = Vec::new();
+        let mark = visit_from(0, |e| seen.push(e.name));
+        assert_eq!((mark, seen.as_slice()), (2, &["a", "b"][..]));
+        instant(Track::Server, "c", &[]);
+        let mut seen = Vec::new();
+        let mark = visit_from(mark, |e| seen.push(e.name));
+        assert_eq!((mark, seen.as_slice()), (3, &["c"][..]));
+        assert_eq!(visit_from(mark, |_| panic!("nothing new")), 3);
+        // The recorder still holds everything: visiting is read-only.
+        let t = take().unwrap();
+        assert_eq!(t.events.len(), 3);
     }
 
     #[test]

@@ -138,6 +138,13 @@ pub struct SimConfig {
     /// ([`SimResult::profile`]). Defaults to the engine-wide flag set by
     /// `repro --profile` ([`crate::engine::set_profile_default`]).
     pub profile: bool,
+    /// Run the online conformance checker alongside this run
+    /// ([`SimResult::sentinel`]). Defaults to the engine-wide flag set by
+    /// `repro --sentinel` ([`crate::engine::set_sentinel_default`]). Arms
+    /// the telemetry recorder even when [`SimConfig::trace`] is off; the
+    /// recorded events are dropped after checking unless `trace` is also
+    /// set.
+    pub sentinel: bool,
     /// Deterministic fault plan (§4.5 failure injection). The default plan
     /// is empty and the run is byte-identical to one without the chaos
     /// machinery; see [`beehive_chaos`] for injectors and the retry policy.
@@ -168,6 +175,7 @@ impl SimConfig {
             metrics: crate::engine::metrics_default(),
             metrics_window: beehive_metrics::DEFAULT_WINDOW,
             profile: crate::engine::profile_default(),
+            sentinel: crate::engine::sentinel_default(),
             faults: FaultPlan::default(),
         }
     }
@@ -234,6 +242,9 @@ pub struct SimResult {
     pub metrics: Option<beehive_metrics::Registry>,
     /// The resolved call-tree profile, when [`SimConfig::profile`] was set.
     pub profile: Option<beehive_profiler::Profile>,
+    /// The conformance-check result, when [`SimConfig::sentinel`] was set.
+    /// Its label is blank until [`crate::engine::run_all`] harvests it.
+    pub sentinel: Option<beehive_sentinel::ScenarioCheck>,
 }
 
 /// Completion-side accounting: every sampler and counter the event loop
@@ -342,6 +353,7 @@ impl Acct {
         trace: Option<tele::Trace>,
         metrics: Option<beehive_metrics::Registry>,
         profile: Option<beehive_profiler::Profile>,
+        sentinel: Option<beehive_sentinel::ScenarioCheck>,
     ) -> SimResult {
         let mut function_gc_pauses = Vec::new();
         let mut peak = 0;
@@ -379,6 +391,7 @@ impl Acct {
             trace,
             metrics,
             profile,
+            sentinel,
         }
     }
 }

@@ -52,6 +52,9 @@ pub struct Sim {
     cost_model: CostModel,
     obs: Obs,
     acct: Acct,
+    /// The online conformance checker and its cursor into the telemetry
+    /// sink, when [`SimConfig::sentinel`] is set.
+    sentinel: Option<(beehive_sentinel::Sentinel, usize)>,
 }
 
 impl Sim {
@@ -119,15 +122,26 @@ impl Sim {
             cost_model: cost,
             obs: Obs::off(),
             acct: Acct::new(),
+            sentinel: None,
         }
     }
 
     /// Run to the horizon and collect results.
     pub fn run(mut self) -> SimResult {
-        if self.cfg.trace {
+        if self.cfg.trace || self.cfg.sentinel {
             // Installed here rather than in `new` so the prewarm warm-up
-            // shadow (which runs outside virtual time) is not recorded.
+            // shadow (which runs outside virtual time) is not recorded. The
+            // online checker rides the same recorder and drains it
+            // incrementally; without `trace` the events are dropped at the
+            // end instead of returned.
             tele::install();
+        }
+        if self.cfg.sentinel {
+            let cfg = beehive_sentinel::SentinelConfig {
+                max_retries: Some(self.broker.chaos.policy.max_retries),
+                ..Default::default()
+            };
+            self.sentinel = Some((beehive_sentinel::Sentinel::new(cfg), 0));
         }
         if self.cfg.profile {
             // Same rationale as the trace recorder: the prewarm warm-up
@@ -170,12 +184,15 @@ impl Sim {
                 break;
             }
             self.now = t;
-            if self.cfg.trace {
+            if self.cfg.trace || self.cfg.sentinel {
                 tele::set_now(t);
             }
             self.handle(ev);
             self.lifecycle
                 .wake_lock_waiters(self.now, &mut self.server, &mut self.events);
+            if let Some((sentinel, cursor)) = self.sentinel.as_mut() {
+                *cursor = tele::visit_from(*cursor, |e| sentinel.feed(e));
+            }
         }
         self.finish()
     }
@@ -424,6 +441,13 @@ impl Sim {
                 );
                 self.fleet.funcs.insert(fid, func);
                 self.fleet.note_gcs(fid, self.now, &mut self.obs);
+                if tele::enabled() {
+                    tele::instant(
+                        tele::Track::Server,
+                        "offload:dispatch",
+                        &[("outcome", tele::Arg::Str("warm"))],
+                    );
+                }
                 let rid = self.lifecycle.insert(Request::new(
                     self.now,
                     true,
@@ -473,6 +497,13 @@ impl Sim {
                 Lane::pending_boot(args.clone(), fid, cold),
             ));
             self.events.schedule(ready, Ev::Boot { req: boot_rid });
+            if tele::enabled() {
+                tele::instant(
+                    tele::Track::Server,
+                    "offload:dispatch",
+                    &[("outcome", tele::Arg::Str("spawn"))],
+                );
+            }
             if shadow {
                 // The real request runs on the server while the shadow warms
                 // the new instance up.
@@ -482,6 +513,13 @@ impl Sim {
         }
 
         // 3. Saturated: serve on the server.
+        if tele::enabled() {
+            tele::instant(
+                tele::Track::Server,
+                "offload:dispatch",
+                &[("outcome", tele::Arg::Str("server"))],
+            );
+        }
         self.start_server_request(args, 0, true, closed_loop);
     }
 
@@ -655,7 +693,24 @@ impl Sim {
             None
         };
         let mapping_bytes = self.server.mapping_footprint_bytes();
-        let trace = if self.cfg.trace { tele::take() } else { None };
+        // Drain the tail of the telemetry sink into the checker before
+        // taking (or discarding) the recorder.
+        let sentinel = self.sentinel.map(|(mut sentinel, cursor)| {
+            tele::visit_from(cursor, |e| sentinel.feed(e));
+            // The label is filled in by the engine harvest, which knows the
+            // scenario name; standalone `Sim::run` callers label it
+            // themselves.
+            sentinel.finish(String::new())
+        });
+        let trace = if self.cfg.trace {
+            tele::take()
+        } else {
+            if self.cfg.sentinel {
+                // The recorder was armed only to feed the checker.
+                drop(tele::take());
+            }
+            None
+        };
         let chaos = self.broker.chaos.stats.clone();
         self.acct.finish(
             self.now,
@@ -668,6 +723,7 @@ impl Sim {
             trace,
             self.obs.into_registry(),
             profile,
+            sentinel,
         )
     }
 }

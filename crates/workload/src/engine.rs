@@ -77,6 +77,15 @@ static PROFILE_DEFAULT: AtomicBool = AtomicBool::new(false);
 /// [`drain_profiles`].
 static COLLECTED_PROFILES: Mutex<Vec<(String, beehive_profiler::Profile)>> = Mutex::new(Vec::new());
 
+/// Engine-wide default for [`SimConfig::sentinel`] (`repro --sentinel`
+/// sets it before building any scenario).
+static SENTINEL_DEFAULT: AtomicBool = AtomicBool::new(false);
+
+/// Conformance checks harvested from completed runs, in [`run_all`] input
+/// order, labelled with their scenario labels. Drained by
+/// [`drain_sentinel`].
+static COLLECTED_SENTINEL: Mutex<Vec<beehive_sentinel::ScenarioCheck>> = Mutex::new(Vec::new());
+
 /// Set the engine-wide default for [`SimConfig::trace`]. Scenarios built
 /// *after* this call record traces; [`run_all`] harvests them in input
 /// order for [`drain_traces`].
@@ -159,6 +168,37 @@ fn harvest_profiles(outcomes: &mut [RunOutcome]) {
     for o in outcomes.iter_mut() {
         if let Some(profile) = o.result.profile.take() {
             collected.push((o.label.clone(), profile));
+        }
+    }
+}
+
+/// Set the engine-wide default for [`SimConfig::sentinel`]. Scenarios built
+/// *after* this call run the online conformance checker; [`run_all`]
+/// harvests the per-scenario results in input order for [`drain_sentinel`].
+pub fn set_sentinel_default(on: bool) {
+    SENTINEL_DEFAULT.store(on, Ordering::Relaxed);
+}
+
+/// The engine-wide default for [`SimConfig::sentinel`].
+pub fn sentinel_default() -> bool {
+    SENTINEL_DEFAULT.load(Ordering::Relaxed)
+}
+
+/// Take every conformance check harvested since the last drain, in the
+/// input order of the [`run_all`] calls that produced them. Order is
+/// independent of the worker count, so the assembled
+/// [`beehive_sentinel::SentinelReport`] is byte-identical under any
+/// `BEEHIVE_WORKERS`.
+pub fn drain_sentinel() -> Vec<beehive_sentinel::ScenarioCheck> {
+    std::mem::take(&mut *COLLECTED_SENTINEL.lock().unwrap())
+}
+
+fn harvest_sentinel(outcomes: &mut [RunOutcome]) {
+    let mut collected = COLLECTED_SENTINEL.lock().unwrap();
+    for o in outcomes.iter_mut() {
+        if let Some(mut check) = o.result.sentinel.take() {
+            check.label = o.label.clone();
+            collected.push(check);
         }
     }
 }
@@ -247,6 +287,7 @@ pub fn run_all_with_workers(scenarios: Vec<Scenario>, workers: usize) -> Vec<Run
         harvest_traces(&mut outcomes);
         harvest_metrics(&mut outcomes);
         harvest_profiles(&mut outcomes);
+        harvest_sentinel(&mut outcomes);
         return outcomes;
     }
 
@@ -294,6 +335,7 @@ pub fn run_all_with_workers(scenarios: Vec<Scenario>, workers: usize) -> Vec<Run
     harvest_traces(&mut outcomes);
     harvest_metrics(&mut outcomes);
     harvest_profiles(&mut outcomes);
+    harvest_sentinel(&mut outcomes);
     outcomes
 }
 

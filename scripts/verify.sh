@@ -10,6 +10,14 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Golden-gate outputs land in a stable directory instead of mktemp/tmpfiles:
+# each gate removes its own artifacts on success, so whatever is left after
+# a failure is exactly the mismatching output — CI uploads this directory
+# when verify fails.
+verify_out="target/verify"
+rm -rf "$verify_out"
+mkdir -p "$verify_out"
+
 echo "==> style: cargo fmt --check"
 cargo fmt --check
 
@@ -48,16 +56,25 @@ CARGO_TARGET_DIR=target/compile-off cargo bench --offline -p beehive-bench \
   --bench profiler \
   --features beehive-telemetry/compile-off,beehive-profiler/compile-off
 
+echo "==> compile-off: sentinel overhead bench (checker compiled out)"
+# Runs (not just builds): the run/offload row proves the conformance
+# checker's feed sites vanish with the probes, so unchecked simulations pay
+# nothing for the sentinel existing.
+CARGO_TARGET_DIR=target/compile-off cargo bench --offline -p beehive-bench \
+  --bench sentinel \
+  --features beehive-telemetry/compile-off,beehive-sentinel/compile-off
+
 echo "==> repro all --quick (smoke: every table and figure regenerates)"
 ./target/release/repro all --quick --seed 42 > /dev/null
 
 echo "==> golden: repro fig9 --quick --seed 42 --json is byte-stable"
-./target/release/repro fig9 --quick --seed 42 --json > /tmp/beehive_fig9_quick.json
-diff -u scripts/golden/fig9_quick.json /tmp/beehive_fig9_quick.json
-rm -f /tmp/beehive_fig9_quick.json
+./target/release/repro fig9 --quick --seed 42 --json > "$verify_out/fig9_quick.json"
+diff -u scripts/golden/fig9_quick.json "$verify_out/fig9_quick.json"
+rm -f "$verify_out/fig9_quick.json"
 
 echo "==> golden: traced quick repro critical-path summary is byte-stable"
-trace_dir="$(mktemp -d)"
+trace_dir="$verify_out/trace"
+mkdir -p "$trace_dir"
 BEEHIVE_WORKERS=2 ./target/release/repro shadow --quick --seed 42 --trace "$trace_dir" > /dev/null
 diff -u scripts/golden/shadow_summary_quick.json "$trace_dir/shadow.summary.json"
 # The Chrome trace itself is too large for a golden file; check it is
@@ -67,7 +84,8 @@ head -c 64 "$trace_dir/shadow.trace.json" | grep -q '^{"traceEvents":\[' \
 rm -rf "$trace_dir"
 
 echo "==> golden: profiled quick repro folded stacks are byte-stable"
-profile_dir="$(mktemp -d)"
+profile_dir="$verify_out/profile"
+mkdir -p "$profile_dir"
 BEEHIVE_WORKERS=2 ./target/release/repro shadow --quick --seed 42 \
   --profile "$profile_dir" > /dev/null
 # The folded export is the per-endpoint attribution artifact: the same app
@@ -84,10 +102,10 @@ echo "==> golden: repro recovery --quick is byte-stable at any worker count"
 # happens inside each scenario's single-threaded event loop.
 for w in 1 2 8; do
   BEEHIVE_WORKERS=$w ./target/release/repro recovery --quick --seed 42 --json \
-    > /tmp/beehive_recovery_quick.json
-  diff -u scripts/golden/recovery_quick.json /tmp/beehive_recovery_quick.json
+    > "$verify_out/recovery_quick.json"
+  diff -u scripts/golden/recovery_quick.json "$verify_out/recovery_quick.json"
 done
-rm -f /tmp/beehive_recovery_quick.json
+rm -f "$verify_out/recovery_quick.json"
 
 echo "==> golden: repro explain is byte-stable at any worker count"
 # The attribution + SLO breakdown is pure integer rendering over the
@@ -95,10 +113,22 @@ echo "==> golden: repro explain is byte-stable at any worker count"
 # worker-pool size.
 for w in 1 2 8; do
   BEEHIVE_WORKERS=$w ./target/release/repro explain --quick --seed 42 --slowest 3 shadow \
-    > /tmp/beehive_explain_quick.txt
-  diff -u scripts/golden/explain_shadow_quick.txt /tmp/beehive_explain_quick.txt
+    > "$verify_out/explain_shadow_quick.txt"
+  diff -u scripts/golden/explain_shadow_quick.txt "$verify_out/explain_shadow_quick.txt"
 done
-rm -f /tmp/beehive_explain_quick.txt
+rm -f "$verify_out/explain_shadow_quick.txt"
+
+echo "==> sentinel gate: repro check is clean and byte-stable at any worker count"
+# Every golden scenario plus the §4.5 chaos recovery sweep replays through
+# the conformance engine: zero invariant violations (the exit status is the
+# gate), and the pinpointing report itself is byte-identical at any
+# worker-pool size.
+for w in 1 2 8; do
+  BEEHIVE_WORKERS=$w ./target/release/repro check fig9 shadow recovery \
+    --quick --seed 42 --json > "$verify_out/check_quick.json"
+  diff -u scripts/golden/check_quick.json "$verify_out/check_quick.json"
+done
+rm -f "$verify_out/check_quick.json"
 
 echo "==> metrics+insight gate: repro diff against scripts/golden/metrics_quick"
 # A fixed path (not mktemp) so the committed BENCH_metrics.json is
@@ -113,9 +143,9 @@ for w in 1 2 8; do
     --metrics "$metrics_dir" --insight "$metrics_dir" > /dev/null
   diff -u scripts/golden/metrics_quick/shadow.insight.json "$metrics_dir/shadow.insight.json"
   ./target/release/repro diff scripts/golden/metrics_quick "$metrics_dir" \
-    --bench-out BENCH_metrics.json > /tmp/beehive_diff_quick.txt
-  diff -u scripts/golden/diff_quick.txt /tmp/beehive_diff_quick.txt
+    --bench-out BENCH_metrics.json > "$verify_out/diff_quick.txt"
+  diff -u scripts/golden/diff_quick.txt "$verify_out/diff_quick.txt"
 done
-rm -rf "$metrics_dir" /tmp/beehive_diff_quick.txt
+rm -rf "$metrics_dir" "$verify_out/diff_quick.txt"
 
-echo "OK: style, lint, build, tests, quick repro, goldens, and the metrics+insight gates all pass."
+echo "OK: style, lint, build, tests, quick repro, goldens, sentinel, and the metrics+insight gates all pass."

@@ -17,6 +17,8 @@
 //! * [`profiler`] — exact-attribution virtual-time call-tree profiler,
 //! * [`insight`] — per-request latency attribution, SLO burn-rate
 //!   evaluation and regression root-cause diagnosis,
+//! * [`sentinel`] — online trace-invariant conformance checking with
+//!   violation pinpointing,
 //! * [`vm`] — the managed runtime (bytecode, heap, GC, monitors, natives),
 //! * [`faas`] — simulated FaaS platforms (OpenWhisk-like, Lambda-like),
 //! * [`proxy`] — proxy-based connection management,
@@ -55,6 +57,7 @@ pub use beehive_metrics as metrics;
 pub use beehive_profiler as profiler;
 pub use beehive_proxy as proxy;
 pub use beehive_scaling as scaling;
+pub use beehive_sentinel as sentinel;
 pub use beehive_sim as sim;
 pub use beehive_telemetry as telemetry;
 pub use beehive_vm as vm;
