@@ -12,6 +12,8 @@
 //! repro top ITEM [--quick] [--seed N] [--chaos-seed N] [--top N]
 //! repro explain ITEM [--quick] [--seed N] [--chaos-seed N] [--slowest N]
 //! repro check ITEM... [--quick] [--strict] [--json] [--seed N] [--chaos-seed N]
+//! repro timeline ITEM [--quick] [--seed N] [--chaos-seed N] [--window NS] [--json|--svg]
+//! repro lag BASELINE CURRENT
 //! ```
 //!
 //! Without a subcommand, everything runs in paper order; `repro list`
@@ -79,13 +81,31 @@
 //! escalates unknown-event-vocabulary warnings to violations. For a fixed
 //! seed the report is byte-identical at any `BEEHIVE_WORKERS`.
 //!
+//! `repro timeline ITEM` runs one item with the streaming observatory
+//! reducer riding the recorder and prints, per scenario, fixed-width
+//! virtual-time series (offered/served RPS, P50/P99, queue depth,
+//! in-flight, fleet gauges, warm-hit rate) as ASCII sparklines, plus the
+//! derived elasticity signals: per-burst scale-up lag, provisioning
+//! efficiency and cold-start amplification. `--window NS` sets the bin
+//! width (default 1 s of virtual time); `--json` prints the
+//! `TimelineDoc` JSON artifact instead, `--svg` a self-contained SVG
+//! panel chart. For a fixed seed all three renderings are byte-identical
+//! at any `BEEHIVE_WORKERS`.
+//!
+//! `repro lag BASELINE CURRENT` loads the `*.timeline.json` artifacts
+//! from two directories (written by `--obs`) and diffs the scale-up lag
+//! of every matching burst, exiting 1 when any lag regressed beyond the
+//! tolerance band.
+//!
 //! `--sentinel` runs the same checker *online* inside every simulation of
 //! the selected items (no trace is retained; events stream through the
 //! checker as they are recorded) and exits 1 when any run violated an
 //! invariant. `--obs DIR` is the umbrella observability flag: it implies
 //! `--trace DIR --metrics DIR --profile DIR --insight DIR --sentinel` and
-//! additionally writes `DIR/<item>.sentinel.json` conformance reports, so
-//! one pass captures every artifact the toolchain can produce.
+//! additionally writes `DIR/<item>.sentinel.json` conformance reports plus
+//! `DIR/<item>.timeline.json` / `DIR/<item>.timeline.svg` elasticity
+//! timelines, so one pass captures every artifact the toolchain can
+//! produce.
 //!
 //! Unknown flags, unknown items and malformed arguments exit with status 2
 //! and a one-line error on stderr (stdout stays clean).
@@ -129,6 +149,12 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("check") {
         run_check(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("timeline") {
+        run_timeline(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("lag") {
+        run_lag(&args[1..]);
     }
     let mut profile = Profile::full();
     let mut json = false;
@@ -185,6 +211,10 @@ fn main() {
                 println!(
                     "repro check ITEM... [--quick] [--strict] [--json] [--seed N] [--chaos-seed N]"
                 );
+                println!(
+                    "repro timeline ITEM [--quick] [--seed N] [--chaos-seed N] [--window NS] [--json|--svg]"
+                );
+                println!("repro lag BASELINE CURRENT");
                 return;
             }
             other if other.starts_with('-') => {
@@ -234,6 +264,9 @@ fn main() {
         profile_dir.get_or_insert_with(|| dir.clone());
         insight_dir.get_or_insert_with(|| dir.clone());
         sentinel = true;
+        // The elasticity timeline rides the same recorder: one more
+        // consumer, two more artifacts per item.
+        beehive_workload::engine::set_observe_default(true);
     }
     if let Some(dir) = &trace_dir {
         std::fs::create_dir_all(dir)
@@ -282,6 +315,7 @@ fn main() {
         flush_traces(trace_dir.as_deref(), name, &traces, &profiles);
         flush_insight(insight_dir.as_deref(), name, &traces);
         flush_metrics(metrics_dir.as_deref(), name);
+        flush_timeline(obs_dir.as_deref(), name);
         if sentinel {
             let v = flush_sentinel(obs_dir.as_deref(), name);
             sentinel_violations.set(sentinel_violations.get() + v);
@@ -613,7 +647,7 @@ fn list_items() {
     for (name, desc) in items {
         println!("  {name:<12} {desc}");
     }
-    let subcommands: [(&str, &str); 5] = [
+    let subcommands: [(&str, &str); 7] = [
         (
             "top",
             "hottest simulated frames for one item (repro top ITEM)",
@@ -625,6 +659,14 @@ fn list_items() {
         (
             "check",
             "replay traces through the conformance engine (repro check ITEM...)",
+        ),
+        (
+            "timeline",
+            "elasticity timelines and scale-up lag for one item (repro timeline ITEM)",
+        ),
+        (
+            "lag",
+            "diff scale-up lag between two --obs directories (repro lag BASE CUR)",
         ),
         (
             "compare",
@@ -641,7 +683,7 @@ fn list_items() {
     }
     println!("Umbrella flags:");
     println!(
-        "  --obs DIR    write every artifact family in one pass: trace + metrics + profile + insight + sentinel conformance reports"
+        "  --obs DIR    write every artifact family in one pass: trace + metrics + profile + insight + sentinel conformance reports + elasticity timelines"
     );
     println!("  --sentinel   run the online conformance checker in every simulation (exit 1 on violations)");
 }
@@ -1133,6 +1175,163 @@ fn run_check(args: &[String]) -> ! {
         std::process::exit(1);
     }
     eprintln!("check: ok — {} scenario(s) conform", report.scenarios.len());
+    std::process::exit(0)
+}
+
+/// Drain the engine's observatory timelines and, with `--obs`, write them
+/// as `DIR/<name>.timeline.json` plus `DIR/<name>.timeline.svg`. No-op when
+/// the observer is off or nothing ran.
+fn flush_timeline(dir: Option<&std::path::Path>, name: &str) {
+    let Some(dir) = dir else { return };
+    let series = beehive_workload::engine::drain_timelines();
+    if series.is_empty() {
+        return;
+    }
+    let doc = beehive_observatory::TimelineDoc::from_series(series);
+    let json_path = dir.join(format!("{name}.timeline.json"));
+    std::fs::write(&json_path, doc.to_json().render())
+        .unwrap_or_else(|e| die(&format!("writing {}: {e}", json_path.display())));
+    let svg_path = dir.join(format!("{name}.timeline.svg"));
+    std::fs::write(&svg_path, doc.render_svg())
+        .unwrap_or_else(|e| die(&format!("writing {}: {e}", svg_path.display())));
+    eprintln!(
+        "timeline: wrote {} ({} scenarios) and {}",
+        json_path.display(),
+        doc.scenarios.len(),
+        svg_path.display()
+    );
+}
+
+/// `repro timeline ITEM [--quick] [--seed N] [--chaos-seed N] [--window NS]
+/// [--json|--svg]`: run one item with the streaming observatory reducer on
+/// and print every scenario's virtual-time series and derived elasticity
+/// signals — ASCII sparklines by default, the `TimelineDoc` JSON artifact
+/// with `--json`, a self-contained SVG panel chart with `--svg`.
+fn run_timeline(args: &[String]) -> ! {
+    if beehive_telemetry::COMPILED_OFF {
+        die("`repro timeline` is unavailable: this binary was built with beehive-telemetry/compile-off");
+    }
+    let mut profile = Profile::full();
+    let mut chaos_seed: Option<u64> = None;
+    let mut window = beehive_observatory::DEFAULT_WINDOW;
+    let mut json = false;
+    let mut svg = false;
+    let mut items: Vec<String> = Vec::new();
+    let mut it = args.iter().cloned();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => profile.quick = true,
+            "--json" => json = true,
+            "--svg" => svg = true,
+            "--seed" => {
+                profile.seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "--chaos-seed" => {
+                chaos_seed = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| die("--chaos-seed needs an integer")),
+                );
+            }
+            "--window" => {
+                let ns: u64 = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| die("--window needs a positive nanosecond count"));
+                window = beehive_sim::Duration::from_nanos(ns);
+            }
+            other if other.starts_with('-') => {
+                die(&format!("unknown flag {other:?} for `repro timeline`"))
+            }
+            other => items.push(other.to_string()),
+        }
+    }
+    if json && svg {
+        die("--json and --svg are mutually exclusive");
+    }
+    let [item] = items.as_slice() else {
+        die("usage: repro timeline ITEM [--quick] [--seed N] [--chaos-seed N] [--window NS] [--json|--svg]");
+    };
+    beehive_workload::engine::set_observe_default(true);
+    beehive_workload::engine::set_observe_window(window);
+    run_item(item, profile, chaos_seed.unwrap_or(profile.seed));
+    let series = beehive_workload::engine::drain_timelines();
+    if series.is_empty() {
+        die(&format!("item {item:?} produced no timeline"));
+    }
+    let doc = beehive_observatory::TimelineDoc::from_series(series);
+    if json {
+        println!("{}", doc.to_json().render());
+    } else if svg {
+        println!("{}", doc.render_svg());
+    } else {
+        print!("{}", doc.render_text());
+    }
+    std::process::exit(0)
+}
+
+/// Load and merge every `*.timeline.json` document under `dir`, scenario
+/// labels prefixed with the item stem so several items diff without
+/// collisions. Files are visited in name order for a deterministic merge.
+fn load_timelines(dir: &std::path::Path) -> beehive_observatory::TimelineDoc {
+    let entries =
+        std::fs::read_dir(dir).unwrap_or_else(|e| die(&format!("reading {}: {e}", dir.display())));
+    let mut names: Vec<String> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.ends_with(".timeline.json"))
+        .collect();
+    names.sort();
+    let mut scenarios = Vec::new();
+    for name in &names {
+        let stem = name.trim_end_matches(".timeline.json");
+        let path = dir.join(name);
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| die(&format!("reading {}: {e}", path.display())));
+        let doc = beehive_observatory::TimelineDoc::parse(&text)
+            .unwrap_or_else(|| die(&format!("{}: not a timeline document", path.display())));
+        for mut s in doc.scenarios {
+            s.label = format!("{stem}/{}", s.label);
+            scenarios.push(s);
+        }
+    }
+    if scenarios.is_empty() {
+        die(&format!(
+            "{}: no *.timeline.json documents (write them with --obs DIR)",
+            dir.display()
+        ));
+    }
+    beehive_observatory::TimelineDoc::from_series(scenarios)
+}
+
+/// `repro lag BASELINE CURRENT`: diff the per-burst scale-up lag between
+/// two `--obs` artifact directories and exit 1 when any burst's lag
+/// regressed beyond the tolerance band (a quarter of the baseline lag plus
+/// one bin width).
+fn run_lag(args: &[String]) -> ! {
+    let mut dirs: Vec<std::path::PathBuf> = Vec::new();
+    for a in args {
+        if a.starts_with('-') {
+            die(&format!("unknown flag {a:?} for `repro lag`"));
+        }
+        dirs.push(std::path::PathBuf::from(a));
+    }
+    let [baseline, current] = dirs.as_slice() else {
+        die("usage: repro lag BASELINE CURRENT");
+    };
+    let base = load_timelines(baseline);
+    let cur = load_timelines(current);
+    let (rows, regressed) = beehive_observatory::lag_diff(&base, &cur);
+    print!("{}", beehive_observatory::render_lag_rows(&rows));
+    if regressed {
+        eprintln!("lag: scale-up lag regressed");
+        std::process::exit(1);
+    }
+    eprintln!("lag: ok — {} burst(s) compared", rows.len());
     std::process::exit(0)
 }
 

@@ -28,6 +28,8 @@ fn usage_errors_exit_2() {
         &["diff", "--nope", "a", "b"][..],
         &["top", "--nope", "shadow"][..],
         &["check", "--nope", "shadow"][..],
+        &["timeline", "--nope", "shadow"][..],
+        &["lag", "--nope", "a", "b"][..],
     ] {
         let out = repro(args);
         assert_eq!(out.status.code(), Some(2), "{args:?}");
@@ -61,6 +63,31 @@ fn usage_errors_exit_2() {
     assert_eq!(out.status.code(), Some(2));
     let out = repro(&["check", "table1"]);
     assert_eq!(out.status.code(), Some(2));
+
+    // timeline: missing/surplus ITEM, malformed --window, exclusive modes.
+    let out = repro(&["timeline"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("usage"));
+    let out = repro(&["timeline", "shadow", "gcstats"]);
+    assert_eq!(out.status.code(), Some(2));
+    for bad in ["0", "-5", "soon", "1.5"] {
+        let out = repro(&["timeline", "--window", bad, "shadow"]);
+        assert_eq!(out.status.code(), Some(2), "--window {bad}");
+        assert!(stderr(&out).contains("--window"), "--window {bad}");
+    }
+    let out = repro(&["timeline", "--json", "--svg", "shadow"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = repro(&["timeline", "table1"]);
+    assert_eq!(out.status.code(), Some(2));
+
+    // lag: wrong arity and unreadable artifact directories.
+    let out = repro(&["lag"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("usage"));
+    let out = repro(&["lag", "onlyone"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = repro(&["lag", "/nonexistent-baseline", "/nonexistent-current"]);
+    assert_eq!(out.status.code(), Some(2));
 }
 
 #[test]
@@ -79,6 +106,9 @@ fn usage_errors_go_to_stderr_with_a_hint_and_a_clean_stdout() {
         &["check", "--seed"][..],
         &["top"][..],
         &["compare", "onlyone"][..],
+        &["timeline"][..],
+        &["timeline", "--window", "soon", "shadow"][..],
+        &["lag", "onlyone"][..],
     ] {
         let out = repro(args);
         assert_eq!(out.status.code(), Some(2), "{args:?}");
@@ -108,6 +138,8 @@ fn list_advertises_items_and_subcommands() {
         "top",
         "explain",
         "check",
+        "timeline",
+        "lag",
         "compare",
         "diff",
         "--obs",
@@ -156,6 +188,8 @@ fn obs_writes_every_artifact_family_and_sentinel_gates() {
         "fig2.profile.json",
         "fig2.insight.json",
         "fig2.sentinel.json",
+        "fig2.timeline.json",
+        "fig2.timeline.svg",
     ] {
         assert!(
             dir.join(artifact).is_file(),
@@ -165,6 +199,11 @@ fn obs_writes_every_artifact_family_and_sentinel_gates() {
     let text = std::fs::read_to_string(dir.join("fig2.sentinel.json")).unwrap();
     let report = beehive_sentinel::SentinelReport::parse(&text).expect("sentinel artifact parses");
     assert!(report.clean());
+    let text = std::fs::read_to_string(dir.join("fig2.timeline.json")).unwrap();
+    let doc = beehive_observatory::TimelineDoc::parse(&text).expect("timeline artifact parses");
+    assert!(!doc.scenarios.is_empty());
+    let svg = std::fs::read_to_string(dir.join("fig2.timeline.svg")).unwrap();
+    assert!(svg.starts_with("<svg") && svg.trim_end().ends_with("</svg>"));
     let _ = std::fs::remove_dir_all(&dir);
 
     // The online checker alone: clean run, exit 0, no artifacts needed.

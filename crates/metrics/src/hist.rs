@@ -171,6 +171,42 @@ mod tests {
     }
 
     #[test]
+    fn bucket_edges_are_exact() {
+        // Octave boundaries: 2^o opens bucket 16*(o-3) and 2^o - 1 closes
+        // the bucket just below it, for every octave above the linear range.
+        for o in 5..64u32 {
+            let v = 1u64 << o;
+            let b = 16 * (o as usize - 3);
+            assert_eq!(LogLinearHistogram::bucket_of(v), b, "2^{o}");
+            assert_eq!(LogLinearHistogram::bucket_of(v - 1), b - 1, "2^{o} - 1");
+        }
+        // Sub-bucket lower edges: (16 + s) << (o - 4) starts sub-bucket s of
+        // octave o exactly.
+        for o in 4..64u32 {
+            for s in 0..16u64 {
+                let v = (16 + s) << (o - 4);
+                assert_eq!(
+                    LogLinearHistogram::bucket_of(v),
+                    16 * (o as usize - 3) + s as usize,
+                    "octave {o} sub {s}"
+                );
+            }
+        }
+        // The extremes: zero is the first bucket, u64::MAX the last, and the
+        // last bucket's upper value is u64::MAX itself (quantiles saturate
+        // instead of overflowing).
+        assert_eq!(LogLinearHistogram::bucket_of(0), 0);
+        assert_eq!(LogLinearHistogram::bucket_of(u64::MAX), BUCKETS - 1);
+        assert_eq!(LogLinearHistogram::bucket_value(BUCKETS - 1), u64::MAX);
+        // One past any bucket's upper value lands in the next bucket: the
+        // partition has no gaps and no overlaps.
+        for b in 0..BUCKETS - 1 {
+            let ub = LogLinearHistogram::bucket_value(b);
+            assert_eq!(LogLinearHistogram::bucket_of(ub + 1), b + 1, "bucket {b}");
+        }
+    }
+
+    #[test]
     fn relative_error_is_bounded() {
         for v in [100u64, 12_345, 7_777_777, 123_456_789_123] {
             let ub = LogLinearHistogram::bucket_value(LogLinearHistogram::bucket_of(v));

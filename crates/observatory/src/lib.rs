@@ -1,0 +1,1415 @@
+//! Time-resolved elasticity observability.
+//!
+//! Every other observability substrate in the reproduction (trace, metrics,
+//! profile, insight, sentinel) reports per-request or whole-run aggregates.
+//! BeeHive's headline claim, however, is *sub-second elasticity* — a
+//! time-domain property: how long after a burst onset does capacity catch
+//! up? This crate gives the reproduction that time axis.
+//!
+//! [`Observer`] is a streaming reducer that rides the telemetry recorder as
+//! a second consumer (via `beehive_telemetry::visit_from`, exactly like the
+//! sentinel) and folds [`TraceEvent`]s into deterministic fixed-width
+//! virtual-time bins:
+//!
+//! * offered vs. served vs. rejected requests per bin,
+//! * per-bin P50/P99 latency (arrival → completion, including hidden boot
+//!   waits) on a [`LogLinearHistogram`],
+//! * queue depth per pool and in-flight requests,
+//! * active / idle / booting instance counts and peak cold-boot concurrency,
+//! * warm / spawn / server dispatch outcomes (the warm-pool hit rate),
+//! * requests forwarded by the burst handler (`burst:route`).
+//!
+//! From the bins it derives per-burst elasticity signals ([`BurstSignal`]):
+//! **scale-up lag** (arrival-rate step onset → P99 re-entering the
+//! steady-state band), provisioning efficiency and cold-start amplification
+//! during the spike. Everything is integer arithmetic on nanoseconds, so a
+//! rendered timeline is byte-identical across worker counts and platforms.
+//!
+//! [`TimelineDoc`] collects the per-scenario series and renders them as an
+//! ASCII sparkline timeline, a self-contained SVG, or a JSON artifact that
+//! round-trips through [`TimelineDoc::parse`] (the `repro lag` diff
+//! consumes those artifacts).
+
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+
+use beehive_metrics::LogLinearHistogram;
+use beehive_sim::json::Json;
+use beehive_sim::Duration;
+use beehive_telemetry::{Arg, EventKind, Trace, TraceEvent, Track};
+
+/// Default bin width of the timeline: one virtual second.
+pub const DEFAULT_WINDOW: Duration = Duration::from_secs(1);
+
+/// Bins of consecutive in-band P99 required before a burst counts as
+/// settled (the last bin of the run may settle alone).
+const SETTLE_BINS: usize = 2;
+
+// ---------------------------------------------------------------------------
+// Derived elasticity signals
+// ---------------------------------------------------------------------------
+
+/// Elasticity signals derived for one arrival-rate step (burst onset).
+///
+/// A signal exists for the implicit run-start step (cold system meets the
+/// base rate at t=0) and for every recorded `burst:onset` rate increase.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BurstSignal {
+    /// Virtual time of the rate step, nanoseconds since the run start.
+    pub onset_ns: u64,
+    /// The steady-state P99 band: twice the median per-bin P99 of the run,
+    /// snapped up to a log-linear histogram bucket edge.
+    pub band_p99_ns: u64,
+    /// End of the first bin window where P99 re-entered the band (and
+    /// stayed there), or `None` when the run never settles.
+    pub settle_ns: Option<u64>,
+    /// Scale-up lag: `settle_ns - onset_ns`. `None` when the run never
+    /// settles after this onset.
+    pub lag_ns: Option<u64>,
+    /// `10_000 × served / offered` over the onset→settle window, in basis
+    /// points (10_000 = every offered request was served inside the window).
+    pub provisioning_efficiency_bp: u64,
+    /// Cold-start amplification: the spawn share of dispatches inside the
+    /// onset→settle window relative to the whole run, in basis points
+    /// (10_000 = the spike spawned no more than steady state).
+    pub cold_start_amplification_bp: u64,
+}
+
+impl BurstSignal {
+    fn to_json(&self) -> Json {
+        let opt = |v: Option<u64>| match v {
+            Some(n) => Json::Int(n as i128),
+            None => Json::Null,
+        };
+        Json::obj([
+            ("onset_ns".into(), Json::Int(self.onset_ns as i128)),
+            ("band_p99_ns".into(), Json::Int(self.band_p99_ns as i128)),
+            ("settle_ns".into(), opt(self.settle_ns)),
+            ("lag_ns".into(), opt(self.lag_ns)),
+            (
+                "provisioning_efficiency_bp".into(),
+                Json::Int(self.provisioning_efficiency_bp as i128),
+            ),
+            (
+                "cold_start_amplification_bp".into(),
+                Json::Int(self.cold_start_amplification_bp as i128),
+            ),
+        ])
+    }
+
+    fn from_json(j: &Json) -> Option<BurstSignal> {
+        let opt = |key: &str| match j.get(key) {
+            Some(Json::Int(i)) if *i >= 0 => Some(Some(*i as u64)),
+            Some(Json::Null) | None => Some(None),
+            _ => None,
+        };
+        Some(BurstSignal {
+            onset_ns: u64_field(j, "onset_ns")?,
+            band_p99_ns: u64_field(j, "band_p99_ns")?,
+            settle_ns: opt("settle_ns")?,
+            lag_ns: opt("lag_ns")?,
+            provisioning_efficiency_bp: u64_field(j, "provisioning_efficiency_bp")?,
+            cold_start_amplification_bp: u64_field(j, "cold_start_amplification_bp")?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-scenario series
+// ---------------------------------------------------------------------------
+
+/// The reduced timeline of one scenario: parallel per-bin series plus the
+/// derived burst signals. All series have the same length.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ScenarioSeries {
+    /// Scenario label (blank until the engine harvest fills it in).
+    pub label: String,
+    /// Bin width in nanoseconds of virtual time.
+    pub window_ns: u64,
+    /// Telemetry events folded into this series.
+    pub events: u64,
+    /// Offered load per bin: request sessions started plus rejections
+    /// (shadow warm-ups are not offered load).
+    pub offered: Vec<u64>,
+    /// Requests completed per bin (binned by completion time).
+    pub served: Vec<u64>,
+    /// Requests refused by the saturated server pool per bin.
+    pub rejected: Vec<u64>,
+    /// Per-bin P50 of arrival→completion latency (ns), 0 for empty bins.
+    pub p50_ns: Vec<u64>,
+    /// Per-bin P99 of arrival→completion latency (ns), 0 for empty bins.
+    pub p99_ns: Vec<u64>,
+    /// Primary server pool depth sampled at each bin's end.
+    pub queue_primary: Vec<i64>,
+    /// Scaled-capacity pool depth sampled at each bin's end (zero unless a
+    /// scaling strategy brought up a second pool).
+    pub queue_scaled: Vec<i64>,
+    /// In-flight requests sampled at each bin's end.
+    pub inflight: Vec<i64>,
+    /// Busy FaaS instances at each bin's end.
+    pub active: Vec<u64>,
+    /// Warm idle FaaS instances at each bin's end.
+    pub idle: Vec<u64>,
+    /// Booting FaaS instances at each bin's end.
+    pub booting: Vec<u64>,
+    /// Peak concurrent boots observed inside each bin (cold-boot
+    /// concurrency — the provisioning wavefront).
+    pub booting_peak: Vec<u64>,
+    /// Offload dispatches that hit a warm instance, per bin.
+    pub dispatch_warm: Vec<u64>,
+    /// Offload dispatches that spawned a new instance, per bin.
+    pub dispatch_spawn: Vec<u64>,
+    /// Offload dispatches that fell back to the server, per bin.
+    pub dispatch_server: Vec<u64>,
+    /// Requests the burst handler forwarded to scaled capacity, per bin.
+    pub forwarded: Vec<u64>,
+    /// Derived per-burst elasticity signals.
+    pub signals: Vec<BurstSignal>,
+}
+
+impl ScenarioSeries {
+    /// Number of bins in the series.
+    pub fn bins(&self) -> usize {
+        self.offered.len()
+    }
+
+    /// The series as a JSON object.
+    pub fn to_json(&self) -> Json {
+        let u = |v: &[u64]| Json::Arr(v.iter().map(|&x| Json::Int(x as i128)).collect());
+        let i = |v: &[i64]| Json::Arr(v.iter().map(|&x| Json::Int(x as i128)).collect());
+        Json::obj([
+            ("label".into(), Json::from(self.label.clone())),
+            ("window_ns".into(), Json::Int(self.window_ns as i128)),
+            ("events".into(), Json::Int(self.events as i128)),
+            ("offered".into(), u(&self.offered)),
+            ("served".into(), u(&self.served)),
+            ("rejected".into(), u(&self.rejected)),
+            ("p50_ns".into(), u(&self.p50_ns)),
+            ("p99_ns".into(), u(&self.p99_ns)),
+            ("queue_primary".into(), i(&self.queue_primary)),
+            ("queue_scaled".into(), i(&self.queue_scaled)),
+            ("inflight".into(), i(&self.inflight)),
+            ("active".into(), u(&self.active)),
+            ("idle".into(), u(&self.idle)),
+            ("booting".into(), u(&self.booting)),
+            ("booting_peak".into(), u(&self.booting_peak)),
+            ("dispatch_warm".into(), u(&self.dispatch_warm)),
+            ("dispatch_spawn".into(), u(&self.dispatch_spawn)),
+            ("dispatch_server".into(), u(&self.dispatch_server)),
+            ("forwarded".into(), u(&self.forwarded)),
+            (
+                "signals".into(),
+                Json::Arr(self.signals.iter().map(|s| s.to_json()).collect()),
+            ),
+        ])
+    }
+
+    /// Rebuild a series from its [`ScenarioSeries::to_json`] form.
+    pub fn from_json(j: &Json) -> Option<ScenarioSeries> {
+        let signals = match j.get("signals")? {
+            Json::Arr(items) => items
+                .iter()
+                .map(BurstSignal::from_json)
+                .collect::<Option<Vec<_>>>()?,
+            _ => return None,
+        };
+        let s = ScenarioSeries {
+            label: str_field(j, "label")?,
+            window_ns: u64_field(j, "window_ns")?,
+            events: u64_field(j, "events")?,
+            offered: u64_arr(j, "offered")?,
+            served: u64_arr(j, "served")?,
+            rejected: u64_arr(j, "rejected")?,
+            p50_ns: u64_arr(j, "p50_ns")?,
+            p99_ns: u64_arr(j, "p99_ns")?,
+            queue_primary: i64_arr(j, "queue_primary")?,
+            queue_scaled: i64_arr(j, "queue_scaled")?,
+            inflight: i64_arr(j, "inflight")?,
+            active: u64_arr(j, "active")?,
+            idle: u64_arr(j, "idle")?,
+            booting: u64_arr(j, "booting")?,
+            booting_peak: u64_arr(j, "booting_peak")?,
+            dispatch_warm: u64_arr(j, "dispatch_warm")?,
+            dispatch_spawn: u64_arr(j, "dispatch_spawn")?,
+            dispatch_server: u64_arr(j, "dispatch_server")?,
+            forwarded: u64_arr(j, "forwarded")?,
+            signals,
+        };
+        Some(s)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The streaming reducer
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Life {
+    Booting,
+    Active,
+    Idle,
+}
+
+#[derive(Default)]
+struct ReqState {
+    begin_ns: u64,
+    boot_wait_ns: u64,
+    shadow: bool,
+}
+
+/// Streaming reducer folding telemetry events into a [`ScenarioSeries`].
+///
+/// Feed events in emission order (which is virtual-time order) with
+/// [`Observer::feed`], then call [`Observer::finish`]. The observer is the
+/// second consumer of the shared telemetry recorder: the workload driver
+/// drains the recorder into it incrementally via
+/// `beehive_telemetry::visit_from`, the same discipline as the sentinel.
+pub struct Observer {
+    window_ns: u64,
+    out: ScenarioSeries,
+    // Gauges carried forward across bins.
+    queue_primary: i64,
+    queue_scaled: i64,
+    inflight: i64,
+    active: u64,
+    idle: u64,
+    booting: u64,
+    booting_peak: u64,
+    // Accumulators of the currently open bin.
+    offered: u64,
+    served: u64,
+    rejected: u64,
+    warm: u64,
+    spawn: u64,
+    server_disp: u64,
+    forwarded: u64,
+    hist: LogLinearHistogram,
+    // Cross-bin state.
+    reqs: HashMap<u64, ReqState>,
+    insts: HashMap<u32, Life>,
+    onsets: Vec<u64>,
+    events: u64,
+}
+
+impl Observer {
+    /// An observer with the given bin width (clamped to at least 1 ns).
+    pub fn new(window: Duration) -> Observer {
+        Observer {
+            window_ns: window.as_nanos().max(1),
+            out: ScenarioSeries::default(),
+            queue_primary: 0,
+            queue_scaled: 0,
+            inflight: 0,
+            active: 0,
+            idle: 0,
+            booting: 0,
+            booting_peak: 0,
+            offered: 0,
+            served: 0,
+            rejected: 0,
+            warm: 0,
+            spawn: 0,
+            server_disp: 0,
+            forwarded: 0,
+            hist: LogLinearHistogram::new(),
+            reqs: HashMap::new(),
+            insts: HashMap::new(),
+            onsets: Vec::new(),
+            events: 0,
+        }
+    }
+
+    /// Fold one event. Events must arrive in virtual-time order.
+    pub fn feed(&mut self, e: &TraceEvent) {
+        self.events += 1;
+        let bin = e.at.as_nanos() / self.window_ns;
+        while (self.out.offered.len() as u64) < bin {
+            self.seal();
+        }
+        match e.track {
+            Track::Request(rid) => self.feed_request(rid, e),
+            Track::Server => self.feed_server(e),
+            Track::Instance(fid) => self.feed_instance(fid, e),
+            Track::Platform => self.feed_platform(e),
+            Track::Sim => self.feed_sim(e),
+            Track::Db => {}
+        }
+    }
+
+    /// Seal the open bin and derive the burst signals.
+    pub fn finish(mut self, label: String) -> ScenarioSeries {
+        if self.events > 0 {
+            self.seal();
+        }
+        let mut out = self.out;
+        out.label = label;
+        out.window_ns = self.window_ns;
+        out.events = self.events;
+        out.signals = derive_signals(&out, &self.onsets);
+        out
+    }
+
+    /// Close the open bin: sample the gauges at its end, push the
+    /// accumulators, and reset for the next bin.
+    fn seal(&mut self) {
+        let out = &mut self.out;
+        out.offered.push(self.offered);
+        out.served.push(self.served);
+        out.rejected.push(self.rejected);
+        let (p50, p99) = if self.hist.is_empty() {
+            (0, 0)
+        } else {
+            (self.hist.quantile(0.50), self.hist.quantile(0.99))
+        };
+        out.p50_ns.push(p50);
+        out.p99_ns.push(p99);
+        out.queue_primary.push(self.queue_primary);
+        out.queue_scaled.push(self.queue_scaled);
+        out.inflight.push(self.inflight);
+        out.active.push(self.active);
+        out.idle.push(self.idle);
+        out.booting.push(self.booting);
+        out.booting_peak.push(self.booting_peak);
+        out.dispatch_warm.push(self.warm);
+        out.dispatch_spawn.push(self.spawn);
+        out.dispatch_server.push(self.server_disp);
+        out.forwarded.push(self.forwarded);
+        self.offered = 0;
+        self.served = 0;
+        self.rejected = 0;
+        self.warm = 0;
+        self.spawn = 0;
+        self.server_disp = 0;
+        self.forwarded = 0;
+        self.hist = LogLinearHistogram::new();
+        self.booting_peak = self.booting;
+    }
+
+    fn feed_request(&mut self, rid: u64, e: &TraceEvent) {
+        match (e.kind, e.name) {
+            (EventKind::Begin, "req:server" | "req:offload" | "req:shadow") => {
+                let shadow = e.name == "req:shadow";
+                if !shadow {
+                    self.offered += 1;
+                }
+                // A `boot:wait` for this request may already be stashed
+                // (it is emitted just before the session span opens).
+                let st = self.reqs.entry(rid).or_default();
+                st.begin_ns = e.at.as_nanos();
+                st.shadow = shadow;
+            }
+            (EventKind::Complete(d), "boot:wait") => {
+                let st = self.reqs.entry(rid).or_default();
+                st.boot_wait_ns = d.as_nanos();
+            }
+            (EventKind::End, "req:server" | "req:offload" | "req:shadow") => {
+                if let Some(st) = self.reqs.remove(&rid) {
+                    if !st.shadow {
+                        self.served += 1;
+                        let latency =
+                            e.at.as_nanos()
+                                .saturating_sub(st.begin_ns)
+                                .saturating_add(st.boot_wait_ns);
+                        self.hist.record(latency);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn feed_server(&mut self, e: &TraceEvent) {
+        match (e.kind, e.name) {
+            (EventKind::Instant, "offload:dispatch") => match arg_str(e, "outcome") {
+                Some("warm") => self.warm += 1,
+                Some("spawn") => self.spawn += 1,
+                Some("server") => self.server_disp += 1,
+                _ => {}
+            },
+            (EventKind::Instant, "rejected") => {
+                self.rejected += 1;
+                self.offered += 1;
+            }
+            (EventKind::Instant, "burst:route") if arg_str(e, "route") == Some("scaled") => {
+                self.forwarded += 1;
+            }
+            _ => {}
+        }
+    }
+
+    fn feed_instance(&mut self, fid: u32, e: &TraceEvent) {
+        if e.kind != EventKind::Instant {
+            return;
+        }
+        match e.name {
+            "instance:cold_boot" => {
+                self.set_life(fid, Some(Life::Booting));
+            }
+            "instance:ready" | "instance:warm_start" => {
+                self.set_life(fid, Some(Life::Active));
+            }
+            "instance:release" => {
+                self.set_life(fid, Some(Life::Idle));
+            }
+            "instance:kill" => {
+                self.set_life(fid, None);
+            }
+            _ => {}
+        }
+    }
+
+    /// Move an instance to a new lifecycle state, keeping the three gauges
+    /// (and the cold-boot concurrency peak) consistent.
+    fn set_life(&mut self, fid: u32, next: Option<Life>) {
+        let prev = match next {
+            Some(l) => self.insts.insert(fid, l),
+            None => self.insts.remove(&fid),
+        };
+        match prev {
+            Some(Life::Booting) => self.booting = self.booting.saturating_sub(1),
+            Some(Life::Active) => self.active = self.active.saturating_sub(1),
+            Some(Life::Idle) => self.idle = self.idle.saturating_sub(1),
+            None => {}
+        }
+        match next {
+            Some(Life::Booting) => {
+                self.booting += 1;
+                self.booting_peak = self.booting_peak.max(self.booting);
+            }
+            Some(Life::Active) => self.active += 1,
+            Some(Life::Idle) => self.idle += 1,
+            None => {}
+        }
+    }
+
+    fn feed_platform(&mut self, e: &TraceEvent) {
+        if let (EventKind::Instant, "instance:expire") = (e.kind, e.name) {
+            // The keep-alive sweep reports a count, not ids; the expired
+            // instances leave the warm cache.
+            let n = arg_u64(e, "count").unwrap_or(0);
+            self.idle = self.idle.saturating_sub(n);
+            // Drop that many tracked idle instances so later kills of other
+            // states stay consistent (ids are unknown; any idle ids do).
+            let mut victims: Vec<u32> = self
+                .insts
+                .iter()
+                .filter(|(_, l)| **l == Life::Idle)
+                .map(|(&id, _)| id)
+                .collect();
+            victims.sort_unstable();
+            for id in victims.into_iter().take(n as usize) {
+                self.insts.remove(&id);
+            }
+        }
+    }
+
+    fn feed_sim(&mut self, e: &TraceEvent) {
+        match (e.kind, e.name) {
+            (EventKind::Counter(v), "server_pool") => self.queue_primary = v,
+            (EventKind::Counter(v), "inflight") => self.inflight = v,
+            (EventKind::Instant, "pool:depth") if arg_u64(e, "pool") == Some(1) => {
+                self.queue_scaled = arg_u64(e, "depth").unwrap_or(0) as i64;
+            }
+            (EventKind::Instant, "burst:onset") => {
+                // Only rate increases are elasticity events; rate drops end
+                // a burst and need no capacity response.
+                let from = arg_u64(e, "mrps_from").unwrap_or(0);
+                let to = arg_u64(e, "mrps_to").unwrap_or(0);
+                if to > from {
+                    self.onsets.push(e.at.as_nanos());
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn arg_str(e: &TraceEvent, name: &str) -> Option<&'static str> {
+    e.args.iter().find_map(|(k, v)| match v {
+        Arg::Str(s) if *k == name => Some(*s),
+        _ => None,
+    })
+}
+
+fn arg_u64(e: &TraceEvent, name: &str) -> Option<u64> {
+    e.args.iter().find_map(|(k, v)| match v {
+        Arg::UInt(u) if *k == name => Some(*u),
+        Arg::Int(i) if *k == name && *i >= 0 => Some(*i as u64),
+        _ => None,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Signal derivation
+// ---------------------------------------------------------------------------
+
+/// Derive the per-burst elasticity signals from sealed bins: a signal for
+/// the implicit run-start rate step plus one per recorded onset.
+fn derive_signals(s: &ScenarioSeries, onsets: &[u64]) -> Vec<BurstSignal> {
+    let n = s.bins();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Steady-state band: twice the median per-bin P99 over bins that
+    // completed requests, snapped up to a log-linear bucket edge so the
+    // band is itself a representable histogram value.
+    let mut p99s: Vec<u64> = s.p99_ns.iter().copied().filter(|&v| v > 0).collect();
+    if p99s.is_empty() {
+        return Vec::new();
+    }
+    p99s.sort_unstable();
+    let median = p99s[p99s.len() / 2];
+    let band =
+        LogLinearHistogram::bucket_value(LogLinearHistogram::bucket_of(median.saturating_mul(2)));
+    let w = s.window_ns;
+    let total_spawn: u64 = s.dispatch_spawn.iter().sum();
+    let total_disp: u64 =
+        total_spawn + s.dispatch_warm.iter().sum::<u64>() + s.dispatch_server.iter().sum::<u64>();
+
+    let mut all: Vec<u64> = Vec::with_capacity(onsets.len() + 1);
+    all.push(0);
+    all.extend(onsets.iter().copied().filter(|&o| o > 0));
+    all.dedup();
+
+    all.into_iter()
+        .filter(|&onset| ((onset / w) as usize) < n)
+        .map(|onset| {
+            let first = (onset / w) as usize;
+            let settled = |b: usize| s.served[b] > 0 && s.p99_ns[b] > 0 && s.p99_ns[b] <= band;
+            let mut settle_bin = None;
+            for b in first..n {
+                let run_ok = (b..(b + SETTLE_BINS).min(n)).all(settled);
+                if run_ok {
+                    settle_bin = Some(b);
+                    break;
+                }
+            }
+            let last = settle_bin.unwrap_or(n - 1);
+            let offered: u64 = s.offered[first..=last].iter().sum();
+            let served: u64 = s.served[first..=last].iter().sum();
+            let spawn_w: u64 = s.dispatch_spawn[first..=last].iter().sum();
+            let disp_w: u64 = spawn_w
+                + s.dispatch_warm[first..=last].iter().sum::<u64>()
+                + s.dispatch_server[first..=last].iter().sum::<u64>();
+            let amplification = if total_spawn == 0 || disp_w == 0 {
+                10_000
+            } else {
+                (spawn_w as u128 * total_disp as u128 * 10_000
+                    / (disp_w as u128 * total_spawn as u128)) as u64
+            };
+            let settle_ns = settle_bin.map(|b| (b as u64 + 1) * w);
+            BurstSignal {
+                onset_ns: onset,
+                band_p99_ns: band,
+                settle_ns,
+                lag_ns: settle_ns.map(|t| t - onset),
+                provisioning_efficiency_bp: served * 10_000 / offered.max(1),
+                cold_start_amplification_bp: amplification,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// The timeline document
+// ---------------------------------------------------------------------------
+
+/// A timeline report: one [`ScenarioSeries`] per scenario of an experiment.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TimelineDoc {
+    /// The per-scenario series, in scenario order.
+    pub scenarios: Vec<ScenarioSeries>,
+}
+
+impl TimelineDoc {
+    /// A document over already-reduced series.
+    pub fn from_series(scenarios: Vec<ScenarioSeries>) -> TimelineDoc {
+        TimelineDoc { scenarios }
+    }
+
+    /// Offline reduction: replay recorded traces through an [`Observer`]
+    /// each, yielding exactly what the online path would have produced.
+    pub fn from_traces(traces: &[(String, Trace)], window: Duration) -> TimelineDoc {
+        let scenarios = traces
+            .iter()
+            .map(|(label, trace)| {
+                let mut obs = Observer::new(window);
+                for e in &trace.events {
+                    obs.feed(e);
+                }
+                obs.finish(label.clone())
+            })
+            .collect();
+        TimelineDoc { scenarios }
+    }
+
+    /// The document as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([(
+            "scenarios".into(),
+            Json::Arr(self.scenarios.iter().map(|s| s.to_json()).collect()),
+        )])
+    }
+
+    /// Parse a document rendered from [`TimelineDoc::to_json`].
+    pub fn parse(text: &str) -> Option<TimelineDoc> {
+        let j = Json::parse(text).ok()?;
+        let scenarios = match j.get("scenarios")? {
+            Json::Arr(items) => items
+                .iter()
+                .map(ScenarioSeries::from_json)
+                .collect::<Option<Vec<_>>>()?,
+            _ => return None,
+        };
+        Some(TimelineDoc { scenarios })
+    }
+
+    /// Render the ASCII sparkline timeline (the `repro timeline` default).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for s in &self.scenarios {
+            render_scenario_text(&mut out, s);
+        }
+        out
+    }
+
+    /// Render a self-contained SVG of every scenario's timeline.
+    pub fn render_svg(&self) -> String {
+        render_svg(self)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ASCII rendering
+// ---------------------------------------------------------------------------
+
+const SPARKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+fn spark(vals: &[u64]) -> String {
+    let max = vals.iter().copied().max().unwrap_or(0);
+    vals.iter()
+        .map(|&v| {
+            if max == 0 {
+                SPARKS[0]
+            } else {
+                SPARKS[(v as u128 * 7 / max as u128) as usize]
+            }
+        })
+        .collect()
+}
+
+fn clamp_pos(vals: &[i64]) -> Vec<u64> {
+    vals.iter().map(|&v| v.max(0) as u64).collect()
+}
+
+/// `ns` as integer milliseconds with two decimals (`12.34ms`).
+fn fmt_ms(ns: u64) -> String {
+    format!("{}.{:02}ms", ns / 1_000_000, (ns % 1_000_000) / 10_000)
+}
+
+/// Basis points as a percentage with two decimals (`98.75%`).
+fn fmt_bp_pct(bp: u64) -> String {
+    format!("{}.{:02}%", bp / 100, bp % 100)
+}
+
+/// Basis points as a ratio with two decimals (`1.25x`).
+fn fmt_bp_x(bp: u64) -> String {
+    format!("{}.{:02}x", bp / 10_000, (bp % 10_000) / 100)
+}
+
+/// A sparkline row: name, sparkline, and the series maximum. `ms` renders
+/// the maximum as milliseconds instead of a bare count.
+fn text_row(out: &mut String, name: &str, vals: &[u64], unit: &str, ms: bool) {
+    use std::fmt::Write;
+    let max = vals.iter().copied().max().unwrap_or(0);
+    let shown = if ms { fmt_ms(max) } else { max.to_string() };
+    let _ = writeln!(out, "  {name:<10} {}  max {shown}{unit}", spark(vals));
+}
+
+fn render_scenario_text(out: &mut String, s: &ScenarioSeries) {
+    use std::fmt::Write;
+    let _ = writeln!(
+        out,
+        "== {} ==  (window {}, {} bins, {} events)",
+        s.label,
+        fmt_ms(s.window_ns),
+        s.bins(),
+        s.events
+    );
+    text_row(out, "offered", &s.offered, "/bin", false);
+    text_row(out, "served", &s.served, "/bin", false);
+    text_row(out, "rejected", &s.rejected, "/bin", false);
+    text_row(out, "p99", &s.p99_ns, "", true);
+    text_row(out, "p50", &s.p50_ns, "", true);
+    text_row(out, "queue", &clamp_pos(&s.queue_primary), "", false);
+    if s.queue_scaled.iter().any(|&v| v != 0) {
+        text_row(out, "queue2", &clamp_pos(&s.queue_scaled), "", false);
+    }
+    text_row(out, "inflight", &clamp_pos(&s.inflight), "", false);
+    text_row(out, "active", &s.active, "", false);
+    text_row(out, "idle", &s.idle, "", false);
+    text_row(out, "booting", &s.booting_peak, " peak", false);
+    let warm_pct: Vec<u64> = (0..s.bins())
+        .map(|b| {
+            let total = s.dispatch_warm[b] + s.dispatch_spawn[b] + s.dispatch_server[b];
+            (s.dispatch_warm[b] * 100).checked_div(total).unwrap_or(0)
+        })
+        .collect();
+    text_row(out, "warm-hit", &warm_pct, "%", false);
+    if s.forwarded.iter().any(|&v| v != 0) {
+        text_row(out, "forwarded", &s.forwarded, "/bin", false);
+    }
+    for sig in &s.signals {
+        let lag = match sig.lag_ns {
+            Some(l) => format!("lag {}", fmt_ms(l)),
+            None => "lag unsettled".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "  burst @{}: {}  band p99<={}  prov-eff {}  cold-amp {}",
+            fmt_ms(sig.onset_ns),
+            lag,
+            fmt_ms(sig.band_p99_ns),
+            fmt_bp_pct(sig.provisioning_efficiency_bp),
+            fmt_bp_x(sig.cold_start_amplification_bp),
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SVG rendering
+// ---------------------------------------------------------------------------
+
+/// One chart row inside the SVG: a titled polyline panel.
+struct Panel<'a> {
+    title: &'a str,
+    color: &'a str,
+    vals: Vec<u64>,
+}
+
+fn render_svg(doc: &TimelineDoc) -> String {
+    use std::fmt::Write;
+    const PANEL_H: u64 = 56;
+    const PANEL_GAP: u64 = 14;
+    const LEFT: u64 = 150;
+    const STEP: u64 = 12;
+    let bins = doc
+        .scenarios
+        .iter()
+        .map(|s| s.bins())
+        .max()
+        .unwrap_or(0)
+        .max(1) as u64;
+    let width = LEFT + bins * STEP + 20;
+
+    let mut body = String::new();
+    let mut y = 10u64;
+    for s in &doc.scenarios {
+        let _ = writeln!(
+            body,
+            "<text x=\"10\" y=\"{}\" class=\"t\">{} — window {}, {} bins</text>",
+            y + 14,
+            xml_escape(&s.label),
+            fmt_ms(s.window_ns),
+            s.bins()
+        );
+        y += 24;
+        let panels = [
+            Panel {
+                title: "offered/bin",
+                color: "#888888",
+                vals: s.offered.clone(),
+            },
+            Panel {
+                title: "served/bin",
+                color: "#2f9e44",
+                vals: s.served.clone(),
+            },
+            Panel {
+                title: "p99",
+                color: "#e8590c",
+                vals: s.p99_ns.clone(),
+            },
+            Panel {
+                title: "active",
+                color: "#1971c2",
+                vals: s.active.clone(),
+            },
+            Panel {
+                title: "booting peak",
+                color: "#9c36b5",
+                vals: s.booting_peak.clone(),
+            },
+            Panel {
+                title: "queue",
+                color: "#c92a2a",
+                vals: clamp_pos(&s.queue_primary),
+            },
+        ];
+        for p in panels {
+            let max = p.vals.iter().copied().max().unwrap_or(0).max(1);
+            let points: Vec<String> = p
+                .vals
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| {
+                    let x = LEFT + i as u64 * STEP;
+                    let py = y + PANEL_H - ((v as u128 * PANEL_H as u128) / max as u128) as u64;
+                    format!("{x},{py}")
+                })
+                .collect();
+            let _ = writeln!(
+                body,
+                "<text x=\"10\" y=\"{}\" class=\"l\">{} (max {})</text>",
+                y + PANEL_H / 2,
+                p.title,
+                max
+            );
+            let _ = writeln!(
+                body,
+                "<polyline fill=\"none\" stroke=\"{}\" stroke-width=\"1.5\" points=\"{}\"/>",
+                p.color,
+                points.join(" ")
+            );
+            y += PANEL_H + PANEL_GAP;
+        }
+        // Burst onset / settle markers over the whole scenario block.
+        for sig in &s.signals {
+            let x = LEFT + (sig.onset_ns / s.window_ns.max(1)) * STEP;
+            let _ = writeln!(
+                body,
+                "<line x1=\"{x}\" y1=\"{}\" x2=\"{x}\" y2=\"{}\" stroke=\"#e8590c\" stroke-dasharray=\"3,3\"/>",
+                y - 6 * (PANEL_H + PANEL_GAP),
+                y - PANEL_GAP
+            );
+            if let Some(settle) = sig.settle_ns {
+                let sx = LEFT + (settle / s.window_ns.max(1)) * STEP;
+                let _ = writeln!(
+                    body,
+                    "<line x1=\"{sx}\" y1=\"{}\" x2=\"{sx}\" y2=\"{}\" stroke=\"#2f9e44\" stroke-dasharray=\"3,3\"/>",
+                    y - 6 * (PANEL_H + PANEL_GAP),
+                    y - PANEL_GAP
+                );
+            }
+        }
+        y += 10;
+    }
+    format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width}\" height=\"{y}\" \
+         viewBox=\"0 0 {width} {y}\">\n<style>.t{{font:bold 13px monospace}}\
+.l{{font:11px monospace;fill:#444}}</style>\n<rect width=\"{width}\" height=\"{y}\" \
+fill=\"#ffffff\"/>\n{body}</svg>\n"
+    )
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+// ---------------------------------------------------------------------------
+// Lag diffing (`repro lag BASELINE CURRENT`)
+// ---------------------------------------------------------------------------
+
+/// One row of a scale-up-lag comparison between two runs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LagRow {
+    /// Scenario label the burst belongs to.
+    pub label: String,
+    /// Onset time of the compared burst (ns).
+    pub onset_ns: u64,
+    /// Baseline scale-up lag, `None` when the baseline never settled.
+    pub baseline_ns: Option<u64>,
+    /// Current scale-up lag, `None` when the current run never settled.
+    pub current_ns: Option<u64>,
+    /// Verdict: `ok`, `improved` or `REGRESSED`.
+    pub verdict: &'static str,
+}
+
+/// Compare per-burst scale-up lag between a baseline and a current
+/// document. Scenarios are matched by label, bursts by onset index. A lag
+/// counts as regressed when it grows by more than 25% plus one bin width
+/// (absorbing bin-quantisation), or stops settling entirely.
+pub fn lag_diff(baseline: &TimelineDoc, current: &TimelineDoc) -> (Vec<LagRow>, bool) {
+    let mut rows = Vec::new();
+    let mut regressed = false;
+    for b in &baseline.scenarios {
+        let Some(c) = current.scenarios.iter().find(|c| c.label == b.label) else {
+            continue;
+        };
+        for (i, bs) in b.signals.iter().enumerate() {
+            let Some(cs) = c.signals.get(i) else {
+                continue;
+            };
+            let slack = |lag: u64, window: u64| lag / 4 + window;
+            let verdict = match (bs.lag_ns, cs.lag_ns) {
+                (None, None) => "ok",
+                (None, Some(_)) => "improved",
+                (Some(_), None) => "REGRESSED",
+                (Some(base), Some(cur)) => {
+                    if cur > base + slack(base, b.window_ns) {
+                        "REGRESSED"
+                    } else if cur + slack(cur, b.window_ns) < base {
+                        "improved"
+                    } else {
+                        "ok"
+                    }
+                }
+            };
+            regressed |= verdict == "REGRESSED";
+            rows.push(LagRow {
+                label: b.label.clone(),
+                onset_ns: bs.onset_ns,
+                baseline_ns: bs.lag_ns,
+                current_ns: cs.lag_ns,
+                verdict,
+            });
+        }
+    }
+    (rows, regressed)
+}
+
+/// Render a lag comparison as an aligned text table.
+pub fn render_lag_rows(rows: &[LagRow]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let label_w = rows.iter().map(|r| r.label.len()).max().unwrap_or(8).max(8);
+    let _ = writeln!(
+        out,
+        "{:<label_w$}  {:>10}  {:>12}  {:>12}  verdict",
+        "scenario", "onset", "baseline", "current"
+    );
+    for r in rows {
+        let f = |v: Option<u64>| match v {
+            Some(ns) => fmt_ms(ns),
+            None => "unsettled".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "{:<label_w$}  {:>10}  {:>12}  {:>12}  {}",
+            r.label,
+            fmt_ms(r.onset_ns),
+            f(r.baseline_ns),
+            f(r.current_ns),
+            r.verdict
+        );
+    }
+    out
+}
+
+fn str_field(j: &Json, key: &str) -> Option<String> {
+    match j.get(key) {
+        Some(Json::Str(s)) => Some(s.clone()),
+        _ => None,
+    }
+}
+
+fn u64_field(j: &Json, key: &str) -> Option<u64> {
+    match j.get(key) {
+        Some(Json::Int(i)) if *i >= 0 => Some(*i as u64),
+        _ => None,
+    }
+}
+
+fn u64_arr(j: &Json, key: &str) -> Option<Vec<u64>> {
+    match j.get(key) {
+        Some(Json::Arr(items)) => items
+            .iter()
+            .map(|v| match v {
+                Json::Int(i) if *i >= 0 => Some(*i as u64),
+                _ => None,
+            })
+            .collect(),
+        _ => None,
+    }
+}
+
+fn i64_arr(j: &Json, key: &str) -> Option<Vec<i64>> {
+    match j.get(key) {
+        Some(Json::Arr(items)) => items
+            .iter()
+            .map(|v| match v {
+                Json::Int(i) => Some(*i as i64),
+                _ => None,
+            })
+            .collect(),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beehive_sim::SimTime;
+    use beehive_telemetry::{EventKind, TraceEvent, Track};
+
+    fn ev(ms: u64, track: Track, name: &'static str, kind: EventKind) -> TraceEvent {
+        TraceEvent {
+            at: SimTime::from_nanos(ms * 1_000_000),
+            track,
+            name,
+            kind,
+            args: Vec::new(),
+        }
+    }
+
+    fn ev_args(
+        ms: u64,
+        track: Track,
+        name: &'static str,
+        kind: EventKind,
+        args: Vec<(&'static str, Arg)>,
+    ) -> TraceEvent {
+        TraceEvent {
+            at: SimTime::from_nanos(ms * 1_000_000),
+            track,
+            name,
+            kind,
+            args,
+        }
+    }
+
+    /// One request served per 100ms-ish bin with stable latency, plus a
+    /// slow early phase so the run-start burst has a visible lag.
+    fn stable_run(obs: &mut Observer) {
+        for i in 0..40u64 {
+            let rid = i;
+            let t0 = i * 100;
+            let lat = if i < 8 { 40 } else { 5 }; // slow start, then steady
+            obs.feed(&ev(t0, Track::Request(rid), "req:server", EventKind::Begin));
+            obs.feed(&ev(
+                t0 + lat,
+                Track::Request(rid),
+                "req:server",
+                EventKind::End,
+            ));
+        }
+    }
+
+    #[test]
+    fn bins_are_fixed_width_and_counts_add_up() {
+        let mut obs = Observer::new(Duration::from_millis(100));
+        stable_run(&mut obs);
+        let s = obs.finish("t".into());
+        assert_eq!(s.window_ns, 100_000_000);
+        assert_eq!(s.offered.iter().sum::<u64>(), 40);
+        assert_eq!(s.served.iter().sum::<u64>(), 40);
+        assert!(s.bins() >= 40, "one bin per 100ms of activity");
+        assert_eq!(s.p50_ns.len(), s.bins());
+        assert_eq!(s.signals.len(), 1, "implicit run-start onset");
+    }
+
+    #[test]
+    fn run_start_burst_settles_with_finite_lag() {
+        let mut obs = Observer::new(Duration::from_millis(100));
+        stable_run(&mut obs);
+        let s = obs.finish("t".into());
+        let sig = &s.signals[0];
+        assert_eq!(sig.onset_ns, 0);
+        let lag = sig.lag_ns.expect("stable run must settle");
+        assert!(lag >= 100_000_000, "slow start delays settling");
+        assert_eq!(sig.settle_ns, Some(lag));
+        assert!(sig.provisioning_efficiency_bp > 0);
+    }
+
+    #[test]
+    fn shadow_requests_are_not_offered_load() {
+        let mut obs = Observer::new(Duration::from_millis(100));
+        obs.feed(&ev(0, Track::Request(1), "req:shadow", EventKind::Begin));
+        obs.feed(&ev(10, Track::Request(1), "req:shadow", EventKind::End));
+        obs.feed(&ev(20, Track::Request(2), "req:offload", EventKind::Begin));
+        obs.feed(&ev(30, Track::Request(2), "req:offload", EventKind::End));
+        let s = obs.finish("t".into());
+        assert_eq!(s.offered.iter().sum::<u64>(), 1);
+        assert_eq!(s.served.iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn boot_wait_is_charged_to_the_request_latency() {
+        let mut obs = Observer::new(Duration::from_millis(100));
+        // boot:wait precedes the session span at the same instant.
+        obs.feed(&ev_args(
+            50,
+            Track::Request(7),
+            "boot:wait",
+            EventKind::Complete(Duration::from_millis(50)),
+            vec![("cold", Arg::Bool(true))],
+        ));
+        obs.feed(&ev(50, Track::Request(7), "req:offload", EventKind::Begin));
+        obs.feed(&ev(60, Track::Request(7), "req:offload", EventKind::End));
+        let s = obs.finish("t".into());
+        // 10ms of execution + 50ms hidden boot wait = 60ms latency.
+        assert!(s.p99_ns.iter().any(|&v| v >= 60_000_000));
+    }
+
+    #[test]
+    fn rejections_count_as_offered() {
+        let mut obs = Observer::new(Duration::from_millis(100));
+        obs.feed(&ev(10, Track::Server, "rejected", EventKind::Instant));
+        obs.feed(&ev(20, Track::Request(1), "req:server", EventKind::Begin));
+        obs.feed(&ev(25, Track::Request(1), "req:server", EventKind::End));
+        let s = obs.finish("t".into());
+        assert_eq!(s.offered.iter().sum::<u64>(), 2);
+        assert_eq!(s.rejected.iter().sum::<u64>(), 1);
+        assert_eq!(s.served.iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn instance_lifecycle_tracks_fleet_gauges() {
+        let mut obs = Observer::new(Duration::from_millis(10));
+        obs.feed(&ev(
+            1,
+            Track::Instance(0),
+            "instance:cold_boot",
+            EventKind::Instant,
+        ));
+        obs.feed(&ev(
+            2,
+            Track::Instance(1),
+            "instance:cold_boot",
+            EventKind::Instant,
+        ));
+        obs.feed(&ev(
+            15,
+            Track::Instance(0),
+            "instance:ready",
+            EventKind::Instant,
+        ));
+        obs.feed(&ev(
+            25,
+            Track::Instance(0),
+            "instance:release",
+            EventKind::Instant,
+        ));
+        obs.feed(&ev(
+            35,
+            Track::Instance(0),
+            "instance:warm_start",
+            EventKind::Instant,
+        ));
+        obs.feed(&ev(
+            45,
+            Track::Instance(0),
+            "instance:kill",
+            EventKind::Instant,
+        ));
+        let s = obs.finish("t".into());
+        // Bin 0: both booting; peak 2.
+        assert_eq!(s.booting[0], 2);
+        assert_eq!(s.booting_peak[0], 2);
+        // Bin 1: one ready (active), one still booting.
+        assert_eq!(s.active[1], 1);
+        assert_eq!(s.booting[1], 1);
+        // Bin 2: released to the warm cache.
+        assert_eq!(s.idle[2], 1);
+        assert_eq!(s.active[2], 0);
+        // Bin 3: warm start took it busy again.
+        assert_eq!(s.active[3], 1);
+        assert_eq!(s.idle[3], 0);
+        // Bin 4: killed.
+        assert_eq!(s.active[4], 0);
+    }
+
+    #[test]
+    fn expire_drains_the_idle_gauge() {
+        let mut obs = Observer::new(Duration::from_millis(10));
+        for id in 0..3u32 {
+            obs.feed(&ev(
+                1,
+                Track::Instance(id),
+                "instance:warm_start",
+                EventKind::Instant,
+            ));
+            obs.feed(&ev(
+                2,
+                Track::Instance(id),
+                "instance:release",
+                EventKind::Instant,
+            ));
+        }
+        obs.feed(&ev_args(
+            15,
+            Track::Platform,
+            "instance:expire",
+            EventKind::Instant,
+            vec![("count", Arg::UInt(2))],
+        ));
+        let s = obs.finish("t".into());
+        assert_eq!(s.idle[0], 3);
+        assert_eq!(s.idle[1], 1);
+    }
+
+    #[test]
+    fn onsets_from_rate_steps_produce_extra_signals() {
+        let mut obs = Observer::new(Duration::from_millis(100));
+        stable_run(&mut obs);
+        obs.feed(&ev_args(
+            2_000,
+            Track::Sim,
+            "burst:onset",
+            EventKind::Instant,
+            vec![
+                ("mrps_from", Arg::UInt(50_000)),
+                ("mrps_to", Arg::UInt(150_000)),
+            ],
+        ));
+        // A rate *drop* is not an onset.
+        obs.feed(&ev_args(
+            3_000,
+            Track::Sim,
+            "burst:onset",
+            EventKind::Instant,
+            vec![
+                ("mrps_from", Arg::UInt(150_000)),
+                ("mrps_to", Arg::UInt(50_000)),
+            ],
+        ));
+        let s = obs.finish("t".into());
+        assert_eq!(s.signals.len(), 2);
+        assert_eq!(s.signals[1].onset_ns, 2_000_000_000);
+    }
+
+    #[test]
+    fn dispatch_outcomes_and_burst_routes_are_binned() {
+        let mut obs = Observer::new(Duration::from_millis(100));
+        for (ms, outcome) in [(10, "warm"), (20, "spawn"), (30, "server"), (40, "warm")] {
+            obs.feed(&ev_args(
+                ms,
+                Track::Server,
+                "offload:dispatch",
+                EventKind::Instant,
+                vec![("outcome", Arg::Str(outcome))],
+            ));
+        }
+        obs.feed(&ev_args(
+            50,
+            Track::Server,
+            "burst:route",
+            EventKind::Instant,
+            vec![("route", Arg::Str("scaled"))],
+        ));
+        obs.feed(&ev_args(
+            60,
+            Track::Server,
+            "burst:route",
+            EventKind::Instant,
+            vec![("route", Arg::Str("primary"))],
+        ));
+        let s = obs.finish("t".into());
+        assert_eq!(s.dispatch_warm[0], 2);
+        assert_eq!(s.dispatch_spawn[0], 1);
+        assert_eq!(s.dispatch_server[0], 1);
+        assert_eq!(s.forwarded[0], 1);
+    }
+
+    #[test]
+    fn gauges_carry_forward_across_empty_bins() {
+        let mut obs = Observer::new(Duration::from_millis(10));
+        obs.feed(&ev_args(
+            1,
+            Track::Sim,
+            "server_pool",
+            EventKind::Counter(5),
+            vec![],
+        ));
+        obs.feed(&ev(55, Track::Server, "rejected", EventKind::Instant));
+        let s = obs.finish("t".into());
+        assert!(s.bins() >= 5);
+        for b in 0..s.bins() {
+            assert_eq!(s.queue_primary[b], 5, "bin {b} must carry the gauge");
+        }
+    }
+
+    #[test]
+    fn json_round_trips_byte_identically() {
+        let mut obs = Observer::new(Duration::from_millis(100));
+        stable_run(&mut obs);
+        obs.feed(&ev_args(
+            1_500,
+            Track::Sim,
+            "pool:depth",
+            EventKind::Instant,
+            vec![("pool", Arg::UInt(1)), ("depth", Arg::UInt(3))],
+        ));
+        let doc = TimelineDoc::from_series(vec![obs.finish("scenario a".into())]);
+        let text = doc.to_json().render();
+        let parsed = TimelineDoc::parse(&text).expect("parse");
+        assert_eq!(parsed, doc);
+        assert_eq!(parsed.to_json().render(), text);
+    }
+
+    #[test]
+    fn ascii_and_svg_render_every_scenario() {
+        let mut obs = Observer::new(Duration::from_millis(100));
+        stable_run(&mut obs);
+        let doc = TimelineDoc::from_series(vec![obs.finish("my scenario".into())]);
+        let text = doc.render_text();
+        assert!(text.contains("== my scenario =="));
+        assert!(text.contains("offered"));
+        assert!(text.contains("burst @0.00ms"));
+        let svg = doc.render_svg();
+        assert!(svg.starts_with("<svg "));
+        assert!(svg.ends_with("</svg>\n"));
+        assert!(svg.contains("polyline"));
+        assert!(svg.contains("my scenario"));
+    }
+
+    #[test]
+    fn lag_diff_flags_regressions_and_improvements() {
+        let series = |lag: Option<u64>| ScenarioSeries {
+            label: "s".into(),
+            window_ns: 1_000_000_000,
+            signals: vec![BurstSignal {
+                onset_ns: 0,
+                band_p99_ns: 1,
+                settle_ns: lag,
+                lag_ns: lag,
+                provisioning_efficiency_bp: 10_000,
+                cold_start_amplification_bp: 10_000,
+            }],
+            ..ScenarioSeries::default()
+        };
+        let base = TimelineDoc::from_series(vec![series(Some(2_000_000_000))]);
+        let same = TimelineDoc::from_series(vec![series(Some(2_400_000_000))]);
+        let worse = TimelineDoc::from_series(vec![series(Some(9_000_000_000))]);
+        let never = TimelineDoc::from_series(vec![series(None)]);
+
+        let (rows, regressed) = lag_diff(&base, &same);
+        assert_eq!(rows[0].verdict, "ok");
+        assert!(!regressed);
+        let (rows, regressed) = lag_diff(&base, &worse);
+        assert_eq!(rows[0].verdict, "REGRESSED");
+        assert!(regressed);
+        let (rows, regressed) = lag_diff(&base, &never);
+        assert_eq!(rows[0].verdict, "REGRESSED");
+        assert!(regressed);
+        let (rows, regressed) = lag_diff(&worse, &base);
+        assert_eq!(rows[0].verdict, "improved");
+        assert!(!regressed);
+        let table = render_lag_rows(&rows);
+        assert!(table.contains("scenario"));
+        assert!(table.contains("improved"));
+    }
+
+    #[test]
+    fn offline_replay_equals_streaming() {
+        let events: Vec<TraceEvent> = (0..10u64)
+            .flat_map(|i| {
+                vec![
+                    ev(i * 100, Track::Request(i), "req:server", EventKind::Begin),
+                    ev(i * 100 + 5, Track::Request(i), "req:server", EventKind::End),
+                ]
+            })
+            .collect();
+        let mut streaming = Observer::new(DEFAULT_WINDOW);
+        for e in &events {
+            streaming.feed(e);
+        }
+        let streaming = streaming.finish("x".into());
+        let trace = Trace { events };
+        let doc = TimelineDoc::from_traces(&[("x".into(), trace)], DEFAULT_WINDOW);
+        assert_eq!(doc.scenarios[0], streaming);
+    }
+}

@@ -4,6 +4,7 @@
 //! immediately forwards half of the workload to them."
 
 use beehive_sim::SimTime;
+use beehive_telemetry as tele;
 
 /// Routes requests between the primary server and scaled-out capacity.
 ///
@@ -55,16 +56,29 @@ impl BurstHandler {
 
     /// Route one request arriving at `now`.
     pub fn route(&mut self, now: SimTime) -> Route {
-        if self.ready_at.is_none_or(|t| now < t) {
-            return Route::Primary;
-        }
-        self.acc += self.forward_fraction;
-        if self.acc >= 1.0 {
-            self.acc -= 1.0;
-            Route::Scaled
-        } else {
+        let route = if self.ready_at.is_none_or(|t| now < t) {
             Route::Primary
+        } else {
+            self.acc += self.forward_fraction;
+            if self.acc >= 1.0 {
+                self.acc -= 1.0;
+                Route::Scaled
+            } else {
+                Route::Primary
+            }
+        };
+        if tele::enabled() {
+            let name = match route {
+                Route::Primary => "primary",
+                Route::Scaled => "scaled",
+            };
+            tele::instant(
+                tele::Track::Server,
+                "burst:route",
+                &[("route", tele::Arg::Str(name))],
+            );
         }
+        route
     }
 }
 

@@ -686,6 +686,9 @@ impl Sentinel {
             // Closure construction on first dispatch to a fresh instance
             // (§4.2): a server-side Complete with its compute time.
             (EventKind::Complete(_), "closure:build") => {}
+            // Burst-handler routing decisions (§5.1): pure observability for
+            // the timeline substrate, no conservation law attached.
+            (EventKind::Instant, "burst:route") => {}
             _ => self.warn_unknown(e, at),
         }
     }
@@ -725,7 +728,9 @@ impl Sentinel {
                 | "chaos:arm_rpc_drop"
                 | "chaos:arm_rpc_delay"
                 | "chaos:net_degrade"
-                | "chaos:arm_db_drop",
+                | "chaos:arm_db_drop"
+                | "pool:depth"
+                | "burst:onset",
             ) => {}
             _ => self.warn_unknown(e, at),
         }

@@ -341,3 +341,30 @@ fn mutation_unknown_event_is_a_warning_and_a_strict_violation() {
     let v = must_fire(&check_with(&events, strict), Invariant::Vocabulary);
     assert!(v.message.contains("not:a:real:event"), "{v:?}");
 }
+
+#[test]
+fn observability_instants_are_known_vocabulary() {
+    // The timeline substrate's probes — burst-handler routing, scaled-pool
+    // depth, and arrival-rate step onsets — must pass the strict vocabulary
+    // gate without warnings.
+    let mut events = legal_offload();
+    events.push(args(
+        ev(560, Track::Server, "burst:route", EventKind::Instant),
+        &[("route", Arg::Str("primary"))],
+    ));
+    events.push(args(
+        ev(561, Track::Sim, "pool:depth", EventKind::Instant),
+        &[("pool", Arg::UInt(1)), ("depth", Arg::UInt(3))],
+    ));
+    events.push(args(
+        ev(562, Track::Sim, "burst:onset", EventKind::Instant),
+        &[("mrps_from", Arg::UInt(1000)), ("mrps_to", Arg::UInt(4000))],
+    ));
+    let strict = SentinelConfig {
+        strict: true,
+        ..Default::default()
+    };
+    let c = check_with(&events, strict);
+    assert!(c.violations.is_empty(), "{:?}", c.violations);
+    assert!(c.warnings.is_empty(), "{:?}", c.warnings);
+}

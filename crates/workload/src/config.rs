@@ -145,6 +145,16 @@ pub struct SimConfig {
     /// recorded events are dropped after checking unless `trace` is also
     /// set.
     pub sentinel: bool,
+    /// Fold this run's telemetry into a fixed-width elasticity timeline
+    /// ([`SimResult::observatory`]). Defaults to the engine-wide flag set by
+    /// `repro timeline` / `repro --obs`
+    /// ([`crate::engine::set_observe_default`]). Like the sentinel, this
+    /// arms the telemetry recorder even when [`SimConfig::trace`] is off;
+    /// the events are dropped after reduction unless `trace` is also set.
+    pub observe: bool,
+    /// Bin width of the elasticity timeline (virtual time). Defaults to the
+    /// engine-wide value ([`crate::engine::set_observe_window`]).
+    pub observe_window: Duration,
     /// Deterministic fault plan (§4.5 failure injection). The default plan
     /// is empty and the run is byte-identical to one without the chaos
     /// machinery; see [`beehive_chaos`] for injectors and the retry policy.
@@ -176,6 +186,8 @@ impl SimConfig {
             metrics_window: beehive_metrics::DEFAULT_WINDOW,
             profile: crate::engine::profile_default(),
             sentinel: crate::engine::sentinel_default(),
+            observe: crate::engine::observe_default(),
+            observe_window: crate::engine::observe_window(),
             faults: FaultPlan::default(),
         }
     }
@@ -245,6 +257,9 @@ pub struct SimResult {
     /// The conformance-check result, when [`SimConfig::sentinel`] was set.
     /// Its label is blank until [`crate::engine::run_all`] harvests it.
     pub sentinel: Option<beehive_sentinel::ScenarioCheck>,
+    /// The reduced elasticity timeline, when [`SimConfig::observe`] was
+    /// set. Its label is blank until [`crate::engine::run_all`] harvests it.
+    pub observatory: Option<beehive_observatory::ScenarioSeries>,
 }
 
 /// Completion-side accounting: every sampler and counter the event loop
@@ -354,6 +369,7 @@ impl Acct {
         metrics: Option<beehive_metrics::Registry>,
         profile: Option<beehive_profiler::Profile>,
         sentinel: Option<beehive_sentinel::ScenarioCheck>,
+        observatory: Option<beehive_observatory::ScenarioSeries>,
     ) -> SimResult {
         let mut function_gc_pauses = Vec::new();
         let mut peak = 0;
@@ -392,6 +408,7 @@ impl Acct {
             metrics,
             profile,
             sentinel,
+            observatory,
         }
     }
 }

@@ -55,6 +55,11 @@ pub struct Sim {
     /// The online conformance checker and its cursor into the telemetry
     /// sink, when [`SimConfig::sentinel`] is set.
     sentinel: Option<(beehive_sentinel::Sentinel, usize)>,
+    /// The streaming timeline reducer and its own cursor into the same
+    /// telemetry sink, when [`SimConfig::observe`] is set.
+    observatory: Option<(beehive_observatory::Observer, usize)>,
+    /// Last arrival rate seen (milli-rps), for `burst:onset` edge detection.
+    last_mrps: u64,
 }
 
 impl Sim {
@@ -123,17 +128,19 @@ impl Sim {
             obs: Obs::off(),
             acct: Acct::new(),
             sentinel: None,
+            observatory: None,
+            last_mrps: 0,
         }
     }
 
     /// Run to the horizon and collect results.
     pub fn run(mut self) -> SimResult {
-        if self.cfg.trace || self.cfg.sentinel {
+        if self.cfg.trace || self.cfg.sentinel || self.cfg.observe {
             // Installed here rather than in `new` so the prewarm warm-up
             // shadow (which runs outside virtual time) is not recorded. The
-            // online checker rides the same recorder and drains it
-            // incrementally; without `trace` the events are dropped at the
-            // end instead of returned.
+            // online checker and the timeline reducer ride the same recorder
+            // and drain it incrementally on independent cursors; without
+            // `trace` the events are dropped at the end instead of returned.
             tele::install();
         }
         if self.cfg.sentinel {
@@ -142,6 +149,12 @@ impl Sim {
                 ..Default::default()
             };
             self.sentinel = Some((beehive_sentinel::Sentinel::new(cfg), 0));
+        }
+        if self.cfg.observe {
+            self.observatory = Some((
+                beehive_observatory::Observer::new(self.cfg.observe_window),
+                0,
+            ));
         }
         if self.cfg.profile {
             // Same rationale as the trace recorder: the prewarm warm-up
@@ -153,6 +166,10 @@ impl Sim {
         }
         match self.cfg.arrivals {
             ArrivalPattern::Open { .. } => {
+                // Seed the `burst:onset` edge detector with the t=0 rate so
+                // constant-rate runs emit no onset events at all.
+                self.last_mrps =
+                    (self.cfg.arrivals.rate_at(Duration::ZERO).max(1e-9) * 1000.0).round() as u64;
                 self.events.schedule(SimTime::ZERO, Ev::Arrival);
             }
             ArrivalPattern::Closed { clients } => {
@@ -184,7 +201,7 @@ impl Sim {
                 break;
             }
             self.now = t;
-            if self.cfg.trace || self.cfg.sentinel {
+            if self.cfg.trace || self.cfg.sentinel || self.cfg.observe {
                 tele::set_now(t);
             }
             self.handle(ev);
@@ -192,6 +209,9 @@ impl Sim {
                 .wake_lock_waiters(self.now, &mut self.server, &mut self.events);
             if let Some((sentinel, cursor)) = self.sentinel.as_mut() {
                 *cursor = tele::visit_from(*cursor, |e| sentinel.feed(e));
+            }
+            if let Some((observer, cursor)) = self.observatory.as_mut() {
+                *cursor = tele::visit_from(*cursor, |e| observer.feed(e));
             }
         }
         self.finish()
@@ -209,6 +229,19 @@ impl Sim {
                     tele::counter(tele::Track::Sim, "server_pool", pool);
                     tele::counter(tele::Track::Sim, "inflight", inflight);
                     tele::counter(tele::Track::Sim, "idle_instances", idle);
+                    // Per-pool depth beyond the primary (a scaled pool only
+                    // exists under instance-scaling strategies, so steady
+                    // single-pool traces record no extra events).
+                    for (i, p) in self.broker.pools.iter().enumerate().skip(1) {
+                        tele::instant(
+                            tele::Track::Sim,
+                            "pool:depth",
+                            &[
+                                ("pool", tele::Arg::UInt(i as u64)),
+                                ("depth", tele::Arg::UInt(p.len() as u64)),
+                            ],
+                        );
+                    }
                 }
                 self.obs.gauge(self.now, "event_queue", queue);
                 self.obs.gauge(self.now, "server_pool", pool);
@@ -216,6 +249,23 @@ impl Sim {
                 self.obs.gauge(self.now, "idle_instances", idle);
                 let t = self.now.saturating_since(SimTime::ZERO);
                 let rate = self.cfg.arrivals.rate_at(t).max(1e-9);
+                // Edge-detect arrival-rate steps for the elasticity
+                // timeline: constant-rate runs never change `last_mrps`
+                // (seeded with the t=0 rate) and emit nothing.
+                let mrps = (rate * 1000.0).round() as u64;
+                if mrps != self.last_mrps {
+                    if tele::enabled() {
+                        tele::instant(
+                            tele::Track::Sim,
+                            "burst:onset",
+                            &[
+                                ("mrps_from", tele::Arg::UInt(self.last_mrps)),
+                                ("mrps_to", tele::Arg::UInt(mrps)),
+                            ],
+                        );
+                    }
+                    self.last_mrps = mrps;
+                }
                 let gap = self.rng.exponential(Duration::from_secs_f64(1.0 / rate));
                 self.events.schedule(self.now + gap, Ev::Arrival);
                 self.admit(false);
@@ -702,11 +752,16 @@ impl Sim {
             // themselves.
             sentinel.finish(String::new())
         });
+        let observatory = self.observatory.map(|(mut observer, cursor)| {
+            tele::visit_from(cursor, |e| observer.feed(e));
+            // Blank label, same convention as the sentinel above.
+            observer.finish(String::new())
+        });
         let trace = if self.cfg.trace {
             tele::take()
         } else {
-            if self.cfg.sentinel {
-                // The recorder was armed only to feed the checker.
+            if self.cfg.sentinel || self.cfg.observe {
+                // The recorder was armed only to feed the online consumers.
                 drop(tele::take());
             }
             None
@@ -724,6 +779,7 @@ impl Sim {
             self.obs.into_registry(),
             profile,
             sentinel,
+            observatory,
         )
     }
 }

@@ -42,7 +42,7 @@
 //! assert_eq!(outcomes[0].label, "rps=4");
 //! ```
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
 
@@ -85,6 +85,20 @@ static SENTINEL_DEFAULT: AtomicBool = AtomicBool::new(false);
 /// order, labelled with their scenario labels. Drained by
 /// [`drain_sentinel`].
 static COLLECTED_SENTINEL: Mutex<Vec<beehive_sentinel::ScenarioCheck>> = Mutex::new(Vec::new());
+
+/// Engine-wide default for [`SimConfig::observe`] (`repro timeline` and
+/// `repro --obs DIR` set it before building any scenario).
+static OBSERVE_DEFAULT: AtomicBool = AtomicBool::new(false);
+
+/// Engine-wide default bin width for [`SimConfig::observe_window`], in
+/// nanoseconds (`repro timeline --window NS` overrides it).
+static OBSERVE_WINDOW_NS: AtomicU64 = AtomicU64::new(1_000_000_000);
+
+/// Elasticity timelines harvested from completed runs, in [`run_all`] input
+/// order, labelled with their scenario labels. Drained by
+/// [`drain_timelines`].
+static COLLECTED_TIMELINES: Mutex<Vec<beehive_observatory::ScenarioSeries>> =
+    Mutex::new(Vec::new());
 
 /// Set the engine-wide default for [`SimConfig::trace`]. Scenarios built
 /// *after* this call record traces; [`run_all`] harvests them in input
@@ -203,6 +217,50 @@ fn harvest_sentinel(outcomes: &mut [RunOutcome]) {
     }
 }
 
+/// Set the engine-wide default for [`SimConfig::observe`]. Scenarios built
+/// *after* this call reduce their telemetry into elasticity timelines;
+/// [`run_all`] harvests the per-scenario series in input order for
+/// [`drain_timelines`].
+pub fn set_observe_default(on: bool) {
+    OBSERVE_DEFAULT.store(on, Ordering::Relaxed);
+}
+
+/// The engine-wide default for [`SimConfig::observe`].
+pub fn observe_default() -> bool {
+    OBSERVE_DEFAULT.load(Ordering::Relaxed)
+}
+
+/// Set the engine-wide default timeline bin width
+/// ([`SimConfig::observe_window`]); zero-width windows are clamped to 1 ns
+/// by the reducer.
+pub fn set_observe_window(window: beehive_sim::Duration) {
+    OBSERVE_WINDOW_NS.store(window.as_nanos(), Ordering::Relaxed);
+}
+
+/// The engine-wide default timeline bin width.
+pub fn observe_window() -> beehive_sim::Duration {
+    beehive_sim::Duration::from_nanos(OBSERVE_WINDOW_NS.load(Ordering::Relaxed))
+}
+
+/// Take every elasticity timeline harvested since the last drain, in the
+/// input order of the [`run_all`] calls that produced them. Order is
+/// independent of the worker count, so the assembled
+/// [`beehive_observatory::TimelineDoc`] is byte-identical under any
+/// `BEEHIVE_WORKERS`.
+pub fn drain_timelines() -> Vec<beehive_observatory::ScenarioSeries> {
+    std::mem::take(&mut *COLLECTED_TIMELINES.lock().unwrap())
+}
+
+fn harvest_timelines(outcomes: &mut [RunOutcome]) {
+    let mut collected = COLLECTED_TIMELINES.lock().unwrap();
+    for o in outcomes.iter_mut() {
+        if let Some(mut series) = o.result.observatory.take() {
+            series.label = o.label.clone();
+            collected.push(series);
+        }
+    }
+}
+
 /// One labelled simulation to run.
 #[derive(Debug, Clone)]
 pub struct Scenario {
@@ -288,6 +346,7 @@ pub fn run_all_with_workers(scenarios: Vec<Scenario>, workers: usize) -> Vec<Run
         harvest_metrics(&mut outcomes);
         harvest_profiles(&mut outcomes);
         harvest_sentinel(&mut outcomes);
+        harvest_timelines(&mut outcomes);
         return outcomes;
     }
 
@@ -336,6 +395,7 @@ pub fn run_all_with_workers(scenarios: Vec<Scenario>, workers: usize) -> Vec<Run
     harvest_metrics(&mut outcomes);
     harvest_profiles(&mut outcomes);
     harvest_sentinel(&mut outcomes);
+    harvest_timelines(&mut outcomes);
     outcomes
 }
 

@@ -130,6 +130,31 @@ for w in 1 2 8; do
 done
 rm -f "$verify_out/check_quick.json"
 
+echo "==> golden: repro timeline is byte-stable at any worker count"
+# The elasticity timeline — sparklines, per-bin quantiles and the derived
+# scale-up-lag signals — is pure integer rendering over the deterministic
+# event stream, so the ASCII report is byte-identical at any worker count.
+for w in 1 2 8; do
+  BEEHIVE_WORKERS=$w ./target/release/repro timeline recovery --quick --seed 42 \
+    > "$verify_out/timeline_quick.txt"
+  diff -u scripts/golden/timeline_quick.txt "$verify_out/timeline_quick.txt"
+done
+rm -f "$verify_out/timeline_quick.txt"
+
+echo "==> lag gate: repro lag agrees across worker counts"
+# Two --obs passes at different worker counts must yield identical timeline
+# artifacts, so the scale-up-lag diff between them reports no regression.
+lag_base="$verify_out/lag_base"
+lag_cur="$verify_out/lag_cur"
+mkdir -p "$lag_base" "$lag_cur"
+BEEHIVE_WORKERS=1 ./target/release/repro recovery --quick --seed 42 \
+  --obs "$lag_base" > /dev/null 2>&1
+BEEHIVE_WORKERS=8 ./target/release/repro recovery --quick --seed 42 \
+  --obs "$lag_cur" > /dev/null 2>&1
+diff -u "$lag_base/recovery.timeline.json" "$lag_cur/recovery.timeline.json"
+./target/release/repro lag "$lag_base" "$lag_cur" > /dev/null
+rm -rf "$lag_base" "$lag_cur"
+
 echo "==> metrics+insight gate: repro diff against scripts/golden/metrics_quick"
 # A fixed path (not mktemp) so the committed BENCH_metrics.json is
 # byte-stable across verify runs. The golden directory carries both the
@@ -148,4 +173,4 @@ for w in 1 2 8; do
 done
 rm -rf "$metrics_dir" "$verify_out/diff_quick.txt"
 
-echo "OK: style, lint, build, tests, quick repro, goldens, sentinel, and the metrics+insight gates all pass."
+echo "OK: style, lint, build, tests, quick repro, goldens, sentinel, timeline, and the metrics+insight gates all pass."

@@ -19,6 +19,8 @@
 //!   evaluation and regression root-cause diagnosis,
 //! * [`sentinel`] — online trace-invariant conformance checking with
 //!   violation pinpointing,
+//! * [`observatory`] — time-resolved elasticity observability: fleet,
+//!   queue and latency timelines with derived scale-up-lag signals,
 //! * [`vm`] — the managed runtime (bytecode, heap, GC, monitors, natives),
 //! * [`faas`] — simulated FaaS platforms (OpenWhisk-like, Lambda-like),
 //! * [`proxy`] — proxy-based connection management,
@@ -54,6 +56,7 @@ pub use beehive_db as db;
 pub use beehive_faas as faas;
 pub use beehive_insight as insight;
 pub use beehive_metrics as metrics;
+pub use beehive_observatory as observatory;
 pub use beehive_profiler as profiler;
 pub use beehive_proxy as proxy;
 pub use beehive_scaling as scaling;
